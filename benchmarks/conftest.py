@@ -1,0 +1,36 @@
+"""Shared state for the benchmark drivers.
+
+One full-size :class:`ExperimentRunner` is shared by every driver in this
+directory, so simulations run once and each table/figure renders from the
+cached results.  The first benchmark touching a (system, workload) pair
+pays its simulation cost; that cost is what pytest-benchmark reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentRunner
+
+
+def pytest_configure(config):
+    # Single-shot measurements: the sims are deterministic and expensive.
+    config.option.benchmark_min_rounds = 1
+    config.option.benchmark_warmup = False
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """Full-size (paper-scaled) experiment runner, shared session-wide."""
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="session")
+def thrash_runner() -> ExperimentRunner:
+    """Figure 8's variant: k-means scaled up (8192 points) so the point
+    set thrashes the LLC and the VMU hits the MSHR limit, as in the paper."""
+    return ExperimentRunner(params_override={"k-means": {"n": 8192}})
+
+
+def show(title: str, text: str) -> None:
+    print(f"\n=== {title} ===\n{text}")

@@ -1,0 +1,100 @@
+"""Ablations of EVE design choices (DESIGN.md's per-experiment index).
+
+Three studies the paper motivates but does not plot:
+
+* LLC MSHR sweep — Section VII-B names the limited MSHRs as the key
+  bottleneck for strided kernels and future work; sweeping the pool size
+  on backprop quantifies it.
+* DTU count sweep — Section VII-B argues eight conservative DTUs suffice
+  because compute hides transpose; halving/doubling them tests that.
+* EVE pool size sweep — how performance scales with the number of EVE
+  SRAMs (i.e. how many L2 ways are carved out).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import make_system
+from repro.core import EveMachine
+from repro.experiments import ExperimentRunner, format_table
+from repro.workloads import get_workload
+
+from conftest import show
+
+
+def run_eve(config, workload_name, trace_cache={}):
+    machine = EveMachine(config)
+    key = (workload_name, machine.config.vector.hardware_vl)
+    if key not in trace_cache:
+        trace_cache[key] = get_workload(workload_name).vector_trace(key[1])
+    return machine.run(trace_cache[key])
+
+
+def test_llc_mshr_sweep(benchmark):
+    """backprop throughput vs LLC MSHRs (the future-work lever)."""
+    def sweep():
+        rows = []
+        base = make_system("O3+EVE-8")
+        for mshrs in (8, 16, 32, 64, 128):
+            config = replace(base, llc=replace(base.llc, mshrs=mshrs))
+            result = run_eve(config, "backprop")
+            rows.append([mshrs, result.cycles, result.vmu_llc_stall_frac])
+        return rows
+
+    rows = benchmark(sweep)
+    show("Ablation: LLC MSHRs vs backprop (EVE-8)", format_table(
+        ["llc_mshrs", "cycles", "vmu_stall_frac"], rows))
+    cycles = [r[1] for r in rows]
+    # More MSHRs monotonically help the strided kernel...
+    assert cycles == sorted(cycles, reverse=True)
+    # ...and meaningfully so from 8 to 128.
+    assert cycles[0] / cycles[-1] > 1.2
+    # Stall fraction falls as the pool grows.
+    assert rows[-1][2] < rows[0][2]
+
+
+def test_dtu_count_sweep(benchmark):
+    """Transpose bandwidth: the paper's 8 DTUs against fewer/more."""
+    def sweep():
+        rows = []
+        base = make_system("O3+EVE-8")
+        for dtus in (1, 2, 4, 8, 16):
+            config = replace(base, eve_sram=replace(base.eve_sram,
+                                                    num_dtus=dtus))
+            result = run_eve(config, "pathfinder")
+            breakdown = result.breakdown
+            rows.append([dtus, result.cycles,
+                         breakdown.ld_dt_stall + breakdown.st_dt_stall])
+        return rows
+
+    rows = benchmark(sweep)
+    show("Ablation: DTU count vs pathfinder (EVE-8)", format_table(
+        ["dtus", "cycles", "dt_stall_cycles"], rows))
+    cycles = {r[0]: r[1] for r in rows}
+    # Starving the transpose path hurts...
+    assert cycles[1] >= cycles[8]
+    # ...but the paper's 8 DTUs already saturate: 16 buys almost nothing.
+    assert cycles[8] / cycles[16] < 1.05
+
+
+def test_pool_size_sweep(benchmark):
+    """Carving fewer/more L2 ways: EVE SRAM count vs performance."""
+    def sweep():
+        rows = []
+        base = make_system("O3+EVE-8")
+        for arrays in (8, 16, 32):
+            config = replace(base, eve_sram=replace(base.eve_sram,
+                                                    num_arrays=arrays))
+            config = replace(config, vector=replace(
+                config.vector, hardware_vl=32 * arrays))
+            result = run_eve(config, "jacobi-2d")
+            rows.append([arrays, config.vector.hardware_vl, result.cycles])
+        return rows
+
+    rows = benchmark(sweep)
+    show("Ablation: EVE SRAM pool size vs jacobi-2d (EVE-8)", format_table(
+        ["arrays", "hw_VL", "cycles"], rows))
+    cycles = [r[2] for r in rows]
+    # Longer hardware vectors amortise control and memory issue.
+    assert cycles[-1] <= cycles[0]

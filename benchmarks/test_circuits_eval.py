@@ -1,0 +1,61 @@
+"""Section VI — circuits evaluation: area, cycle time, and energy.
+
+Regenerates the numbers of Section VI-B: per-sub-array circuit overheads,
+EVE SRAM overheads after banking, total L2 overhead (11.7% for EVE-8),
+cycle times (1.025 / 1.175 / 1.55 ns), and the relative-energy analysis
+(blc +20% over a read; sustained power below that peak).
+"""
+
+import pytest
+
+from repro.circuits_model import AreaModel, cycle_time_ns
+from repro.circuits_model.energy import OP_ENERGY_REL, average_power_overhead
+from repro.experiments import format_table
+from repro.uops import MacroOpRom
+
+from conftest import show
+
+FACTORS = (1, 2, 4, 8, 16, 32)
+
+
+def area_rows():
+    rows = []
+    for n in FACTORS:
+        model = AreaModel(n)
+        rows.append([f"EVE-{n}", model.stack_overhead,
+                     model.eve_sram_overhead, model.l2_overhead,
+                     cycle_time_ns(n)])
+    return rows
+
+
+def test_section6_area_and_cycle_time(benchmark):
+    rows = benchmark(area_rows)
+    show("Section VI: area overheads & cycle time", format_table(
+        ["design", "stack_ovh", "eve_sram_ovh", "L2_ovh", "cycle_ns"], rows))
+    by_name = {r[0]: r for r in rows}
+    assert by_name["EVE-1"][1] == pytest.approx(0.090)   # 9.0%
+    assert by_name["EVE-8"][1] == pytest.approx(0.156)   # 15.6% (hybrid)
+    assert by_name["EVE-32"][1] == pytest.approx(0.126)  # 12.6%
+    assert by_name["EVE-8"][3] == pytest.approx(0.117, abs=0.001)  # 11.7%
+    assert by_name["EVE-16"][4] == pytest.approx(1.175)
+    assert by_name["EVE-32"][4] == pytest.approx(1.55)
+
+
+def energy_rows():
+    rows = []
+    for n in (1, 8, 32):
+        rom = MacroOpRom(n)
+        rows.append([f"EVE-{n}",
+                     average_power_overhead(rom, "add"),
+                     average_power_overhead(rom, "mul"),
+                     average_power_overhead(rom, "logic", op="xor")])
+    return rows
+
+
+def test_section6_energy(benchmark):
+    rows = benchmark(energy_rows)
+    show("Section VI: mean per-cycle energy (read = 1.0; blc peak = 1.2)",
+         format_table(["design", "add", "mul", "xor"], rows))
+    for row in rows:
+        for value in row[1:]:
+            assert 0 < value <= OP_ENERGY_REL["blc"]

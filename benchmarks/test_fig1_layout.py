@@ -1,0 +1,55 @@
+"""Figure 1 — data organisation in the S-CIM SRAM array.
+
+Regenerates the figure's quantitative content: elements (in-situ ALUs) and
+utilization for the 16x16/8-bit illustrative array as registers and the
+parallelization factor vary, plus the full-size 256x256/32-bit layout used
+everywhere else.
+"""
+
+from repro.experiments import format_table
+from repro.sram import RegisterLayout
+
+from conftest import show
+
+
+def fig1_rows():
+    rows = []
+    for factor in (1, 2, 4, 8):
+        for regs in (1, 2, 4):
+            lay = RegisterLayout(rows=16, cols=16, element_bits=8,
+                                 factor=factor, num_vregs=regs)
+            rows.append([
+                factor, regs, lay.segments, lay.elements_per_array,
+                lay.groups_per_element, lay.row_utilization,
+                lay.storage_utilization,
+            ])
+    return rows
+
+
+def test_figure1_layout(benchmark):
+    rows = benchmark(fig1_rows)
+    show("Figure 1: 16x16 SRAM, 8-bit elements", format_table(
+        ["factor", "vregs", "segments", "ALUs", "groups/elem",
+         "row_util", "storage_util"], rows))
+    by_key = {(r[0], r[1]): r for r in rows}
+    # One register at factor 1 leaves half the rows empty (Figure 1 left).
+    assert by_key[(1, 1)][5] == 0.5
+    # Two registers reach balanced utilization.
+    assert by_key[(1, 2)][5] == 1.0
+    # Four registers at factor 1 repurpose columns: ALUs halve.
+    assert by_key[(1, 4)][3] == 8
+
+
+def test_figure1_full_size_layout(benchmark):
+    def rows():
+        out = []
+        for factor in (1, 2, 4, 8, 16, 32):
+            lay = RegisterLayout(rows=256, cols=256, element_bits=32,
+                                 factor=factor, num_vregs=32)
+            out.append([factor, lay.elements_per_array, lay.row_utilization,
+                        lay.groups_per_element])
+        return out
+    table = benchmark(rows)
+    show("Figure 1 (full size): 256x256 SRAM, 32-bit, 32 vregs",
+         format_table(["factor", "ALUs", "row_util", "groups/elem"], table))
+    assert [r[1] for r in table] == [64, 64, 64, 32, 16, 8]

@@ -1,0 +1,39 @@
+"""Figure 2 — latency & throughput of add/logic and multiply vs the
+parallelization factor (256x256 S-CIM SRAM, 32 vector registers).
+
+Paper shape: latency falls monotonically (sub-linearly, due to control
+overhead); throughput peaks at the balanced-utilization factor n = 4 and
+falls on both sides (column under-utilization below, row under-utilization
+above).
+"""
+
+import pytest
+
+from repro.experiments import format_table
+from repro.experiments.figures import figure2
+
+from conftest import show
+
+
+def test_figure2_measured(benchmark):
+    rows = benchmark(figure2, measured=True)
+    show("Figure 2 (measured from micro-programs)", format_table(
+        ["factor", "alus", "add_lat", "mul_lat", "add_tput", "mul_tput"],
+        [[r["factor"], r["alus"], r["add_latency_rel"], r["mul_latency_rel"],
+          r["add_throughput_rel"], r["mul_throughput_rel"]] for r in rows]))
+    tput = {r["factor"]: r["add_throughput_rel"] for r in rows}
+    latency = {r["factor"]: r["add_latency_rel"] for r in rows}
+    assert max(tput, key=tput.get) == 4  # the paper's headline insight
+    assert latency[32] < latency[16] < latency[8] < latency[4] < latency[1]
+
+
+def test_figure2_analytical_model(benchmark):
+    rows = benchmark(figure2, measured=False)
+    show("Figure 2 (closed-form model)", format_table(
+        ["factor", "alus", "add_lat", "mul_lat", "add_tput", "mul_tput"],
+        [[r["factor"], r["alus"], r["add_latency_rel"], r["mul_latency_rel"],
+          r["add_throughput_rel"], r["mul_throughput_rel"]] for r in rows]))
+    measured = figure2(measured=True)
+    for model_row, measured_row in zip(rows, measured):
+        assert model_row["mul_latency_rel"] == pytest.approx(
+            measured_row["mul_latency_rel"], rel=0.2)

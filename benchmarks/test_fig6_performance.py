@@ -1,0 +1,41 @@
+"""Figure 6 — performance of every system, normalised to the in-order core.
+
+Shape targets from the paper (absolute factors are compressed by our
+scaled-down inputs; see EXPERIMENTS.md):
+
+* every vector system beats IO on every kernel;
+* the EVE geomean (over the paper's five apps) peaks at EVE-8;
+* memory-bound vvadd is flat across the EVE designs;
+* O3+DV is the strongest baseline.
+"""
+
+from repro.config import all_system_names
+from repro.experiments import format_table
+from repro.experiments.figures import ALL_APPS, figure6
+
+from conftest import show
+
+
+def test_figure6(benchmark, runner):
+    rows = benchmark(figure6, runner)
+    systems = all_system_names()
+    show("Figure 6: speedup over IO", format_table(
+        ["workload"] + systems,
+        [[r["workload"]] + [r[s] for s in systems] for r in rows]))
+
+    geo = rows[-1]
+    assert geo["workload"] == "geomean*"
+    # EVE-8 is the best EVE design on the paper's geomean.
+    eve_geos = {s: geo[s] for s in systems if "EVE" in s}
+    assert max(eve_geos, key=eve_geos.get) == "O3+EVE-8"
+    # Bit-serial is the weakest EVE design.
+    assert min(eve_geos, key=eve_geos.get) == "O3+EVE-1"
+    # Every vector engine beats the in-order baseline on the geomean.
+    for system in ("O3+IV", "O3+DV", "O3+EVE-8"):
+        assert geo[system] > 1.0
+
+    # vvadd (memory-bound) is flat across EVE-1..8: within ~25%.
+    vvadd = rows[0]
+    assert vvadd["workload"] == "vvadd"
+    flat = [vvadd[f"O3+EVE-{n}"] for n in (1, 2, 4, 8)]
+    assert max(flat) / min(flat) < 1.35

@@ -1,0 +1,56 @@
+"""Figure 7 — execution breakdown of the EVE designs, normalised to EVE-1.
+
+Paper shapes checked:
+
+* memory-bound kernels (backprop) are dominated by memory stalls at every
+  factor;
+* compute time (busy) shrinks from EVE-1 towards the balanced factor;
+* EVE-32 shows no transpose stalls (bit-parallel data needs none).
+"""
+
+from repro.cores.result import BREAKDOWN_BUCKETS
+from repro.experiments import format_table
+from repro.experiments.figures import GEOMEAN_APPS, figure7
+
+from conftest import show
+
+COLS = ["workload", "system", "total"] + list(BREAKDOWN_BUCKETS)
+
+
+def test_figure7(benchmark, runner):
+    rows = benchmark(figure7, runner, GEOMEAN_APPS)
+    show("Figure 7: execution breakdown (normalised to EVE-1)", format_table(
+        COLS, [[r[c] for c in COLS] for r in rows]))
+    by_key = {(r["workload"], r["system"]): r for r in rows}
+
+    for app in GEOMEAN_APPS:
+        eve1 = by_key[(app, "O3+EVE-1")]
+        assert eve1["total"] == 1.0
+        # Buckets account for (almost) all cycles.
+        assert sum(eve1[b] for b in BREAKDOWN_BUCKETS) > 0.95
+
+    # backprop: memory-path stalls (fetch or transpose of the strided
+    # stream) dominate at every factor (paper Section VII-B).
+    for n in (1, 4, 8, 32):
+        row = by_key[("backprop", f"O3+EVE-{n}")]
+        mem = (row["ld_mem_stall"] + row["st_mem_stall"] + row["vmu_stall"]
+               + row["ld_dt_stall"] + row["st_dt_stall"])
+        assert mem > row["busy"]
+
+    # Figure 7's headline: busy fraction falls from EVE-1 to the balanced
+    # factor, then rises again (row under-utilization + slower clock).
+    busy = {n: by_key[("backprop", f"O3+EVE-{n}")]["busy"]
+            for n in (1, 4, 32)}
+    assert busy[4] < busy[1]
+    assert busy[4] < busy[32]
+
+    # EVE-1 spends more of its time busy than EVE-8 on the compute-heavy
+    # jacobi (bit-serial ALU latency), in absolute normalised terms.
+    assert by_key[("jacobi-2d", "O3+EVE-1")]["busy"] > \
+        by_key[("jacobi-2d", "O3+EVE-8")]["busy"]
+
+    # EVE-32 needs no data transpose.
+    for app in GEOMEAN_APPS:
+        row = by_key[(app, "O3+EVE-32")]
+        assert row["ld_dt_stall"] == 0.0
+        assert row["st_dt_stall"] == 0.0

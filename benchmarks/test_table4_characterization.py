@@ -1,0 +1,32 @@
+"""Table IV (left half) — static characterisation of the workloads at the
+binary's VL=64: instruction mixes, vector fractions, parallelism, work
+inflation, and arithmetic intensity.
+"""
+
+from repro.experiments import format_table
+from repro.experiments.figures import table4_characterization
+
+from conftest import show
+
+COLS = ["workload", "suite", "scalar_dins", "vector_dins", "vi_pct", "ctrl",
+        "ialu", "imul", "xe", "us", "st", "idx", "prd", "vo_pct", "vpar",
+        "winf", "arint"]
+
+
+def test_table4_characterization(benchmark):
+    rows = benchmark(table4_characterization)
+    show("Table IV: workload characterisation (VL=64)", format_table(
+        COLS, [[r[c] for c in COLS] for r in rows]))
+    by_name = {r["workload"]: r for r in rows}
+
+    # Paper-anchored qualitative checks.
+    assert by_name["vvadd"]["arint"] < 0.5          # paper: 0.33
+    assert by_name["vvadd"]["us"] > 50              # streaming kernel
+    assert by_name["mmult"]["imul"] > 10            # multiply-heavy
+    assert by_name["backprop"]["st"] > 10           # strided weights
+    assert by_name["k-means"]["idx"] > 0            # centre gathers
+    assert by_name["pathfinder"]["prd"] > 10        # predicated min
+    assert by_name["sw"]["idx"] > 0                 # substitution gathers
+    for r in rows:
+        assert r["vo_pct"] > 90                     # paper: 96-98%
+        assert r["vpar"] > 10                       # paper: 21-30

@@ -1,0 +1,38 @@
+"""Table IV (right half) — speedups versus the integrated vector unit,
+with the paper's E-8/E-1 and E-8/E-32 ratio columns.
+
+Shape targets (paper values in parentheses):
+
+* mmult: bit-serial EVE-1 *loses* to IV (0.93x) while EVE-8 wins;
+* the E-8/E-1 geomean ratio lands near the paper's ~2x;
+* the EVE geomean peaks at EVE-8 (which anchors the paper's 4.59x claim).
+"""
+
+from repro.experiments import format_table
+from repro.experiments.figures import table4_speedups
+
+from conftest import show
+
+COLS = ["workload", "DV", "E-1", "E-2", "E-4", "E-8", "E-16", "E-32",
+        "E8/E1", "E8/E32"]
+
+
+def test_table4_speedups(benchmark, runner):
+    rows = benchmark(table4_speedups, runner)
+    show("Table IV: speedups vs O3+IV", format_table(
+        COLS, [[r[c] for c in COLS] for r in rows]))
+    by_name = {r["workload"]: r for r in rows}
+
+    # mmult: bit-serial loses to IV, bit-hybrid wins (paper: 0.93 / 5.34).
+    assert by_name["mmult"]["E-1"] < 1.0
+    assert by_name["mmult"]["E-8"] > 1.5
+
+    # Memory-bound vvadd: all EVE designs cluster near DV (paper ~3.2-3.6).
+    assert by_name["vvadd"]["E-8"] > 2.0
+
+    geo = rows[-1]
+    eve_cols = {c: geo[c] for c in ("E-1", "E-2", "E-4", "E-8", "E-16", "E-32")}
+    assert max(eve_cols, key=eve_cols.get) == "E-8"
+    assert geo["E8/E1"] > 1.5     # paper per-app range: 1.03 - 2.55
+    assert geo["E8/E32"] > 1.0    # paper per-app range: 0.97 - 1.24
+    assert geo["E-8"] > 1.0       # EVE-8 beats the integrated unit

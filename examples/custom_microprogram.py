@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Write your own EVE micro-program in the Table II listing syntax.
+
+Assembles a hand-written micro-program computing the *absolute difference*
+``vd = |vs1 - vs2|`` — a macro-operation the ROM does not ship — runs it
+bit-exactly on the EVE SRAM, and cross-checks against numpy.
+
+The program composes the paper's primitives directly: a complement-and-add
+subtraction, a sign mask walked out of the XRegister's MSB column, and a
+masked conditional negation (complement + add-one via a zeroed scratch row
+lent by the ``vm`` slot).
+"""
+
+import numpy as np
+
+from repro.sram import EveSram, RegisterLayout
+from repro.uops import Binding, MicroEngine, assemble, disassemble
+
+#: |vs1 - vs2| at parallelization factor 4 (8 segments per element).
+#: vm is a scratch register (zeroed first) used for the +1 of the
+#: conditional negation.
+ABSDIFF = """
+; vd = |vs1 - vs2|                (factor 4, 32-bit elements)
+; -- vd = vs1 + ~vs2 + 1, carry = (vs1 >= vs2) -------------------------
+    init seg1, 8
+c1:
+    decr seg1 | blc vs2[seg1], vs2[seg1] | -
+    -         | wb vs2[seg1], nand       | bnz seg1, c1
+    - | wb carry, data_in <ones | -
+    init seg0, 8
+sub:
+    decr seg0 | blc vs1[seg0], vs2[seg0] | -
+    -         | wb vd[seg0], add         | bnz seg0, sub
+    init seg1, 8
+c2:
+    decr seg1 | blc vs2[seg1], vs2[seg1] | -
+    -         | wb vs2[seg1], nand       | bnz seg1, c2
+; -- where the difference is negative: negate vd -----------------------
+; (sign bit -> XRegister -> mask latch, the MSB walk path)
+    - | blc vd[7], vd[7] | -
+    - | wb xreg, and     | -
+    - | mask_shftl       | -
+    init seg2, 8
+neg:
+    decr seg2 | blc vd[seg2], vd[seg2]   | -
+    -         | wb vd[seg2], nand masked | bnz seg2, neg
+; vm is zeroed scratch: vd += 0 + 1, masked (completes the negation)
+    init seg3, 8
+z:
+    decr seg3 | wr vm[seg3] <zeros       | bnz seg3, z
+    - | wb carry, data_in <ones | -
+    init seg0, 8
+inc:
+    decr seg0 | blc vd[seg0], vm[seg0]   | -
+    -         | wb vd[seg0], add masked  | bnz seg0, inc
+    ret
+"""
+
+
+def main() -> None:
+    program = assemble(ABSDIFF, name="absdiff/4")
+    print(disassemble(program))
+
+    layout = RegisterLayout(rows=256, cols=64, element_bits=32, factor=4,
+                            num_vregs=8)
+    sram = EveSram(256, 64, 4)
+    rng = np.random.default_rng(42)
+    n = layout.elements_per_array
+    a = rng.integers(-2 ** 30, 2 ** 30, n)
+    b = rng.integers(-2 ** 30, 2 ** 30, n)
+    sram.write_vreg(layout, 1, a)
+    sram.write_vreg(layout, 2, b)
+
+    binding = Binding(layout=layout, regs={"vs1": 1, "vs2": 2, "vd": 3, "vm": 4})
+    cycles = MicroEngine().run(program, sram, binding)
+
+    got = sram.read_vreg(layout, 3)
+    want = np.abs(a - b)
+    assert np.array_equal(got, want), (got[:4], want[:4])
+    print(f"\n|a - b| over {n} elements: bit-exact in {cycles} cycles "
+          f"({cycles / n:.1f} cycles/element at this array width)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Explore the bit-hybrid design space for a target workload mix.
+
+Sweeps the parallelization factor n over {1, 2, 4, 8, 16, 32} and reports,
+for each EVE-n design: macro-operation latencies from the real
+micro-programs, in-situ ALU counts from the register layout, the Section
+VI area/cycle-time overheads, and the simulated performance on a
+compute-heavy kernel (jacobi-2d at a reduced size) — the Section II
+taxonomy argument, end to end, on live models.
+"""
+
+from repro import EVE_FACTORS, ExperimentRunner, format_table
+from repro.circuits_model import AreaModel, cycle_time_ns
+from repro.sram import RegisterLayout
+from repro.uops import MacroOpRom
+
+
+def main() -> None:
+    print("Micro-program latencies and layout (256x256 array, 32 vregs):")
+    rows = []
+    for n in EVE_FACTORS:
+        rom = MacroOpRom(n)
+        layout = RegisterLayout(rows=256, cols=256, element_bits=32,
+                                factor=n, num_vregs=32)
+        rows.append([
+            f"EVE-{n}",
+            layout.elements_per_array,
+            rom.cycles("add"),
+            rom.cycles("mul"),
+            rom.cycles("shift_scalar", op="sll", amount=5),
+            cycle_time_ns(n),
+            AreaModel(n).l2_overhead,
+        ])
+    print(format_table(
+        ["design", "ALUs/array", "add_cyc", "mul_cyc", "sll5_cyc",
+         "cycle_ns", "L2_area_ovh"], rows))
+
+    print("\nSimulated performance on jacobi-2d (reduced 128x128 grid):")
+    runner = ExperimentRunner(params_override={"jacobi-2d": {"n": 128, "iters": 4}})
+    rows = []
+    for n in EVE_FACTORS:
+        system = f"O3+EVE-{n}"
+        speedup = runner.speedup(system, "jacobi-2d", baseline="IO")
+        area = AreaModel(n).system_factor
+        rows.append([system, speedup, area, speedup / area])
+    print(format_table(
+        ["system", "speedup_vs_IO", "area_factor", "perf_per_area"], rows))
+    best = max(rows, key=lambda r: r[3])
+    print(f"\nBest perf-per-area design point: {best[0]}")
+
+
+if __name__ == "__main__":
+    main()

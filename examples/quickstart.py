@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one workload on the paper's systems.
+
+Runs the memory-bound ``vvadd`` kernel on the in-order and out-of-order
+scalar baselines, the integrated and decoupled vector units, and three EVE
+designs, then prints wall-clock speedups and EVE-8's execution breakdown
+(the Figure 7 buckets).
+"""
+
+from repro import ExperimentRunner, format_table
+
+SYSTEMS = ["IO", "O3", "O3+IV", "O3+DV", "O3+EVE-1", "O3+EVE-8", "O3+EVE-32"]
+
+
+def main() -> None:
+    runner = ExperimentRunner()
+
+    rows = []
+    for system in SYSTEMS:
+        result = runner.run(system, "vvadd")
+        rows.append([
+            system,
+            result.cycles,
+            result.time_ns / 1e3,
+            runner.speedup(system, "vvadd", baseline="IO"),
+        ])
+    print("vvadd (65,536 elements):")
+    print(format_table(["system", "cycles", "time_us", "speedup_vs_IO"], rows))
+
+    result = runner.run("O3+EVE-8", "vvadd")
+    print("\nEVE-8 execution breakdown (fraction of cycles):")
+    breakdown = result.breakdown.normalised_to(result.cycles)
+    print(format_table(
+        ["bucket", "fraction"],
+        [[bucket, value] for bucket, value in breakdown.items() if value > 0]))
+
+
+if __name__ == "__main__":
+    main()

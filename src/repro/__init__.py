@@ -1,0 +1,48 @@
+"""EVE: Ephemeral Vector Engines — a full Python reproduction.
+
+Reproduces Al-Hawaj et al., *EVE: Ephemeral Vector Engines* (HPCA 2023):
+an SRAM compute-in-memory vector engine with bit-hybrid execution, carved
+ephemerally out of a private L2 cache, plus every substrate its evaluation
+depends on — bit-accurate compute-SRAM circuits, the micro-programmed
+control path, a cache/DRAM memory system, scalar and vector baseline
+machines, the benchmark kernels, and the experiment harness regenerating
+every table and figure.
+
+Quick start::
+
+    from repro import ExperimentRunner
+    runner = ExperimentRunner()
+    print(runner.speedup("O3+EVE-8", "vvadd", baseline="IO"))
+
+Package map:
+
+* :mod:`repro.config`          — Table III system configurations
+* :mod:`repro.isa`             — RVV 32-bit-integer subset, traces, intrinsics
+* :mod:`repro.sram`            — bit-accurate EVE SRAM and register layout
+* :mod:`repro.uops`            — μops, micro-programs, counters, the ROM
+* :mod:`repro.analytics`       — Section II taxonomy model (Figure 2)
+* :mod:`repro.circuits_model`  — area / cycle-time / energy (Section VI)
+* :mod:`repro.mem`             — caches, MSHRs, DRAM, way-partitioning
+* :mod:`repro.cores`           — IO / O3 / IV / DV baselines
+* :mod:`repro.core`            — the EVE engine (timing + bit-exact oracle)
+* :mod:`repro.workloads`       — the seven Table IV kernels
+* :mod:`repro.experiments`     — runners and figure/table generators
+"""
+
+from .config import EVE_FACTORS, all_system_names, eve_hardware_vl, make_system
+from .errors import ReproError
+from .experiments import ExperimentRunner, build_machine, format_table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EVE_FACTORS",
+    "all_system_names",
+    "eve_hardware_vl",
+    "make_system",
+    "ReproError",
+    "ExperimentRunner",
+    "build_machine",
+    "format_table",
+    "__version__",
+]

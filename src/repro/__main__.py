@@ -1,0 +1,13 @@
+"""``python -m repro`` entry point."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `| head`) closed early — exit quietly.
+        sys.stderr.close()
+        sys.exit(0)

@@ -1,0 +1,20 @@
+"""Analytical models of Section II's vector S-CIM taxonomy.
+
+* :mod:`repro.analytics.perf_model` — latency/throughput of add and
+  multiply versus the parallelization factor (Figure 2), both as a
+  closed-form model and as measured from the actual micro-programs.
+"""
+
+from .perf_model import (
+    DesignPoint,
+    figure2_series,
+    measured_design_point,
+    modeled_design_point,
+)
+
+__all__ = [
+    "DesignPoint",
+    "figure2_series",
+    "measured_design_point",
+    "modeled_design_point",
+]

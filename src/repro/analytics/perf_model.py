@@ -1,0 +1,117 @@
+"""Latency/throughput taxonomy of vector S-CIM designs (Section II, Fig. 2).
+
+Two views of the same spectrum:
+
+* :func:`modeled_design_point` — the closed-form analytical model the paper
+  uses to argue the taxonomy: latency is proportional to the number of
+  segments plus a fixed control overhead; throughput is in-situ ALUs
+  divided by latency.
+* :func:`measured_design_point` — the same quantities extracted from the
+  *actual* micro-programs in the ROM, which is how we validate the model.
+
+Both reproduce the paper's qualitative result: throughput peaks at the
+balanced-utilization factor (n = 4 for a 256x256 array with 32 registers of
+32-bit elements) because smaller factors suffer column under-utilization
+and larger ones row under-utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from ..config import EVE_FACTORS
+from ..sram.layout import RegisterLayout
+from ..uops.rom import MacroOpRom
+
+#: Fixed per-macro-op control overhead (cycles): counter initialisation
+#: plus the final return, as discussed under "Latency" in Section II.
+CONTROL_OVERHEAD = 3
+
+#: Cycles per segment of a vector addition (one blc + one write-back).
+ADD_CYCLES_PER_SEGMENT = 2
+
+#: Cycles per multiplier bit, per segment: the doubling sweep (2, via the
+#: adder) plus the masked accumulate sweep (2).
+MUL_CYCLES_PER_BIT_SEGMENT = 4
+
+#: Per-bit fixed cost of multiplication (mask walk, carry presets, loop
+#: initialisation shared across the bit's sweeps).
+MUL_CYCLES_PER_BIT_FIXED = 6
+
+#: Per-segment overhead of the multiplier's outer loop (XRegister reload).
+MUL_OUTER_CYCLES_PER_SEGMENT = 3
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One point on the parallelization-factor spectrum."""
+
+    factor: int
+    alus: int
+    add_latency: int
+    mul_latency: int
+
+    @property
+    def add_throughput(self) -> float:
+        """Element operations per cycle for additions."""
+        return self.alus / self.add_latency
+
+    @property
+    def mul_throughput(self) -> float:
+        return self.alus / self.mul_latency
+
+
+def _layout(factor: int, rows: int, cols: int, element_bits: int,
+            num_vregs: int) -> RegisterLayout:
+    return RegisterLayout(rows=rows, cols=cols, element_bits=element_bits,
+                          factor=factor, num_vregs=num_vregs)
+
+
+def modeled_design_point(factor: int, rows: int = 256, cols: int = 256,
+                         element_bits: int = 32, num_vregs: int = 32) -> DesignPoint:
+    """Closed-form latency/throughput for one parallelization factor."""
+    layout = _layout(factor, rows, cols, element_bits, num_vregs)
+    segments = layout.segments
+    add_latency = ADD_CYCLES_PER_SEGMENT * segments + CONTROL_OVERHEAD
+    mul_latency = (element_bits
+                   * (MUL_CYCLES_PER_BIT_SEGMENT * segments + MUL_CYCLES_PER_BIT_FIXED)
+                   + MUL_OUTER_CYCLES_PER_SEGMENT * segments
+                   + CONTROL_OVERHEAD)
+    return DesignPoint(factor=factor, alus=layout.elements_per_array,
+                       add_latency=add_latency, mul_latency=mul_latency)
+
+
+def measured_design_point(factor: int, rows: int = 256, cols: int = 256,
+                          element_bits: int = 32, num_vregs: int = 32) -> DesignPoint:
+    """Latency/throughput measured from the real ROM micro-programs."""
+    layout = _layout(factor, rows, cols, element_bits, num_vregs)
+    rom = MacroOpRom(factor, element_bits)
+    return DesignPoint(factor=factor, alus=layout.elements_per_array,
+                       add_latency=rom.cycles("add"),
+                       mul_latency=rom.cycles("mul"))
+
+
+def figure2_series(factors: Iterable[int] = EVE_FACTORS, *, measured: bool = True,
+                   rows: int = 256, cols: int = 256, element_bits: int = 32,
+                   num_vregs: int = 32) -> List[Dict[str, float]]:
+    """The Figure 2 data series, normalised to the factor-1 design.
+
+    Returns one row per factor with latency and throughput of add and mul
+    relative to bit-serial (factor 1), plus the in-situ ALU count shown on
+    the figure's x-axis.
+    """
+    build = measured_design_point if measured else modeled_design_point
+    points = [build(f, rows, cols, element_bits, num_vregs) for f in factors]
+    base = points[0]
+    series = []
+    for point in points:
+        series.append({
+            "factor": point.factor,
+            "alus": point.alus,
+            "add_latency_rel": point.add_latency / base.add_latency,
+            "mul_latency_rel": point.mul_latency / base.mul_latency,
+            "add_throughput_rel": point.add_throughput / base.add_throughput,
+            "mul_throughput_rel": point.mul_throughput / base.mul_throughput,
+        })
+    return series

@@ -1,0 +1,25 @@
+"""Circuit-level area / cycle-time / energy models (Section VI).
+
+These models encode the scaling structure extracted from the paper's
+OpenRAM 28nm layouts:
+
+* :mod:`repro.circuits_model.area` — per-sub-array circuit overheads, the
+  EVE SRAM pool overhead in the L2, and system-level area factors.
+* :mod:`repro.circuits_model.timing` — cycle time per parallelization
+  factor (the Manchester chain is the critical path above n = 8).
+* :mod:`repro.circuits_model.energy` — relative energy of the SRAM
+  micro-operations.
+"""
+
+from .area import AreaModel, system_area_factor
+from .timing import cycle_time_ns, frequency_ghz
+from .energy import OP_ENERGY_REL, macroop_energy
+
+__all__ = [
+    "AreaModel",
+    "system_area_factor",
+    "cycle_time_ns",
+    "frequency_ghz",
+    "OP_ENERGY_REL",
+    "macroop_energy",
+]

@@ -1,0 +1,105 @@
+"""Area model (Sections VI-B and VII-B).
+
+Constants are the paper's layout-derived measurements on the 28nm node:
+the base bit-line-compute overhead of the simplified 256x128 EVE SRAM, the
+estimated full-stack overheads per sub-array for the three circuit
+families, the halving from banking two sub-arrays per EVE SRAM, the
+halving from equipping only half the L2 ways, and the five extra
+sub-array-equivalents (8 half-sub-array DTUs + 1 ROM) out of the L2's 64.
+
+System-level factors reproduce Section VII-B: O3+IV = 1.10x, O3+DV =
+2.00x, EVE-1 = 1.10x, EVE-2..16 = 1.12x, EVE-32 = 1.11x (the private L2 is
+modelled as core-sized, which reproduces the paper's roundings exactly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+#: Layout-measured overhead of the simplified (shifter-less) EVE SRAM.
+SIMPLIFIED_OVERHEAD = 0.082
+
+#: Estimated full-stack overhead per sub-array (Section VI-B).
+STACK_OVERHEAD = {"serial": 0.090, "hybrid": 0.156, "parallel": 0.126}
+
+#: An EVE SRAM banks two 256x128 sub-arrays behind one circuit stack.
+BANKED_SUBARRAYS = 2
+
+#: Sub-arrays in the 512KB private L2.
+L2_SUBARRAYS = 64
+
+#: Data-transpose units and their size in sub-array halves (Section VII-B).
+NUM_DTUS = 8
+DTU_SUBARRAY_EQUIV = 0.5
+ROM_SUBARRAY_EQUIV = 1.0
+
+#: Fraction of L2 ways built with EVE SRAMs.
+EVE_WAY_FRACTION = 0.5
+
+#: Non-EVE baselines (relative to the O3 core+caches), Section VII-B.
+BASELINE_AREA_FACTORS = {"O3": 1.00, "O3+IV": 1.10, "O3+DV": 2.00}
+
+#: Assumed in-order-core factor (not given by the paper; used only for
+#: presentation, never for the paper's area-efficiency claims).
+IO_AREA_FACTOR = 0.40
+
+#: Private-L2 area relative to the O3 core complex.  1.0 reproduces the
+#: paper's rounded EVE system factors exactly.
+L2_TO_CORE_AREA = 1.0
+
+
+def circuit_family(factor: int) -> str:
+    """Which circuit stack an EVE-``factor`` design uses."""
+    if factor == 1:
+        return "serial"
+    if factor == 32:
+        return "parallel"
+    if factor in (2, 4, 8, 16):
+        return "hybrid"
+    raise ConfigError(f"no circuit family for factor {factor}")
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Area overheads of one EVE-``factor`` design."""
+
+    factor: int
+
+    @property
+    def stack_overhead(self) -> float:
+        """Full circuit-stack overhead on a single sub-array."""
+        return STACK_OVERHEAD[circuit_family(self.factor)]
+
+    @property
+    def eve_sram_overhead(self) -> float:
+        """Overhead of one EVE SRAM (two banked sub-arrays, one stack)."""
+        return self.stack_overhead / BANKED_SUBARRAYS
+
+    @property
+    def extra_subarray_overhead(self) -> float:
+        """DTUs + macro-op ROM, as a fraction of the L2's sub-arrays."""
+        extra = NUM_DTUS * DTU_SUBARRAY_EQUIV + ROM_SUBARRAY_EQUIV
+        return extra / L2_SUBARRAYS
+
+    @property
+    def l2_overhead(self) -> float:
+        """Total L2 area overhead (Section VII-B; 11.7% for EVE-8)."""
+        return self.eve_sram_overhead * EVE_WAY_FRACTION + self.extra_subarray_overhead
+
+    @property
+    def system_factor(self) -> float:
+        """System area relative to the plain O3 baseline."""
+        return 1.0 + self.l2_overhead * L2_TO_CORE_AREA
+
+
+def system_area_factor(name: str) -> float:
+    """Area factor (vs O3) for any Table III system name."""
+    if name == "IO":
+        return IO_AREA_FACTOR
+    if name in BASELINE_AREA_FACTORS:
+        return BASELINE_AREA_FACTORS[name]
+    if name.startswith("O3+EVE-"):
+        return AreaModel(int(name.split("-")[-1])).system_factor
+    raise ConfigError(f"unknown system {name!r}")

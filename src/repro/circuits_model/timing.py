@@ -1,0 +1,31 @@
+"""Cycle-time model (Section VI-B).
+
+The vanilla 28nm SRAM cycles at 1.025ns with the read path critical.  Up
+to an 8-bit Manchester carry chain, the EVE circuits stay off the critical
+path; a 16-bit chain costs ~15% and a 32-bit chain ~51% — and because the
+EVE ways double as L2 ways, the penalty slows the *whole system's* clock
+(Section VII-B discusses this for EVE-16/EVE-32).
+"""
+
+from __future__ import annotations
+
+from ..config import BASE_CYCLE_TIME_NS, CYCLE_TIME_NS_BY_FACTOR
+from ..errors import ConfigError
+
+
+def cycle_time_ns(factor: int) -> float:
+    """Cycle time of an EVE-``factor`` system in nanoseconds."""
+    try:
+        return CYCLE_TIME_NS_BY_FACTOR[factor]
+    except KeyError:
+        raise ConfigError(f"no cycle-time data for factor {factor}") from None
+
+
+def cycle_time_penalty(factor: int) -> float:
+    """Fractional penalty over the vanilla SRAM (0.0 for n <= 8)."""
+    return cycle_time_ns(factor) / BASE_CYCLE_TIME_NS - 1.0
+
+
+def frequency_ghz(factor: int) -> float:
+    """Clock frequency of an EVE-``factor`` system in GHz."""
+    return 1.0 / cycle_time_ns(factor)

@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``systems``
+    List the Table III systems with their derived parameters.
+``workloads``
+    List the Table IV workloads and their (scaled) default inputs.
+``run SYSTEM WORKLOAD``
+    Simulate one (system, workload) pair and print cycles, time, and the
+    execution breakdown.
+``compare WORKLOAD``
+    Run a workload on every system and print the speedup column.
+``uprog MACRO``
+    Print the micro-program for a macro-operation (disassembled) and its
+    cycle count per parallelization factor.
+``figure NAME``
+    Regenerate a figure/table (fig1, fig2, table3, area).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .config import all_system_names
+from .experiments import ExperimentRunner, format_table
+from .experiments.figures import area_table, figure2, table3
+from .uops import MacroOpRom, disassemble
+from .workloads import REGISTRY
+
+
+def _cmd_systems(_args) -> int:
+    rows = [[r["system"], r["l2_kb"], r["hardware_vl"], r["vlmax"],
+             r["cycle_time_ns"]] for r in table3()]
+    print(format_table(
+        ["system", "L2_KB", "hw_VL", "trace_VLMAX", "cycle_ns"], rows))
+    return 0
+
+
+def _cmd_workloads(_args) -> int:
+    rows = [[wl.name, wl.suite, str(wl.params)]
+            for wl in sorted(REGISTRY.values(), key=lambda w: w.name)]
+    print(format_table(["workload", "suite", "default params"], rows))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    runner = ExperimentRunner()
+    result = runner.run(args.system, args.workload)
+    print(f"system    : {result.system}")
+    print(f"workload  : {result.workload}")
+    print(f"cycles    : {result.cycles:.0f}")
+    print(f"time      : {result.time_ns / 1e3:.1f} us")
+    if result.breakdown is not None:
+        rows = [[bucket, value, value / result.cycles]
+                for bucket, value in result.breakdown.as_dict().items()
+                if value > 0]
+        print(format_table(["bucket", "cycles", "fraction"], rows))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    runner = ExperimentRunner()
+    base = runner.run("IO", args.workload)
+    rows = []
+    for system in all_system_names():
+        result = runner.run(system, args.workload)
+        rows.append([system, result.cycles, result.time_ns / 1e3,
+                     base.time_ns / result.time_ns])
+    print(format_table(["system", "cycles", "time_us", "speedup_vs_IO"], rows))
+    return 0
+
+
+def _cmd_uprog(args) -> int:
+    params = {}
+    if args.macro in ("logic",):
+        params["op"] = args.op or "xor"
+    elif args.macro in ("compare",):
+        params["op"] = args.op or "lt"
+    elif args.macro in ("minmax",):
+        params["op"] = args.op or "min"
+    elif args.macro == "div":
+        params["op"] = args.op or "divu"
+    elif args.macro.startswith("shift"):
+        params["op"] = args.op or "sll"
+        if args.macro == "shift_scalar":
+            params["amount"] = 5
+    rom = MacroOpRom(args.factor)
+    program = rom.program(args.macro, **params)
+    print(disassemble(program))
+    print()
+    rows = [[n, MacroOpRom(n).cycles(args.macro, **params)]
+            for n in (1, 2, 4, 8, 16, 32)]
+    print(format_table(["factor", "cycles"], rows))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    if args.name == "fig2":
+        rows = figure2(measured=True)
+        print(format_table(
+            ["factor", "alus", "add_lat", "mul_lat", "add_tput", "mul_tput"],
+            [[r["factor"], r["alus"], r["add_latency_rel"],
+              r["mul_latency_rel"], r["add_throughput_rel"],
+              r["mul_throughput_rel"]] for r in rows]))
+    elif args.name == "table3":
+        return _cmd_systems(args)
+    elif args.name == "area":
+        rows = [[r["system"], r["area_factor"]] for r in area_table()]
+        print(format_table(["system", "area_factor_vs_O3"], rows))
+    else:
+        print(f"unknown figure {args.name!r} (try: fig2, table3, area); the "
+              "full evaluation lives in benchmarks/", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="EVE (HPCA 2023) reproduction toolkit")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("systems", help="list Table III systems")
+    sub.add_parser("workloads", help="list Table IV workloads")
+
+    run = sub.add_parser("run", help="simulate one system x workload")
+    run.add_argument("system", choices=all_system_names())
+    run.add_argument("workload", choices=sorted(REGISTRY))
+
+    compare = sub.add_parser("compare", help="one workload on every system")
+    compare.add_argument("workload", choices=sorted(REGISTRY))
+
+    uprog = sub.add_parser("uprog", help="show a macro-op micro-program")
+    uprog.add_argument("macro")
+    uprog.add_argument("--factor", type=int, default=8,
+                       choices=[1, 2, 4, 8, 16, 32])
+    uprog.add_argument("--op", default=None)
+
+    figure = sub.add_parser("figure", help="regenerate a static figure")
+    figure.add_argument("name")
+    return parser
+
+
+_COMMANDS = {
+    "systems": _cmd_systems,
+    "workloads": _cmd_workloads,
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "uprog": _cmd_uprog,
+    "figure": _cmd_figure,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)

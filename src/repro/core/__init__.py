@@ -1,0 +1,17 @@
+"""EVE: the ephemeral vector engine (Sections IV & V).
+
+* :mod:`repro.core.units` — timing models of the vector memory unit
+  (VMU), vector reduction unit (VRU), and the data-transpose-unit pool.
+* :mod:`repro.core.engine` — the composed machine: VCU dispatch, VSU
+  micro-program timing from the real ROM, memory/compute overlap, and the
+  Figure 7 stall attribution.
+* :mod:`repro.core.functional` — a bit-exact engine that executes whole
+  vector traces through the micro-programs on the bit-level SRAM model
+  (the correctness oracle for the timing engine's function/timing split).
+"""
+
+from .units import DtuPool, VmuModel, VruModel
+from .engine import EveMachine
+from .functional import EveFunctionalEngine
+
+__all__ = ["DtuPool", "VmuModel", "VruModel", "EveMachine", "EveFunctionalEngine"]

@@ -1,0 +1,137 @@
+"""Timing models of EVE's helper units (Section V).
+
+* :class:`VmuModel` — generates cache-line requests on the LLC port (one
+  per cycle, cache-line aligned, a TLB translation folded into the
+  request-generation cycle) and tracks the Figure 8 stall metric.
+* :class:`DtuPool` — eight data-transpose units; a line costs one cycle
+  per segment to (de)transpose, and bit-parallel EVE-32 data needs no
+  transpose at all (Section VII-B).
+* :class:`VruModel` — streams one segment row per cycle into E detranspose
+  ports, runs the dot-operation pipeline, then a linear reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.instructions import MemAccess
+from ..mem.hierarchy import MemorySystem
+
+
+@dataclass
+class StreamResult:
+    """Outcome of one VMU line stream."""
+
+    issue_end: float   # when the VMU finished generating requests
+    first_done: float  # first line's data available
+    last_done: float   # all lines' data available
+    mshr_stall: float  # total time blocked on LLC MSHRs (Figure 8)
+    n_lines: int
+
+
+class VmuModel:
+    """The vector memory unit: request generation + LLC port."""
+
+    #: Request generation + TLB translation per line (Section VII-A).
+    CYCLES_PER_REQUEST = 1.0
+
+    def __init__(self, mem: MemorySystem) -> None:
+        self.mem = mem
+        self.free_at = 0.0
+        self.busy_cycles = 0.0
+        self.stall_cycles = 0.0
+
+    def reset(self) -> None:
+        self.free_at = 0.0
+        self.busy_cycles = 0.0
+        self.stall_cycles = 0.0
+
+    def stream(self, start: float, pattern: MemAccess,
+               per_element: bool) -> StreamResult:
+        """Issue all line requests of one memory macro-operation."""
+        import numpy as np
+        if per_element:
+            lines = pattern.element_addresses() // 64 * 64
+        else:
+            lines = pattern.line_addresses()
+        t = start
+        first_done = start
+        last_done = start
+        stall_total = 0.0
+        for i, line in enumerate(np.asarray(lines, dtype=np.int64)):
+            completion = self.mem.access(t, int(line), pattern.is_store, port="llc")
+            if i == 0:
+                first_done = completion.done
+            last_done = max(last_done, completion.done)
+            stall_total += completion.mshr_stall
+            t = max(t + self.CYCLES_PER_REQUEST,
+                    completion.grant + self.CYCLES_PER_REQUEST)
+        self.free_at = t
+        self.busy_cycles += t - start
+        self.stall_cycles += stall_total
+        return StreamResult(issue_end=t, first_done=first_done,
+                            last_done=last_done, mshr_stall=stall_total,
+                            n_lines=len(lines))
+
+
+class DtuPool:
+    """Eight transpose units shared by loads and stores."""
+
+    def __init__(self, num_dtus: int, segments: int, bit_parallel: bool) -> None:
+        self.num_dtus = num_dtus
+        #: Transposing one cache line touches every segment row once.
+        self.cycles_per_line = 0.0 if bit_parallel else float(segments)
+        self.free_at = 0.0
+        self.busy_cycles = 0.0
+
+    def reset(self) -> None:
+        self.free_at = 0.0
+        self.busy_cycles = 0.0
+
+    def process(self, data_ready: float, n_lines: int) -> float:
+        """Run ``n_lines`` through the pool; returns completion time."""
+        if self.cycles_per_line == 0.0 or n_lines == 0:
+            return data_ready
+        start = max(data_ready, self.free_at)
+        duration = n_lines * self.cycles_per_line / self.num_dtus
+        self.free_at = start + duration
+        self.busy_cycles += duration
+        return start + duration + self.cycles_per_line  # last line's latency
+
+
+class VruModel:
+    """The vector reduction / cross-element unit (Section V-D)."""
+
+    #: Pipeline latency of the dot-operation tree.
+    DOT_LATENCY = 4.0
+
+    def __init__(self, segments: int, ports: int) -> None:
+        self.segments = segments
+        self.ports = ports  # E = port bits / n
+        self.free_at = 0.0
+        self.busy_cycles = 0.0
+
+    def reset(self) -> None:
+        self.free_at = 0.0
+        self.busy_cycles = 0.0
+
+    def reduce(self, start: float, active_arrays: int) -> float:
+        """One reduction: stream every array's register, then fold.
+
+        Streaming reads one segment row per cycle per array; the final
+        linear reduction folds the E accumulated elements.
+        """
+        begin = max(start, self.free_at)
+        stream = active_arrays * self.segments
+        duration = stream + self.DOT_LATENCY + self.ports
+        self.free_at = begin + duration
+        self.busy_cycles += duration
+        return begin + duration
+
+    def cross_element(self, start: float, active_arrays: int) -> float:
+        """vrgather / slides: read stream + permuted write-back stream."""
+        begin = max(start, self.free_at)
+        duration = 2 * active_arrays * self.segments + self.DOT_LATENCY
+        self.free_at = begin + duration
+        self.busy_cycles += duration
+        return begin + duration

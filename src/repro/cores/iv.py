@@ -1,0 +1,131 @@
+"""The integrated vector unit baseline (O3+IV, Table III).
+
+A small SIMD-style unit tightly coupled to the out-of-order core (loosely
+Samsung M3 / SVE-class): 4-element hardware vector length, out-of-order
+issue over three execution pipes shared with the core, and memory
+operations decomposed through the core's load-store queue — constant-stride
+and indexed accesses become one scalar request per element (Section
+VII-A), which is the unit's structural weakness on long vectors.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..errors import SimulationError
+from ..isa.instructions import ScalarBlock, VectorInstr
+from ..isa.opcodes import Category
+from ..isa.trace import Trace
+from ..mem.mshr import MshrPool
+from .result import SimResult
+from .vector_base import VectorMachineBase
+
+#: (startup latency, issue cycles per μop) for each macro class.
+_PIPE_TIMING = {
+    "ialu": (2.0, 0.5),    # two SIMD pipes issue ALU μops
+    "imul": (5.0, 4.0),    # one iterative 4x32-bit multiplier, unpipelined
+    "idiv": (16.0, 16.0),  # unpipelined iterative divider
+    "xelem": (3.0, 1.0),
+}
+
+
+class IntegratedVectorMachine(VectorMachineBase):
+    """O3+IV: 4-element VL, 3 shared exec pipes, LSQ memory decomposition."""
+
+    #: Vector-capable LSQ port (memory μops per cycle).
+    LSQ_PORTS = 1
+    #: Outstanding vector misses the shared LSQ/ROB window sustains —
+    #: the in-flight load slots the O3 core can dedicate to the unit.
+    VECTOR_MLP = 12
+
+    def __init__(self, config: SystemConfig) -> None:
+        if config.vector is None or config.vector.kind != "iv":
+            raise SimulationError("IntegratedVectorMachine needs an 'iv' config")
+        super().__init__(config)
+        self.vl = config.vector.hardware_vl
+        self._lsq_window = MshrPool(self.VECTOR_MLP, "iv-lsq")
+
+    def run(self, trace: Trace) -> SimResult:
+        self.reset()
+        now = 0.0           # issue timeline of the shared pipes
+        finish = 0.0
+        instructions = 0
+        for event in trace:
+            if isinstance(event, ScalarBlock):
+                now = self.run_scalar_block(now, event)
+                finish = max(finish, now)
+                continue
+            instr: VectorInstr = event
+            instructions += 1
+            done = self._vector_instr(instr, now)
+            now = max(now, self._issue_end)
+            finish = max(finish, done)
+        return SimResult(
+            system=self.config.name, workload=trace.name,
+            cycles=max(now, finish), cycle_time_ns=self.config.cycle_time_ns,
+            instructions=instructions, mem_stats=self.mem.level_stats(),
+        )
+
+    # -- one vector instruction ----------------------------------------------
+
+    def _vector_instr(self, instr: VectorInstr, now: float) -> float:
+        if instr.category.is_memory and instr.info.is_store:
+            # The LSQ accepts stores before their data is ready; only the
+            # index register gates address generation.
+            start = max(now, self.reg_ready.get(instr.vidx, 0.0))
+        else:
+            start = max(now, self.deps_ready(instr))
+        self._issue_end = start
+        if instr.category is Category.CTRL:
+            self._issue_end = start + 1.0
+            return start + 1.0
+        n_uops = max(1, math.ceil(instr.vl / self.vl))
+        if instr.category.is_memory:
+            done = self._memory_instr(instr, start)
+        else:
+            startup, per_uop = self._timing_for(instr)
+            self._issue_end = start + n_uops * per_uop
+            done = start + startup + n_uops * per_uop
+        self.set_ready(instr.dest, done)
+        return done
+
+    def _timing_for(self, instr: VectorInstr) -> tuple:
+        if instr.category is Category.IMUL:
+            if instr.info.macro == "div":
+                return _PIPE_TIMING["idiv"]
+            return _PIPE_TIMING["imul"]
+        if instr.category is Category.XELEM:
+            return _PIPE_TIMING["xelem"]
+        return _PIPE_TIMING["ialu"]
+
+    def _memory_instr(self, instr: VectorInstr, start: float) -> float:
+        # Unit-stride ops move a 4-element (16B) chunk per μop; the LSQ
+        # coalesces them, so one line request per distinct line.  Strided
+        # and indexed ops become one scalar request per element.  Each
+        # in-flight request holds one of the shared LSQ window's slots.
+        per_element = instr.category in (Category.MEM_STRIDE, Category.MEM_INDEX)
+        if per_element:
+            lines = instr.mem.element_addresses() // 64 * 64
+        else:
+            lines = instr.mem.line_addresses()
+        # Indexed accesses also extract each address from a vector register
+        # (an extra scalar μop per element).
+        interval = 1.0 / self.LSQ_PORTS
+        if instr.category is Category.MEM_INDEX:
+            interval = 2.0 / self.LSQ_PORTS
+        t = start
+        last_done = start
+        for line in np.asarray(lines, dtype=np.int64):
+            slot_at, _ = self._lsq_window.acquire(t)
+            completion = self.mem.access(slot_at, int(line),
+                                         instr.mem.is_store, port="l1")
+            self._lsq_window.release(completion.done)
+            last_done = max(last_done, completion.done)
+            t = max(slot_at, completion.grant) + interval
+        n_uops = instr.mem.num_accesses if per_element else max(
+            1, math.ceil(instr.vl / self.vl))
+        self._issue_end = start + n_uops * interval
+        return last_done

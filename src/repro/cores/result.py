@@ -1,0 +1,96 @@
+"""Simulation results and the execution-breakdown buckets of Figure 7."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, Optional
+
+#: Bucket order as plotted in Figure 7.
+BREAKDOWN_BUCKETS = (
+    "busy", "vru_stall", "ld_mem_stall", "st_mem_stall",
+    "ld_dt_stall", "st_dt_stall", "vmu_stall", "empty_stall", "dep_stall",
+)
+
+
+@dataclass
+class StallBreakdown:
+    """Where the vector engine's cycles went (Figure 7).
+
+    * ``busy`` — executing useful work;
+    * ``vru_stall`` — reduction-unit structural hazard;
+    * ``ld_mem_stall`` / ``st_mem_stall`` — waiting on load/store data;
+    * ``ld_dt_stall`` / ``st_dt_stall`` — waiting on (de)transpose;
+    * ``vmu_stall`` — memory-unit structural hazard;
+    * ``empty_stall`` — no instruction available from the core;
+    * ``dep_stall`` — register dependency on an in-flight instruction.
+    """
+
+    busy: float = 0.0
+    vru_stall: float = 0.0
+    ld_mem_stall: float = 0.0
+    st_mem_stall: float = 0.0
+    ld_dt_stall: float = 0.0
+    st_dt_stall: float = 0.0
+    vmu_stall: float = 0.0
+    empty_stall: float = 0.0
+    dep_stall: float = 0.0
+
+    def total(self) -> float:
+        return sum(getattr(self, bucket) for bucket in BREAKDOWN_BUCKETS)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {bucket: getattr(self, bucket) for bucket in BREAKDOWN_BUCKETS}
+
+    def add(self, bucket: str, cycles: float) -> None:
+        if cycles < 0:
+            raise ValueError(f"negative stall time for {bucket!r}")
+        setattr(self, bucket, getattr(self, bucket) + cycles)
+
+    def normalised_to(self, reference_cycles: float) -> Dict[str, float]:
+        """Buckets as fractions of a reference execution time (Figure 7
+        normalises every design to EVE-1's total)."""
+        if reference_cycles <= 0:
+            raise ValueError("reference cycles must be positive")
+        return {bucket: value / reference_cycles
+                for bucket, value in self.as_dict().items()}
+
+
+@dataclass
+class SimResult:
+    """Outcome of running one workload trace on one machine."""
+
+    system: str
+    workload: str
+    cycles: float
+    cycle_time_ns: float
+    instructions: int = 0
+    breakdown: Optional[StallBreakdown] = None
+    mem_stats: Dict[str, object] = field(default_factory=dict)
+    #: Figure 8: fraction of execution time the VMU spent stalled on the LLC.
+    vmu_llc_stall_frac: float = 0.0
+
+    @property
+    def time_ns(self) -> float:
+        """Wall-clock time — the cross-system comparable metric (EVE-16/32
+        pay their cycle-time penalty here)."""
+        return self.cycles * self.cycle_time_ns
+
+    def speedup_over(self, other: "SimResult") -> float:
+        return other.time_ns / self.time_ns
+
+
+def merge_fields(result: SimResult) -> Dict[str, object]:
+    """Flatten a result into a row for table/CSV reporting."""
+    row: Dict[str, object] = {
+        "system": result.system,
+        "workload": result.workload,
+        "cycles": result.cycles,
+        "time_ns": result.time_ns,
+        "instructions": result.instructions,
+    }
+    if result.breakdown is not None:
+        row.update(result.breakdown.as_dict())
+    for f in fields(result):
+        if f.name == "mem_stats":
+            row.update({f"mem_{k}": v for k, v in result.mem_stats.items()})
+    return row

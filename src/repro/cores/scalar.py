@@ -1,0 +1,82 @@
+"""Trace-driven scalar core models (the IO and O3 baselines).
+
+Scalar work is modelled at block granularity: a block of ``n`` instructions
+costs ``n * CPI`` issue cycles, and each cache-line request runs through
+the real memory hierarchy.  The in-order core blocks on every miss; the
+out-of-order core hides a calibrated fraction of each miss penalty and
+overlaps multiple misses (memory-level parallelism bounded by its L1
+MSHRs, which the hierarchy's token pools enforce).
+"""
+
+from __future__ import annotations
+
+from ..config import SystemConfig
+from ..errors import SimulationError
+from ..isa.instructions import ScalarBlock
+from ..isa.trace import Trace
+from ..mem.hierarchy import MemorySystem
+from .result import SimResult
+
+
+class ScalarCore:
+    """The IO / O3 scalar baselines (selected by ``config.core.kind``)."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.mem = MemorySystem(config)
+
+    def run(self, trace: Trace) -> SimResult:
+        core = self.config.core
+        now = 0.0
+        instructions = 0
+        for event in trace:
+            if not isinstance(event, ScalarBlock):
+                raise SimulationError(
+                    f"scalar core {self.config.name} fed a vector trace; "
+                    "run the workload's scalar_trace instead")
+            instructions += event.n_instr
+            issue_cycles = event.n_instr * core.base_cpi
+            if core.kind == "io":
+                now = self._run_block_blocking(now, event, issue_cycles)
+            else:
+                now = self._run_block_overlapped(now, event, issue_cycles)
+        return SimResult(
+            system=self.config.name, workload=trace.name, cycles=now,
+            cycle_time_ns=self.config.cycle_time_ns, instructions=instructions,
+            mem_stats=self.mem.level_stats(),
+        )
+
+    def _run_block_blocking(self, now: float, block: ScalarBlock,
+                            issue_cycles: float) -> float:
+        """In-order: every miss stalls the pipeline for its full latency."""
+        l1_hit = self.config.l1d.hit_latency
+        now += issue_cycles
+        for pattern in block.accesses:
+            for line in pattern.line_addresses():
+                completion = self.mem.access(now, int(line), pattern.is_store)
+                now = max(now, completion.done - l1_hit)
+        return now
+
+    def _run_block_overlapped(self, now: float, block: ScalarBlock,
+                              issue_cycles: float) -> float:
+        """Out-of-order: misses overlap with issue and with each other.
+
+        Each request is launched along the issue timeline; the block
+        retires when issue finishes and the unhidden fraction of the
+        longest-latency miss has been absorbed.
+        """
+        core = self.config.core
+        l1_hit = self.config.l1d.hit_latency
+        end_issue = now + issue_cycles
+        n_lines = sum(len(p.line_addresses()) for p in block.accesses) or 1
+        spacing = issue_cycles / n_lines
+        exposed_end = now
+        t_issue = now
+        for pattern in block.accesses:
+            for line in pattern.line_addresses():
+                completion = self.mem.access(t_issue, int(line), pattern.is_store)
+                latency = completion.done - t_issue
+                exposed = (latency - l1_hit) * (1.0 - core.miss_overlap)
+                exposed_end = max(exposed_end, t_issue + l1_hit + max(0.0, exposed))
+                t_issue += spacing
+        return max(end_issue, exposed_end)

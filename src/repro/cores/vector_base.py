@@ -1,0 +1,90 @@
+"""Shared machinery for the vector machine models (IV / DV / EVE).
+
+Vector traces interleave scalar bookkeeping blocks with vector
+instructions.  All three vector machines run their scalar blocks on the
+same embedded out-of-order control-processor model and track per-register
+ready times for dependencies; they differ in how vector instructions are
+timed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..isa.instructions import MemAccess, ScalarBlock, VectorInstr
+from ..mem.hierarchy import MemorySystem
+
+
+class VectorMachineBase:
+    """Common state: memory system, register scoreboard, scalar blocks."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.mem = MemorySystem(config)
+        #: vector register -> time its value is ready
+        self.reg_ready: Dict[int, float] = {}
+
+    # -- scoreboard ------------------------------------------------------
+
+    def deps_ready(self, instr: VectorInstr) -> float:
+        return max((self.reg_ready.get(r, 0.0) for r in instr.sources),
+                   default=0.0)
+
+    def set_ready(self, reg: int, at: float) -> None:
+        if reg >= 0:
+            self.reg_ready[reg] = at
+
+    def reset(self) -> None:
+        self.reg_ready.clear()
+
+    # -- scalar control blocks -----------------------------------------------
+
+    def run_scalar_block(self, now: float, block: ScalarBlock) -> float:
+        """Out-of-order control processor running bookkeeping code."""
+        core = self.config.core
+        issue_cycles = block.n_instr * core.base_cpi
+        end = now + issue_cycles
+        t = now
+        for pattern in block.accesses:
+            for line in pattern.line_addresses():
+                completion = self.mem.access(t, int(line), pattern.is_store)
+                exposed = (completion.done - t) * (1.0 - core.miss_overlap)
+                end = max(end, t + exposed)
+                t += 1.0
+        return end
+
+    # -- memory streams ---------------------------------------------------------
+
+    def stream_lines(self, start: float, pattern: MemAccess, port: str,
+                     per_element: bool,
+                     issue_interval: float = 1.0) -> Tuple[float, float, float]:
+        """Issue a memory pattern as a pipelined request stream.
+
+        ``per_element`` issues one request per element (strided / indexed
+        decomposition); otherwise one request per distinct cache line.
+        Returns ``(first_done, last_done, mshr_stall_total)``.
+        """
+        if per_element:
+            # One request per element, at the line its address falls in
+            # (duplicates intentionally kept: each element is a request).
+            lines = pattern.element_addresses() // 64 * 64
+        else:
+            lines = pattern.line_addresses()
+        if len(lines) == 0:
+            return start, start, 0.0
+        t = start
+        first_done = None
+        last_done = start
+        stall_total = 0.0
+        for line in np.asarray(lines, dtype=np.int64):
+            completion = self.mem.access(t, int(line), pattern.is_store, port=port)
+            if first_done is None:
+                first_done = completion.done
+            last_done = max(last_done, completion.done)
+            stall_total += completion.mshr_stall
+            # The next request leaves once this one was accepted.
+            t = max(t + issue_interval, completion.grant + issue_interval)
+        return float(first_done), float(last_done), stall_total

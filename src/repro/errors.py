@@ -1,0 +1,45 @@
+"""Exception hierarchy for the EVE reproduction.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A system or SRAM configuration is internally inconsistent."""
+
+
+class IsaError(ReproError):
+    """A vector instruction is malformed or unsupported."""
+
+
+class SramError(ReproError):
+    """An SRAM array operation violates the array geometry or state."""
+
+
+class LayoutError(ReproError):
+    """A vector-register layout cannot be realised in the given array."""
+
+
+class MicroProgramError(ReproError):
+    """A micro-program is malformed (bad label, operand, or tuple)."""
+
+
+class MicroExecutionError(ReproError):
+    """A micro-program performed an illegal action at execution time."""
+
+
+class MemoryModelError(ReproError):
+    """A memory-system request or configuration is invalid."""
+
+
+class SimulationError(ReproError):
+    """A machine model reached an inconsistent simulation state."""
+
+
+class WorkloadError(ReproError):
+    """A workload was given invalid parameters."""

@@ -1,0 +1,35 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render rows as an aligned ASCII table (first column left-aligned)."""
+    str_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        parts = [cells[0].ljust(widths[0])]
+        parts += [cells[i].rjust(widths[i]) for i in range(1, len(cells))]
+        return "  ".join(parts)
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out += [line(row) for row in str_rows]
+    return "\n".join(out)

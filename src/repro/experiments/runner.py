@@ -1,0 +1,54 @@
+"""Simulation driver with trace caching.
+
+Traces depend only on (workload, vlmax), so EVE-1/2/4 — all with a 2048
+hardware vector length — share one trace, and the IV/DV machines share the
+VL=64 trace.  Scalar systems run the workload's scalar trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..cores.result import SimResult
+from ..isa.trace import Trace
+from ..workloads import get_workload
+from .systems import build_machine, trace_vlmax
+
+
+class ExperimentRunner:
+    """Runs (system, workload) pairs, caching traces and results."""
+
+    def __init__(self, params_override: Optional[Dict[str, dict]] = None,
+                 verify: bool = True) -> None:
+        #: workload name -> params override (benchmarks use smaller inputs).
+        self.params_override = params_override or {}
+        self.verify = verify
+        self._traces: Dict[Tuple[str, int], Trace] = {}
+        self._results: Dict[Tuple[str, str], SimResult] = {}
+
+    def _trace(self, workload_name: str, vlmax: int) -> Trace:
+        key = (workload_name, vlmax)
+        if key not in self._traces:
+            workload = get_workload(workload_name)
+            params = self.params_override.get(workload_name)
+            if vlmax == 0:
+                self._traces[key] = workload.scalar_trace(params)
+            else:
+                self._traces[key] = workload.vector_trace(
+                    vlmax, params, verify=self.verify)
+        return self._traces[key]
+
+    def run(self, system_name: str, workload_name: str) -> SimResult:
+        key = (system_name, workload_name)
+        if key not in self._results:
+            machine = build_machine(system_name)
+            vlmax = trace_vlmax(machine.config)
+            trace = self._trace(workload_name, vlmax)
+            self._results[key] = machine.run(trace)
+        return self._results[key]
+
+    def speedup(self, system_name: str, workload_name: str,
+                baseline: str = "IO") -> float:
+        """Wall-clock speedup of ``system_name`` over ``baseline``."""
+        return self.run(system_name, workload_name).speedup_over(
+            self.run(baseline, workload_name))

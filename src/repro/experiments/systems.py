@@ -1,0 +1,43 @@
+"""Machine construction for the Table III systems."""
+
+from __future__ import annotations
+
+from ..config import SystemConfig, make_system
+from ..core.engine import EveMachine
+from ..cores.dv import DecoupledVectorMachine
+from ..cores.iv import IntegratedVectorMachine
+from ..cores.scalar import ScalarCore
+from ..errors import ConfigError
+
+#: The vector length the RVV binary is characterised at (Table IV) and the
+#: strip length short-vector machines decompose internally.
+BASE_TRACE_VL = 64
+
+
+def build_machine(name: str):
+    """Build the simulator for one Table III system name."""
+    config = make_system(name)
+    if config.vector is None:
+        return ScalarCore(config)
+    kind = config.vector.kind
+    if kind == "iv":
+        return IntegratedVectorMachine(config)
+    if kind == "dv":
+        return DecoupledVectorMachine(config)
+    if kind == "eve":
+        return EveMachine(config)
+    raise ConfigError(f"unknown vector engine kind {kind!r}")
+
+
+def trace_vlmax(config: SystemConfig) -> int:
+    """The vsetvl VLMAX a machine grants the (shared) RVV binary.
+
+    Scalar systems return 0 (they run the scalar trace).  The integrated
+    and decoupled units grant 64; EVE grants its configuration's hardware
+    vector length (Table III).
+    """
+    if config.vector is None:
+        return 0
+    if config.vector.kind == "eve":
+        return config.vector.hardware_vl
+    return BASE_TRACE_VL

@@ -1,0 +1,38 @@
+"""RISC-V-vector-style ISA subset, trace IR, and vector intrinsics.
+
+This package defines the 32-bit integer vector ISA that every machine model
+in the reproduction consumes:
+
+* :mod:`repro.isa.opcodes` — the opcode table with Table IV categories.
+* :mod:`repro.isa.instructions` — trace events (vector instructions and
+  scalar blocks).
+* :mod:`repro.isa.trace` — the trace container and its characterisation
+  statistics.
+* :mod:`repro.isa.memory` — a virtual address space for workload buffers.
+* :mod:`repro.isa.intrinsics` — the vector-intrinsics context workloads are
+  written against; it computes numerically-correct results with numpy while
+  emitting the instruction trace.
+"""
+
+from .opcodes import Category, OPCODES, OpInfo
+from .instructions import MemAccess, ScalarBlock, VectorInstr
+from .trace import Trace, TraceStats
+from .memory import Buffer, VirtualMemory
+from .intrinsics import ScalarContext, VectorContext, Vec, Mask
+
+__all__ = [
+    "Category",
+    "OPCODES",
+    "OpInfo",
+    "MemAccess",
+    "ScalarBlock",
+    "VectorInstr",
+    "Trace",
+    "TraceStats",
+    "Buffer",
+    "VirtualMemory",
+    "ScalarContext",
+    "VectorContext",
+    "Vec",
+    "Mask",
+]

@@ -1,0 +1,528 @@
+"""Vector intrinsics: functional execution + trace emission in one pass.
+
+Workloads are written once against :class:`VectorContext`. Every intrinsic
+
+* computes the numerically-correct result with numpy (full 32-bit two's
+  complement wrap-around semantics), and
+* appends the corresponding :class:`~repro.isa.instructions.VectorInstr`
+  to the context's trace.
+
+This mirrors the paper's methodology of separating function from timing:
+machine models replay the emitted trace for cycles while correctness is
+checked against the functional results.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import IsaError
+from .instructions import MemAccess, ScalarBlock, VectorInstr
+from .memory import Buffer, VirtualMemory
+from .trace import Trace
+
+_I32 = np.int32
+_MASK32 = 0xFFFFFFFF
+
+
+def wrap32(values: np.ndarray) -> np.ndarray:
+    """Wrap an integer array to signed 32-bit two's complement."""
+    as64 = np.asarray(values, dtype=np.int64) & _MASK32
+    return (((as64 + 0x8000_0000) % 0x1_0000_0000) - 0x8000_0000).astype(_I32)
+
+
+class Vec:
+    """A vector value: an int32 numpy array bound to a register id."""
+
+    __slots__ = ("reg", "values")
+
+    def __init__(self, reg: int, values: np.ndarray) -> None:
+        self.reg = reg
+        self.values = np.ascontiguousarray(values, dtype=_I32)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        return f"Vec(v{self.reg}, len={len(self.values)})"
+
+
+class Mask:
+    """A predicate value: a boolean numpy array (lives in v0, as in RVV)."""
+
+    __slots__ = ("values",)
+
+    reg = 0
+
+    def __init__(self, values: np.ndarray) -> None:
+        self.values = np.ascontiguousarray(values, dtype=bool)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def count(self) -> int:
+        return int(self.values.sum())
+
+
+Operand = Union[Vec, int, np.integer]
+
+
+class VectorContext:
+    """Functional + trace-emitting execution context for one kernel.
+
+    ``vlmax`` is the hardware maximum vector length granted by ``setvl``;
+    running the same kernel with different ``vlmax`` values reproduces the
+    strip-mining behaviour of RVV binaries on machines with different
+    hardware vector lengths.
+    """
+
+    #: v0 is the mask register; v1..v31 are allocated round-robin.
+    _FIRST_REG = 1
+    _LAST_REG = 31
+
+    def __init__(self, vlmax: int, name: str = "kernel") -> None:
+        if vlmax <= 0:
+            raise IsaError("vlmax must be positive")
+        self.vlmax = int(vlmax)
+        self.vm = VirtualMemory()
+        self.trace = Trace(name)
+        self.vl = 0
+        self._next_reg = self._FIRST_REG
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def _alloc_reg(self) -> int:
+        reg = self._next_reg
+        self._next_reg += 1
+        if self._next_reg > self._LAST_REG:
+            self._next_reg = self._FIRST_REG
+        return reg
+
+    def _emit(self, instr: VectorInstr) -> None:
+        self.trace.append(instr)
+
+    def _check_vl(self, *vecs: Union[Vec, Mask]) -> int:
+        if self.vl <= 0:
+            raise IsaError("setvl must be called before vector operations")
+        for vec in vecs:
+            if len(vec) != self.vl:
+                raise IsaError(
+                    f"operand length {len(vec)} does not match vl {self.vl}"
+                )
+        return self.vl
+
+    @staticmethod
+    def _operand(value: Operand, vl: int) -> Tuple[np.ndarray, int, int]:
+        """Return (values, source register, scalar immediate) for an operand."""
+        if isinstance(value, Vec):
+            return value.values, value.reg, 0
+        scalar = int(value)
+        return np.full(vl, wrap32(np.array([scalar]))[0], dtype=_I32), -1, scalar
+
+    # -- control ----------------------------------------------------------
+
+    def setvl(self, avl: int) -> int:
+        """Request an application vector length; returns the granted vl."""
+        if avl < 0:
+            raise IsaError("avl must be non-negative")
+        self.vl = min(int(avl), self.vlmax)
+        self._emit(VectorInstr(op="vsetvl", vl=self.vl, scalar=int(avl)))
+        return self.vl
+
+    def vmfence(self) -> None:
+        """Scalar/vector memory fence (Section V-A)."""
+        self._emit(VectorInstr(op="vmfence", vl=0))
+
+    def scalar(self, n_instr: int, accesses: Sequence[MemAccess] = ()) -> None:
+        """Record a block of scalar bookkeeping instructions."""
+        self.trace.append(ScalarBlock(n_instr=int(n_instr), accesses=tuple(accesses)))
+
+    # -- memory -----------------------------------------------------------
+
+    def vle32(self, buf: Buffer, offset: int = 0) -> Vec:
+        """Unit-stride load of ``vl`` elements starting at ``offset``."""
+        vl = self._check_vl()
+        values = buf.data[offset:offset + vl]
+        if len(values) != vl:
+            raise IsaError(f"unit-stride load of {vl} elements overruns {buf.name!r}")
+        reg = self._alloc_reg()
+        self._emit(VectorInstr(
+            op="vle32", vl=vl, vd=reg,
+            mem=MemAccess(base=buf.addr_of(offset), stride=4, count=vl),
+        ))
+        return Vec(reg, values.copy())
+
+    def vse32(self, vec: Vec, buf: Buffer, offset: int = 0,
+              mask: Optional[Mask] = None) -> None:
+        """Unit-stride store of ``vec`` starting at ``offset``."""
+        vl = self._check_vl(vec, *( (mask,) if mask else () ))
+        target = buf.data[offset:offset + vl]
+        if len(target) != vl:
+            raise IsaError(f"unit-stride store of {vl} elements overruns {buf.name!r}")
+        if mask is None:
+            target[:] = vec.values
+        else:
+            np.copyto(target, vec.values, where=mask.values)
+        self._emit(VectorInstr(
+            op="vse32", vl=vl, vd=vec.reg, masked=mask is not None,
+            mem=MemAccess(base=buf.addr_of(offset), stride=4, count=vl, is_store=True),
+        ))
+
+    def vlse32(self, buf: Buffer, offset: int, stride_elems: int) -> Vec:
+        """Constant-stride load (stride given in elements)."""
+        vl = self._check_vl()
+        if stride_elems <= 0:
+            raise IsaError("stride must be positive")
+        last = offset + stride_elems * (vl - 1)
+        if last >= buf.data.size:
+            raise IsaError(f"strided load overruns {buf.name!r}")
+        values = buf.data[offset:last + 1:stride_elems].copy()
+        reg = self._alloc_reg()
+        self._emit(VectorInstr(
+            op="vlse32", vl=vl, vd=reg,
+            mem=MemAccess(base=buf.addr_of(offset), stride=4 * stride_elems, count=vl),
+        ))
+        return Vec(reg, values)
+
+    def vsse32(self, vec: Vec, buf: Buffer, offset: int, stride_elems: int) -> None:
+        """Constant-stride store (stride given in elements)."""
+        vl = self._check_vl(vec)
+        if stride_elems <= 0:
+            raise IsaError("stride must be positive")
+        last = offset + stride_elems * (vl - 1)
+        if last >= buf.data.size:
+            raise IsaError(f"strided store overruns {buf.name!r}")
+        buf.data[offset:last + 1:stride_elems] = vec.values
+        self._emit(VectorInstr(
+            op="vsse32", vl=vl, vd=vec.reg,
+            mem=MemAccess(base=buf.addr_of(offset), stride=4 * stride_elems,
+                          count=vl, is_store=True),
+        ))
+
+    def vluxei32(self, buf: Buffer, index: Vec) -> Vec:
+        """Indexed gather: loads ``buf[index[i]]`` (indices in elements)."""
+        vl = self._check_vl(index)
+        idx = index.values.astype(np.int64)
+        if idx.min(initial=0) < 0 or (vl and idx.max() >= buf.data.size):
+            raise IsaError(f"gather index out of range for {buf.name!r}")
+        values = buf.data[idx]
+        reg = self._alloc_reg()
+        self._emit(VectorInstr(
+            op="vluxei32", vl=vl, vd=reg, vidx=index.reg,
+            mem=MemAccess(addresses=buf.base + idx * 4, count=vl),
+        ))
+        return Vec(reg, values)
+
+    def vsuxei32(self, vec: Vec, buf: Buffer, index: Vec) -> None:
+        """Indexed scatter: stores ``vec[i]`` to ``buf[index[i]]``."""
+        vl = self._check_vl(vec, index)
+        idx = index.values.astype(np.int64)
+        if idx.min(initial=0) < 0 or (vl and idx.max() >= buf.data.size):
+            raise IsaError(f"scatter index out of range for {buf.name!r}")
+        buf.data[idx] = vec.values
+        self._emit(VectorInstr(
+            op="vsuxei32", vl=vl, vd=vec.reg, vidx=index.reg,
+            mem=MemAccess(addresses=buf.base + idx * 4, count=vl, is_store=True),
+        ))
+
+    # -- arithmetic helpers -------------------------------------------------
+
+    def _binary(self, op: str, a: Vec, b: Operand, func,
+                mask: Optional[Mask] = None, old: Optional[Vec] = None) -> Vec:
+        vl = self._check_vl(a, *( (mask,) if mask else () ))
+        b_vals, b_reg, scalar = self._operand(b, vl)
+        raw = func(a.values.astype(np.int64), b_vals.astype(np.int64))
+        result = wrap32(raw)
+        if mask is not None:
+            keep = old.values if old is not None else np.zeros(vl, dtype=_I32)
+            result = np.where(mask.values, result, keep)
+        reg = self._alloc_reg()
+        self._emit(VectorInstr(op=op, vl=vl, vd=reg, vs1=a.reg, vs2=b_reg,
+                               scalar=scalar, masked=mask is not None))
+        return Vec(reg, result)
+
+    # -- integer ALU ---------------------------------------------------------
+
+    def vadd(self, a: Vec, b: Operand, mask: Optional[Mask] = None,
+             old: Optional[Vec] = None) -> Vec:
+        return self._binary("vadd", a, b, lambda x, y: x + y, mask, old)
+
+    def vsub(self, a: Vec, b: Operand, mask: Optional[Mask] = None,
+             old: Optional[Vec] = None) -> Vec:
+        return self._binary("vsub", a, b, lambda x, y: x - y, mask, old)
+
+    def vrsub(self, a: Vec, b: Operand) -> Vec:
+        return self._binary("vrsub", a, b, lambda x, y: y - x)
+
+    def vand(self, a: Vec, b: Operand) -> Vec:
+        return self._binary("vand", a, b, lambda x, y: x & y)
+
+    def vor(self, a: Vec, b: Operand) -> Vec:
+        return self._binary("vor", a, b, lambda x, y: x | y)
+
+    def vxor(self, a: Vec, b: Operand) -> Vec:
+        return self._binary("vxor", a, b, lambda x, y: x ^ y)
+
+    def vnot(self, a: Vec) -> Vec:
+        return self._binary("vnot", a, -1, lambda x, y: ~x)
+
+    def vsll(self, a: Vec, b: Operand) -> Vec:
+        return self._binary("vsll", a, b, lambda x, y: x << (y & 31))
+
+    def vsrl(self, a: Vec, b: Operand) -> Vec:
+        return self._binary(
+            "vsrl", a, b, lambda x, y: (x & _MASK32) >> (y & 31))
+
+    def vsra(self, a: Vec, b: Operand) -> Vec:
+        return self._binary("vsra", a, b, lambda x, y: x >> (y & 31))
+
+    def vmin(self, a: Vec, b: Operand) -> Vec:
+        return self._binary("vmin", a, b, np.minimum)
+
+    def vmax(self, a: Vec, b: Operand) -> Vec:
+        return self._binary("vmax", a, b, np.maximum)
+
+    def vminu(self, a: Vec, b: Operand) -> Vec:
+        return self._binary(
+            "vminu", a, b, lambda x, y: np.minimum(x & _MASK32, y & _MASK32))
+
+    def vmaxu(self, a: Vec, b: Operand) -> Vec:
+        return self._binary(
+            "vmaxu", a, b, lambda x, y: np.maximum(x & _MASK32, y & _MASK32))
+
+    # -- fixed-point saturating arithmetic -------------------------------------
+
+    I32_MIN, I32_MAX = -(2 ** 31), 2 ** 31 - 1
+
+    def vsadd(self, a: Vec, b: Operand) -> Vec:
+        """Signed saturating add (clamps instead of wrapping)."""
+        return self._binary(
+            "vsadd", a, b,
+            lambda x, y: np.clip(x + y, self.I32_MIN, self.I32_MAX))
+
+    def vssub(self, a: Vec, b: Operand) -> Vec:
+        """Signed saturating subtract."""
+        return self._binary(
+            "vssub", a, b,
+            lambda x, y: np.clip(x - y, self.I32_MIN, self.I32_MAX))
+
+    def vsaddu(self, a: Vec, b: Operand) -> Vec:
+        """Unsigned saturating add (clamps at 2^32 - 1)."""
+        return self._binary(
+            "vsaddu", a, b,
+            lambda x, y: np.minimum((x & _MASK32) + (y & _MASK32), _MASK32))
+
+    def vssubu(self, a: Vec, b: Operand) -> Vec:
+        """Unsigned saturating subtract (clamps at zero)."""
+        return self._binary(
+            "vssubu", a, b,
+            lambda x, y: np.maximum((x & _MASK32) - (y & _MASK32), 0))
+
+    # -- multiply / divide ---------------------------------------------------
+
+    def vmul(self, a: Vec, b: Operand) -> Vec:
+        return self._binary("vmul", a, b, lambda x, y: x * y)
+
+    def vmulh(self, a: Vec, b: Operand) -> Vec:
+        return self._binary("vmulh", a, b, lambda x, y: (x * y) >> 32)
+
+    def vmulhu(self, a: Vec, b: Operand) -> Vec:
+        return self._binary(
+            "vmulhu", a, b, lambda x, y: ((x & _MASK32) * (y & _MASK32)) >> 32)
+
+    @staticmethod
+    def _signed_div(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        # RVV semantics: x / 0 = -1; truncation toward zero.
+        quotient = np.where(y == 0, -1, np.sign(x) * np.sign(np.where(y == 0, 1, y))
+                            * (np.abs(x) // np.abs(np.where(y == 0, 1, y))))
+        return quotient
+
+    @staticmethod
+    def _signed_rem(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        # RVV semantics: x % 0 = x; sign of the remainder follows the dividend.
+        safe = np.where(y == 0, 1, y)
+        rem = np.sign(x) * (np.abs(x) % np.abs(safe))
+        return np.where(y == 0, x, rem)
+
+    def vdiv(self, a: Vec, b: Operand) -> Vec:
+        return self._binary("vdiv", a, b, self._signed_div)
+
+    def vrem(self, a: Vec, b: Operand) -> Vec:
+        return self._binary("vrem", a, b, self._signed_rem)
+
+    def vdivu(self, a: Vec, b: Operand) -> Vec:
+        return self._binary(
+            "vdivu", a, b,
+            lambda x, y: np.where(y == 0, _MASK32,
+                                  (x & _MASK32) // np.where(y == 0, 1, y & _MASK32)))
+
+    def vremu(self, a: Vec, b: Operand) -> Vec:
+        return self._binary(
+            "vremu", a, b,
+            lambda x, y: np.where(y == 0, x & _MASK32,
+                                  (x & _MASK32) % np.where(y == 0, 1, y & _MASK32)))
+
+    # -- comparisons and select ------------------------------------------------
+
+    def _compare(self, op: str, a: Vec, b: Operand, func) -> Mask:
+        vl = self._check_vl(a)
+        b_vals, b_reg, scalar = self._operand(b, vl)
+        result = func(a.values.astype(np.int64), b_vals.astype(np.int64))
+        self._emit(VectorInstr(op=op, vl=vl, vd=0, vs1=a.reg, vs2=b_reg,
+                               scalar=scalar))
+        return Mask(result)
+
+    def vmseq(self, a: Vec, b: Operand) -> Mask:
+        return self._compare("vmseq", a, b, lambda x, y: x == y)
+
+    def vmsne(self, a: Vec, b: Operand) -> Mask:
+        return self._compare("vmsne", a, b, lambda x, y: x != y)
+
+    def vmslt(self, a: Vec, b: Operand) -> Mask:
+        return self._compare("vmslt", a, b, lambda x, y: x < y)
+
+    def vmsle(self, a: Vec, b: Operand) -> Mask:
+        return self._compare("vmsle", a, b, lambda x, y: x <= y)
+
+    def vmsgt(self, a: Vec, b: Operand) -> Mask:
+        return self._compare("vmsgt", a, b, lambda x, y: x > y)
+
+    def vmsge(self, a: Vec, b: Operand) -> Mask:
+        return self._compare("vmsge", a, b, lambda x, y: x >= y)
+
+    def vmerge(self, mask: Mask, a: Vec, b: Operand) -> Vec:
+        """Element select: ``a`` where mask is set, else ``b``."""
+        vl = self._check_vl(a, mask)
+        b_vals, b_reg, scalar = self._operand(b, vl)
+        result = np.where(mask.values, a.values, b_vals.astype(_I32))
+        reg = self._alloc_reg()
+        self._emit(VectorInstr(op="vmerge", vl=vl, vd=reg, vs1=a.reg,
+                               vs2=b_reg, scalar=scalar, masked=True))
+        return Vec(reg, result)
+
+    # -- moves, splats ------------------------------------------------------
+
+    def vmv(self, value: Operand) -> Vec:
+        """Splat a scalar, or copy a vector register."""
+        vl = self._check_vl() if not isinstance(value, Vec) else self._check_vl(value)
+        vals, src_reg, scalar = self._operand(value, vl)
+        reg = self._alloc_reg()
+        self._emit(VectorInstr(op="vmv", vl=vl, vd=reg, vs1=src_reg, scalar=scalar))
+        return Vec(reg, vals.astype(_I32))
+
+    def viota(self, start: int = 0, step: int = 1) -> Vec:
+        """Index vector [start, start+step, ...]; modelled as a vmv+vadd pair."""
+        vl = self._check_vl()
+        base = self.vmv(start)
+        # A real RVV kernel materialises indices with vid.v; we model the
+        # cost as one extra ALU instruction over the splat.
+        ramp = wrap32(np.arange(vl, dtype=np.int64) * step + start)
+        reg = self._alloc_reg()
+        self._emit(VectorInstr(op="vadd", vl=vl, vd=reg, vs1=base.reg, scalar=step))
+        return Vec(reg, ramp)
+
+    # -- reductions and cross-element ------------------------------------------
+
+    def _reduce(self, op: str, a: Vec, func, init: int,
+                mask: Optional[Mask] = None) -> int:
+        vl = self._check_vl(a, *( (mask,) if mask else () ))
+        values = a.values.astype(np.int64)
+        if mask is not None:
+            values = values[mask.values]
+        total = func(values, init)
+        self._emit(VectorInstr(op=op, vl=vl, vs1=a.reg, masked=mask is not None))
+        return int(wrap32(np.array([total]))[0])
+
+    def vredsum(self, a: Vec, init: int = 0, mask: Optional[Mask] = None) -> int:
+        return self._reduce("vredsum", a, lambda v, i: v.sum() + i, init, mask)
+
+    def vredmax(self, a: Vec, init: int = -(2 ** 31)) -> int:
+        return self._reduce("vredmax", a, lambda v, i: max(v.max(initial=i), i), init)
+
+    def vredmin(self, a: Vec, init: int = 2 ** 31 - 1) -> int:
+        return self._reduce("vredmin", a, lambda v, i: min(v.min(initial=i), i), init)
+
+    def vredand(self, a: Vec, init: int = -1) -> int:
+        return self._reduce("vredand", a,
+                            lambda v, i: int(np.bitwise_and.reduce(v, initial=i)), init)
+
+    def vredor(self, a: Vec, init: int = 0) -> int:
+        return self._reduce("vredor", a,
+                            lambda v, i: int(np.bitwise_or.reduce(v, initial=i)), init)
+
+    def vredxor(self, a: Vec, init: int = 0) -> int:
+        return self._reduce("vredxor", a,
+                            lambda v, i: int(np.bitwise_xor.reduce(v, initial=i)), init)
+
+    def vrgather(self, a: Vec, index: Vec) -> Vec:
+        """Register gather: result[i] = a[index[i]] (0 when out of range)."""
+        vl = self._check_vl(a, index)
+        idx = index.values.astype(np.int64)
+        in_range = (idx >= 0) & (idx < vl)
+        result = np.where(in_range, a.values[np.clip(idx, 0, vl - 1)], 0)
+        reg = self._alloc_reg()
+        self._emit(VectorInstr(op="vrgather", vl=vl, vd=reg, vs1=a.reg,
+                               vs2=index.reg))
+        return Vec(reg, result)
+
+    def vslidedown(self, a: Vec, offset: int) -> Vec:
+        vl = self._check_vl(a)
+        result = np.zeros(vl, dtype=_I32)
+        if offset < vl:
+            result[:vl - offset] = a.values[offset:]
+        reg = self._alloc_reg()
+        self._emit(VectorInstr(op="vslidedown", vl=vl, vd=reg, vs1=a.reg,
+                               scalar=int(offset)))
+        return Vec(reg, result)
+
+    def vslideup(self, a: Vec, offset: int, old: Optional[Vec] = None) -> Vec:
+        vl = self._check_vl(a)
+        result = (old.values.copy() if old is not None
+                  else np.zeros(vl, dtype=_I32))
+        if offset < vl:
+            result[offset:] = a.values[:vl - offset]
+        reg = self._alloc_reg()
+        self._emit(VectorInstr(op="vslideup", vl=vl, vd=reg, vs1=a.reg,
+                               scalar=int(offset)))
+        return Vec(reg, result)
+
+    def vmv_x_s(self, a: Vec) -> int:
+        """Move element 0 to a scalar register (stalls commit, Section V-A)."""
+        self._check_vl(a)
+        self._emit(VectorInstr(op="vmv.x.s", vl=1, vs1=a.reg))
+        return int(a.values[0])
+
+    def vmv_s_x(self, value: int) -> Vec:
+        vl = self._check_vl()
+        result = np.zeros(vl, dtype=_I32)
+        result[0] = wrap32(np.array([int(value)]))[0]
+        reg = self._alloc_reg()
+        self._emit(VectorInstr(op="vmv.s.x", vl=1, vd=reg, scalar=int(value)))
+        return Vec(reg, result)
+
+
+class ScalarContext:
+    """Trace builder for the scalar versions of the workloads.
+
+    The scalar baselines are modelled at block granularity: each block is a
+    number of instructions plus the memory-access patterns it performs.
+    """
+
+    def __init__(self, name: str = "scalar") -> None:
+        self.vm = VirtualMemory()
+        self.trace = Trace(name)
+
+    def block(self, n_instr: int, accesses: Sequence[MemAccess] = ()) -> None:
+        self.trace.append(ScalarBlock(n_instr=int(n_instr), accesses=tuple(accesses)))
+
+    def load_pattern(self, buf: Buffer, offset: int, count: int,
+                     stride_elems: int = 1) -> MemAccess:
+        return MemAccess(base=buf.addr_of(offset), stride=4 * stride_elems,
+                         count=count)
+
+    def store_pattern(self, buf: Buffer, offset: int, count: int,
+                      stride_elems: int = 1) -> MemAccess:
+        return MemAccess(base=buf.addr_of(offset), stride=4 * stride_elems,
+                         count=count, is_store=True)

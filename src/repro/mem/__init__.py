@@ -1,0 +1,31 @@
+"""Cache and memory-system substrate (Table III parameters).
+
+A timeline-based cycle-approximate model: caches keep real tag arrays with
+LRU and dirty state; misses occupy MSHR entries for their full duration
+(the Figure 8 bottleneck); DRAM is a single bandwidth-limited channel.
+
+* :mod:`repro.mem.mshr` — MSHR pools as token heaps.
+* :mod:`repro.mem.cache` — set-associative tag arrays with banking.
+* :mod:`repro.mem.dram` — the DDR4-2400-like channel model.
+* :mod:`repro.mem.hierarchy` — the composed L1D/L2/LLC/DRAM system with
+  scalar and vector ports.
+* :mod:`repro.mem.reconfig` — ephemeral spawn/teardown of the EVE ways
+  (Section V-E).
+"""
+
+from .mshr import MshrPool
+from .cache import CacheArray
+from .dram import DramChannel
+from .hierarchy import Completion, MemorySystem
+from .reconfig import ReconfigCost, spawn_cost, teardown_cost
+
+__all__ = [
+    "MshrPool",
+    "CacheArray",
+    "DramChannel",
+    "Completion",
+    "MemorySystem",
+    "ReconfigCost",
+    "spawn_cost",
+    "teardown_cost",
+]

@@ -1,0 +1,130 @@
+"""Set-associative cache tag arrays with LRU replacement and banking.
+
+The tag arrays are real (numpy-backed), so hit/miss behaviour, conflict
+evictions, and the dirty-line population the reconfiguration FSM must walk
+(Section V-E) all emerge from the actual address streams the workloads
+generate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..config import CacheConfig
+
+
+@dataclass(frozen=True)
+class Eviction:
+    """A line pushed out of the cache by a fill."""
+
+    line_addr: int
+    dirty: bool
+
+
+class CacheArray:
+    """Tags, valid/dirty bits, and LRU state for one cache level."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.sets = config.sets
+        self.ways = config.ways
+        self.line_bytes = config.line_bytes
+        self._tags = np.full((self.sets, self.ways), -1, dtype=np.int64)
+        self._valid = np.zeros((self.sets, self.ways), dtype=bool)
+        self._dirty = np.zeros((self.sets, self.ways), dtype=bool)
+        self._stamp = np.zeros((self.sets, self.ways), dtype=np.int64)
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+
+    # -- address mapping ----------------------------------------------------
+
+    def _index(self, line_addr: int) -> Tuple[int, int]:
+        line = line_addr // self.line_bytes
+        return int(line % self.sets), int(line)
+
+    def bank_of(self, line_addr: int) -> int:
+        line = line_addr // self.line_bytes
+        return int(line % self.config.banks)
+
+    # -- operations ------------------------------------------------------------
+
+    def lookup(self, line_addr: int, is_store: bool = False) -> bool:
+        """Probe; on a hit, updates LRU (and dirty for stores)."""
+        s, tag = self._index(line_addr)
+        self._clock += 1
+        ways = np.nonzero(self._valid[s] & (self._tags[s] == tag))[0]
+        if ways.size:
+            w = int(ways[0])
+            self._stamp[s, w] = self._clock
+            if is_store:
+                self._dirty[s, w] = True
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, line_addr: int, dirty: bool = False) -> Optional[Eviction]:
+        """Install a line, evicting the LRU way if the set is full."""
+        s, tag = self._index(line_addr)
+        self._clock += 1
+        ways = np.nonzero(self._valid[s] & (self._tags[s] == tag))[0]
+        if ways.size:  # already present (e.g. racing fills) — refresh
+            w = int(ways[0])
+            self._stamp[s, w] = self._clock
+            self._dirty[s, w] |= dirty
+            return None
+        empty = np.nonzero(~self._valid[s])[0]
+        if empty.size:
+            w = int(empty[0])
+            evicted = None
+        else:
+            w = int(np.argmin(self._stamp[s]))
+            evicted = Eviction(line_addr=self._line_addr_of(s, w),
+                               dirty=bool(self._dirty[s, w]))
+        self._tags[s, w] = tag
+        self._valid[s, w] = True
+        self._dirty[s, w] = dirty
+        self._stamp[s, w] = self._clock
+        return evicted
+
+    def _line_addr_of(self, s: int, w: int) -> int:
+        return int(self._tags[s, w]) * self.line_bytes
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Drop a line if present; returns whether it was dirty."""
+        s, tag = self._index(line_addr)
+        ways = np.nonzero(self._valid[s] & (self._tags[s] == tag))[0]
+        if not ways.size:
+            return False
+        w = int(ways[0])
+        dirty = bool(self._dirty[s, w])
+        self._valid[s, w] = False
+        self._dirty[s, w] = False
+        return dirty
+
+    # -- bulk state used by reconfiguration --------------------------------------
+
+    def resident_lines(self, ways: Optional[slice] = None) -> Tuple[int, int]:
+        """(valid lines, dirty lines) resident in the selected ways."""
+        ways = ways if ways is not None else slice(None)
+        valid = self._valid[:, ways]
+        dirty = self._dirty[:, ways] & valid
+        return int(valid.sum()), int(dirty.sum())
+
+    def flush_ways(self, ways: slice) -> Tuple[int, int]:
+        """Invalidate the selected ways; returns (lines walked, dirty)."""
+        total, dirty = self.resident_lines(ways)
+        self._valid[:, ways] = False
+        self._dirty[:, ways] = False
+        return total, dirty
+
+    def warm_fraction(self) -> float:
+        return float(self._valid.mean())
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0

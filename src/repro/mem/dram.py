@@ -1,0 +1,58 @@
+"""Single-channel DDR4-2400-like main-memory model.
+
+Each line request pays a fixed access latency and occupies the channel for
+its transfer time (line size / peak bandwidth); requests serialise on the
+channel, so a miss burst beyond the sustainable bandwidth queues — the
+memory-bound plateau of vvadd and friends comes from here.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..config import DramConfig
+
+
+class DramChannel:
+    """A bandwidth-limited, fixed-latency memory channel."""
+
+    def __init__(self, config: DramConfig, line_bytes: int = 64) -> None:
+        self.config = config
+        self.line_bytes = line_bytes
+        self._next_free = 0.0
+        self.requests = 0
+        self.busy_cycles = 0.0
+
+    @property
+    def transfer_cycles(self) -> float:
+        """Channel occupancy of one line transfer."""
+        return self.line_bytes / (self.config.bytes_per_cycle * self.config.channels)
+
+    def service(self, now: float) -> Tuple[float, float]:
+        """Issue one line request at ``now``.
+
+        Returns ``(start, done)``: the transfer starts when the channel is
+        free and data arrives a fixed access latency after that.
+        """
+        start = max(now, self._next_free)
+        self._next_free = start + self.transfer_cycles
+        done = start + self.config.access_latency
+        self.requests += 1
+        self.busy_cycles += self.transfer_cycles
+        return start, done
+
+    def writeback(self, now: float) -> float:
+        """Queue a dirty-line writeback; only occupies bandwidth."""
+        start = max(now, self._next_free)
+        self._next_free = start + self.transfer_cycles
+        self.requests += 1
+        self.busy_cycles += self.transfer_cycles
+        return start + self.transfer_cycles
+
+    def utilisation(self, elapsed: float) -> float:
+        return self.busy_cycles / elapsed if elapsed > 0 else 0.0
+
+    def reset_stats(self) -> None:
+        self.requests = 0
+        self.busy_cycles = 0.0
+        self._next_free = 0.0

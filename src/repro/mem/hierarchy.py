@@ -1,0 +1,152 @@
+"""The composed memory system: L1D / L2 / LLC tag arrays + MSHRs + DRAM.
+
+Three ports mirror the paper's plumbing (Section VII-A: "special ports to
+connect vector units to either the L2 cache or the LLC"):
+
+* ``l1``  — the scalar core's port (and the integrated vector unit's,
+  whose memory μops go through the LSQ like scalar accesses);
+* ``l2``  — the decoupled vector engine's port;
+* ``llc`` — EVE's port (its VMU bypasses the halved private L2).
+
+The hierarchy is inclusive: an LLC eviction invalidates inner copies.
+Misses hold an MSHR at their level until the fill returns; acquiring a
+full pool stalls the requester (Figure 8's metric for the EVE VMU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..errors import MemoryModelError
+from .cache import CacheArray
+from .dram import DramChannel
+from .mshr import MshrPool
+
+PORTS = ("l1", "l2", "llc")
+
+
+@dataclass(frozen=True)
+class Completion:
+    """Outcome of one line request."""
+
+    grant: float       # when the request was accepted (after MSHR stalls)
+    done: float        # when the data is available
+    level: str         # 'l1' | 'l2' | 'llc' | 'dram'
+    mshr_stall: float  # time spent waiting to even send the request
+
+
+class MemorySystem:
+    """Timeline-based cycle-approximate model of Table III's hierarchy."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.l1d = CacheArray(config.l1d)
+        self.l2 = CacheArray(config.l2)
+        self.llc = CacheArray(config.llc)
+        self.l1d_mshrs = MshrPool(config.l1d.mshrs, "l1d")
+        self.l2_mshrs = MshrPool(config.l2.mshrs, "l2")
+        self.llc_mshrs = MshrPool(config.llc.mshrs, "llc")
+        self.dram = DramChannel(config.dram, config.llc.line_bytes)
+        self._l2_bank_free = np.zeros(config.l2.banks)
+        #: Figure 8 accounting for the vector (LLC) port.
+        self.vector_mshr_stall = 0.0
+        self.vector_requests = 0
+        self.vector_stalled_requests = 0
+
+    # -- internal level chain ------------------------------------------------
+
+    def _l2_bank_delay(self, line_addr: int, at: float) -> float:
+        bank = self.l2.bank_of(line_addr)
+        start = max(at, self._l2_bank_free[bank])
+        self._l2_bank_free[bank] = start + 1.0  # pipelined, 1-cycle occupancy
+        return start
+
+    def _from_dram(self, now: float, line_addr: int, is_store: bool) -> Completion:
+        grant, stall = self.llc_mshrs.acquire(now)
+        _, done = self.dram.service(grant + self.config.llc.hit_latency)
+        evicted = self.llc.fill(line_addr, dirty=is_store)
+        if evicted is not None:
+            if evicted.dirty:
+                self.dram.writeback(done)
+            # Inclusive hierarchy: drop inner copies of the victim.
+            if self.l2.invalidate(evicted.line_addr):
+                self.dram.writeback(done)
+            self.l1d.invalidate(evicted.line_addr)
+        self.llc_mshrs.release(done)
+        return Completion(grant=grant, done=done, level="dram", mshr_stall=stall)
+
+    def _from_llc(self, now: float, line_addr: int, is_store: bool) -> Completion:
+        if self.llc.lookup(line_addr, is_store):
+            return Completion(grant=now, done=now + self.config.llc.hit_latency,
+                              level="llc", mshr_stall=0.0)
+        return self._from_dram(now, line_addr, is_store)
+
+    def _from_l2(self, now: float, line_addr: int, is_store: bool) -> Completion:
+        start = self._l2_bank_delay(line_addr, now)
+        if self.l2.lookup(line_addr, is_store):
+            return Completion(grant=now, done=start + self.config.l2.hit_latency,
+                              level="l2", mshr_stall=start - now)
+        grant, stall = self.l2_mshrs.acquire(start)
+        inner = self._from_llc(grant + self.config.l2.hit_latency, line_addr, False)
+        evicted = self.l2.fill(line_addr, dirty=is_store)
+        if evicted is not None and evicted.dirty:
+            # Dirty L2 victims write back into the LLC.
+            if not self.llc.lookup(evicted.line_addr, is_store=True):
+                self.llc.fill(evicted.line_addr, dirty=True)
+        self.l2_mshrs.release(inner.done)
+        return Completion(grant=grant, done=inner.done, level=inner.level,
+                          mshr_stall=stall + inner.mshr_stall)
+
+    def _from_l1(self, now: float, line_addr: int, is_store: bool) -> Completion:
+        if self.l1d.lookup(line_addr, is_store):
+            return Completion(grant=now, done=now + self.config.l1d.hit_latency,
+                              level="l1", mshr_stall=0.0)
+        grant, stall = self.l1d_mshrs.acquire(now)
+        inner = self._from_l2(grant + self.config.l1d.hit_latency, line_addr, False)
+        evicted = self.l1d.fill(line_addr, dirty=is_store)
+        if evicted is not None and evicted.dirty:
+            if not self.l2.lookup(evicted.line_addr, is_store=True):
+                self.l2.fill(evicted.line_addr, dirty=True)
+        self.l1d_mshrs.release(inner.done)
+        return Completion(grant=grant, done=inner.done, level=inner.level,
+                          mshr_stall=stall + inner.mshr_stall)
+
+    # -- public ports ---------------------------------------------------------
+
+    def access(self, now: float, line_addr: int, is_store: bool,
+               port: str = "l1") -> Completion:
+        """Issue one cache-line request on the given port."""
+        if port == "l1":
+            return self._from_l1(now, line_addr, is_store)
+        if port == "l2":
+            return self._from_l2(now, line_addr, is_store)
+        if port == "llc":
+            completion = self._from_llc(now, line_addr, is_store)
+            self.vector_requests += 1
+            self.vector_mshr_stall += completion.mshr_stall
+            if completion.mshr_stall > 0:
+                self.vector_stalled_requests += 1
+            return completion
+        raise MemoryModelError(f"unknown port {port!r} (expected one of {PORTS})")
+
+    # -- statistics -------------------------------------------------------------
+
+    def level_stats(self) -> dict:
+        return {
+            "l1d": (self.l1d.hits, self.l1d.misses),
+            "l2": (self.l2.hits, self.l2.misses),
+            "llc": (self.llc.hits, self.llc.misses),
+        }
+
+    def reset_stats(self) -> None:
+        for cache in (self.l1d, self.l2, self.llc):
+            cache.reset_stats()
+        for pool in (self.l1d_mshrs, self.l2_mshrs, self.llc_mshrs):
+            pool.reset_stats()
+        self.dram.reset_stats()
+        self.vector_mshr_stall = 0.0
+        self.vector_requests = 0
+        self.vector_stalled_requests = 0

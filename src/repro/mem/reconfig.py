@@ -1,0 +1,52 @@
+"""Ephemeral spawn / teardown of the EVE ways (Section V-E).
+
+Spawning EVE halves the private L2's associativity and walks the carved-out
+ways with a simple FSM: every resident line is invalidated (constant cycles
+per line); dirty lines write back to the LLC first.  Because the hierarchy
+is inclusive, the cost is linear in the resident-line count.  Returning the
+ways to the cache is free — lines simply come back invalid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cache import CacheArray
+
+#: FSM cycles to invalidate one resident line.
+INVALIDATE_CYCLES_PER_LINE = 1
+
+#: Extra cycles to push one dirty line to the LLC (tag update + transfer).
+WRITEBACK_CYCLES_PER_LINE = 4
+
+
+@dataclass(frozen=True)
+class ReconfigCost:
+    """Cycle cost of one spawn (or teardown) event."""
+
+    lines_walked: int
+    dirty_lines: int
+    cycles: int
+
+    @property
+    def is_free(self) -> bool:
+        return self.cycles == 0
+
+
+def spawn_cost(l2: CacheArray, eve_way_fraction: float = 0.5) -> ReconfigCost:
+    """Carve out the EVE ways of ``l2``, returning the setup cost.
+
+    The top ``eve_way_fraction`` of the ways are flushed; the L2 stalls for
+    the walk but the core keeps running from L1 (Section V-E), which is why
+    engine models charge this once, up front, on the vector timeline.
+    """
+    first_eve_way = int(l2.ways * (1.0 - eve_way_fraction))
+    walked, dirty = l2.flush_ways(slice(first_eve_way, l2.ways))
+    cycles = (walked * INVALIDATE_CYCLES_PER_LINE
+              + dirty * WRITEBACK_CYCLES_PER_LINE)
+    return ReconfigCost(lines_walked=walked, dirty_lines=dirty, cycles=cycles)
+
+
+def teardown_cost() -> ReconfigCost:
+    """Returning EVE ways to the cache costs nothing (Section V-E)."""
+    return ReconfigCost(lines_walked=0, dirty_lines=0, cycles=0)

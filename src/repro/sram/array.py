@@ -1,0 +1,106 @@
+"""A 6T SRAM array with bit-line compute (Section III).
+
+The array supports the two vanilla operations (read / write) plus the
+dual-wordline *bit-line compute* read: asserting two wordlines at once with
+the sense amplifiers reconfigured to single-ended mode yields, per column,
+
+* ``BL``  senses ``a AND b`` (both cells must pull the bit-line high), and
+* ``BLB`` senses ``(NOT a) AND (NOT b)`` = ``a NOR b``.
+
+Inverting these gives ``nand`` and ``or``, so one access produces all four
+bit-wise logical operations, exactly as in Jeloka et al. and VRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SramError
+
+
+@dataclass(frozen=True)
+class BitLineResult:
+    """Per-column outcome of one bit-line compute operation."""
+
+    and_: np.ndarray
+    nand: np.ndarray
+    or_: np.ndarray
+    nor: np.ndarray
+
+    @property
+    def width(self) -> int:
+        return len(self.and_)
+
+
+class SramArray:
+    """A rows x cols array of bit cells storing 0/1 values."""
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows <= 0 or cols <= 0:
+            raise SramError(f"invalid geometry {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        self._data = np.zeros((rows, cols), dtype=np.uint8)
+
+    # -- bounds helpers ---------------------------------------------------
+
+    def _check_row(self, row: int) -> int:
+        if not 0 <= row < self.rows:
+            raise SramError(f"row {row} out of range 0..{self.rows - 1}")
+        return row
+
+    # -- vanilla operations -------------------------------------------------
+
+    def read(self, row: int) -> np.ndarray:
+        """Differential read of one wordline; returns a copy of the row."""
+        return self._data[self._check_row(row)].copy()
+
+    def write(self, row: int, bits: np.ndarray, col_enable: np.ndarray | None = None) -> None:
+        """Write ``bits`` into ``row``; ``col_enable`` masks columns."""
+        self._check_row(row)
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != (self.cols,):
+            raise SramError(
+                f"write width {bits.shape} does not match {self.cols} columns")
+        if np.any(bits > 1):
+            raise SramError("write data must be 0/1")
+        if col_enable is None:
+            self._data[row] = bits
+        else:
+            enable = np.asarray(col_enable, dtype=bool)
+            if enable.shape != (self.cols,):
+                raise SramError("column-enable width mismatch")
+            np.copyto(self._data[row], bits, where=enable)
+
+    # -- bit-line compute -----------------------------------------------------
+
+    def bitline_compute(self, row_a: int, row_b: int) -> BitLineResult:
+        """Dual-wordline single-ended read computing AND/NAND/OR/NOR.
+
+        ``row_a`` and ``row_b`` may be equal (a self-compute simply senses
+        the row itself, a trick micro-programs use to copy a row into the
+        peripheral circuits).
+        """
+        a = self._data[self._check_row(row_a)]
+        b = self._data[self._check_row(row_b)]
+        and_ = a & b
+        nor = (1 - a) & (1 - b)
+        return BitLineResult(and_=and_, nand=1 - and_, or_=1 - nor, nor=nor)
+
+    # -- whole-array helpers used by the engine / tests -------------------------
+
+    def snapshot(self) -> np.ndarray:
+        return self._data.copy()
+
+    def load(self, data: np.ndarray) -> None:
+        data = np.asarray(data, dtype=np.uint8)
+        if data.shape != (self.rows, self.cols):
+            raise SramError("load shape mismatch")
+        if np.any(data > 1):
+            raise SramError("load data must be 0/1")
+        self._data = data.copy()
+
+    def clear(self) -> None:
+        self._data[:] = 0

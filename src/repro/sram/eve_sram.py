@@ -1,0 +1,277 @@
+"""The composed EVE-n SRAM: array + peripheral stacks (Section III).
+
+:class:`EveSram` executes the *arithmetic* micro-operations of Table II
+bit-exactly across every column group in parallel.  Control and counter
+micro-operations belong to the VSU (:mod:`repro.uops.executor`).
+
+Modes by parallelization factor:
+
+* ``factor == 1`` — bit-serial (EVE-1): the XRegister stores the carry.
+* ``1 < factor < element width`` — bit-hybrid (EVE-n): the carry lives in a
+  spare-shifter flip-flop; the XRegister is free for shift/multiply duty.
+* ``factor == element width`` — bit-parallel (EVE-32): one segment per
+  element; the spare shifter is still modelled (its link bit is simply
+  never needed across segments).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..errors import SramError
+from .array import SramArray
+from .circuits import (
+    AddLogic,
+    ConstantShifter,
+    MaskLogic,
+    SpareShifter,
+    XorLayer,
+    XRegister,
+    group_view,
+)
+from .layout import RegisterLayout
+
+#: Write-back destinations besides a wordline.
+DEST_MASK = "mask"
+DEST_MASK_GROUPS = "mask_groups"
+DEST_XREG = "xreg"
+DEST_CARRY = "carry"
+DEST_LINK = "link"
+
+WB_SOURCES = ("and", "nand", "or", "nor", "xor", "xnor", "add", "shift",
+              "data_in", "mask")
+
+
+class EveSram:
+    """One EVE SRAM array with its full circuit stack."""
+
+    def __init__(self, rows: int, cols: int, factor: int) -> None:
+        if factor <= 0 or cols % factor != 0:
+            raise SramError(f"factor {factor} must divide column count {cols}")
+        self.rows = rows
+        self.cols = cols
+        self.factor = factor
+        self.groups = cols // factor
+        self.array = SramArray(rows, cols)
+        self.add_logic = AddLogic(self.groups, factor)
+        self.xreg = XRegister(self.groups, factor)
+        self.mask = MaskLogic(cols, factor)
+        self.cshift = ConstantShifter(self.groups, factor)
+        self.spare = SpareShifter(self.groups, factor)
+        self.data_in = np.zeros(cols, dtype=np.uint8)
+        self._values: dict[str, np.ndarray] = {}
+        self._pending_carry: np.ndarray | None = None
+
+    # -- carry store (mode-dependent) ------------------------------------
+
+    @property
+    def bit_serial(self) -> bool:
+        return self.factor == 1
+
+    def _carry_in(self) -> np.ndarray:
+        if self.bit_serial:
+            return self.xreg.bits[:, 0]
+        return self.spare.carry
+
+    def _commit_carry(self, carry: np.ndarray) -> None:
+        if self.bit_serial:
+            self.xreg.bits[:, 0] = carry
+        else:
+            self.spare.set_carry(carry)
+
+    def clear_carry(self) -> None:
+        if self.bit_serial:
+            self.xreg.bits[:, 0] = 0
+        else:
+            self.spare.clear_carry()
+
+    # -- data-in port ------------------------------------------------------
+
+    def set_data_in(self, bits: np.ndarray) -> None:
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != (self.cols,):
+            raise SramError("data_in width mismatch")
+        self.data_in = bits.copy()
+
+    # -- arithmetic micro-operations ------------------------------------------
+
+    def u_rd(self, row: int) -> np.ndarray:
+        """``rd``: read a wordline; the value lands on the read port and is
+        latched into the constant shifter (the shifter's load path)."""
+        bits = self.array.read(row)
+        self.cshift.load(bits)
+        self._values["shift"] = bits
+        return bits
+
+    def u_wr(self, row: int, masked: bool = False) -> None:
+        """``wr``: write the data-in port into a wordline."""
+        enable = self.mask.bits.astype(bool) if masked else None
+        self.array.write(row, self.data_in, col_enable=enable)
+
+    def u_blc(self, row_a: int, row_b: int) -> None:
+        """``blc``: dual-wordline compute; feeds the whole stack."""
+        blr = self.array.bitline_compute(row_a, row_b)
+        xor, xnor = XorLayer.compute(blr)
+        sums, carry_out = self.add_logic.compute(
+            generate=blr.and_, propagate=xor, carry_in=self._carry_in())
+        self._values.update({
+            "and": blr.and_, "nand": blr.nand, "or": blr.or_, "nor": blr.nor,
+            "xor": xor, "xnor": xnor, "add": sums.reshape(-1),
+        })
+        self._pending_carry = carry_out
+
+    def _source(self, src: str) -> np.ndarray:
+        if src == "data_in":
+            return self.data_in
+        if src == "shift":
+            return self.cshift.flat()
+        if src == "mask":
+            return self.mask.bits
+        try:
+            return self._values[src]
+        except KeyError:
+            raise SramError(
+                f"write-back source {src!r} not available (no blc executed?)"
+            ) from None
+
+    def u_wb(self, dest: Union[int, str], src: str, masked: bool = False) -> None:
+        """``wb``: write a computed value back to the array or a latch.
+
+        ``dest`` may be a wordline number or one of the latch destinations
+        (``mask``, ``mask_groups``, ``xreg``, ``carry``).  Writing the
+        ``add`` source also commits the group carry-out to the carry store.
+        """
+        if src not in WB_SOURCES:
+            raise SramError(f"unknown write-back source {src!r}")
+        value = self._source(src)
+        if src == "add":
+            if self._pending_carry is None:
+                raise SramError("add write-back without a preceding blc")
+            self._commit_carry(self._pending_carry)
+        if isinstance(dest, (int, np.integer)):
+            enable = self.mask.bits.astype(bool) if masked else None
+            self.array.write(int(dest), value, col_enable=enable)
+        elif dest == DEST_MASK:
+            self.mask.load_columns(value)
+        elif dest == DEST_MASK_GROUPS:
+            # Replicate each group's LSB-column bit across the group.
+            self.mask.load_groups(group_view(value, self.factor)[:, 0])
+        elif dest == DEST_XREG:
+            self.xreg.load(value)
+        elif dest == DEST_CARRY:
+            self._commit_carry(group_view(value, self.factor)[:, 0])
+        elif dest == DEST_LINK:
+            # Load the ferry bit from each group's MSB column (used to seed
+            # the sign bit for arithmetic right shifts).
+            self.spare.link = group_view(value, self.factor)[:, -1].copy()
+        else:
+            raise SramError(f"unknown write-back destination {dest!r}")
+
+    # -- shifter micro-operations -------------------------------------------
+
+    def _condition(self, conditional: bool) -> np.ndarray:
+        if conditional:
+            return self.mask.group_bits.astype(bool)
+        return np.ones(self.groups, dtype=bool)
+
+    def u_lshift(self, conditional: bool = True) -> None:
+        """``lshift``: constant shifter left by one; the spare shifter
+        ferries the outgoing MSB to the next segment (bit-hybrid)."""
+        cond = self._condition(conditional)
+        bit_in = self.spare.link.copy()
+        out = self.cshift.shift_left(cond, bit_in)
+        self.spare.exchange(out, cond)
+
+    def u_rshift(self, conditional: bool = True) -> None:
+        """``rshift``: constant shifter right by one, spare ferrying LSBs."""
+        cond = self._condition(conditional)
+        bit_in = self.spare.link.copy()
+        out = self.cshift.shift_right(cond, bit_in)
+        self.spare.exchange(out, cond)
+
+    def u_lrotate(self, conditional: bool = True) -> None:
+        self.cshift.rotate_left(self._condition(conditional))
+
+    def u_rrotate(self, conditional: bool = True) -> None:
+        self.cshift.rotate_right(self._condition(conditional))
+
+    def u_spare_clear(self) -> None:
+        """``sclr``: reset the spare shifter's ferry bit before a new
+        multi-segment shift sweep (part of our circuit template)."""
+        self.spare.clear_link()
+
+    def u_mask_shft(self) -> None:
+        """``mask_shft``: load the mask latches from the XRegister LSB
+        column, then shift the XRegister right by one (Section IV-A)."""
+        self.mask.load_groups(self.xreg.lsb.copy())
+        self.xreg.shift_right()
+
+    def u_mask_shftl(self) -> None:
+        """``mask_shftl``: load the mask latches from the XRegister MSB
+        column, then shift the XRegister left by one.  The MSB-first walk
+        lets multiplication accumulate in place (no scratch rows), which is
+        what keeps 32 registers resident at factor 4 (Table III)."""
+        self.mask.load_groups(self.xreg.msb.copy())
+        self.xreg.shift_left()
+
+    def u_mask_from_carry(self, invert: bool = False,
+                          lsb_only: bool = False) -> None:
+        """``mask_carry``: load the mask latches from each group's carry
+        flip-flop (optionally inverted) — the compare / divide restore path.
+
+        With ``lsb_only`` the flag is gated onto each group's LSB column
+        only (an AND with the column-position signal), letting a masked
+        write set a single quotient bit without disturbing its neighbours.
+        """
+        carry = self._carry_in()
+        flag = (1 - carry) if invert else carry.copy()
+        if lsb_only:
+            bits = np.zeros(self.cols, dtype=np.uint8)
+            bits[0::self.factor] = flag
+            self.mask.load_columns(bits)
+        else:
+            self.mask.load_groups(flag)
+
+    # -- host helpers (not micro-operations) -----------------------------------
+
+    def write_vreg(self, layout: RegisterLayout, vreg: int,
+                   values: np.ndarray) -> None:
+        """Host-side load of a whole vector register (used by tests and the
+        DTU model, which performs the transpose in hardware)."""
+        self._check_layout(layout)
+        values = np.asarray(values, dtype=np.int64)
+        n_elem = layout.elements_per_array
+        if values.shape != (n_elem,):
+            raise SramError(f"expected {n_elem} elements, got {values.shape}")
+        unsigned = values.astype(np.int64) & ((1 << layout.element_bits) - 1)
+        for seg in range(layout.segments):
+            row = layout.row_of(vreg, seg)
+            row_bits = self.array.read(row)
+            segment_vals = (unsigned >> (seg * layout.factor)) & ((1 << layout.factor) - 1)
+            for j in range(layout.factor):
+                bit = ((segment_vals >> j) & 1).astype(np.uint8)
+                row_bits[j::layout.factor][:n_elem] = bit
+            self.array.write(row, row_bits)
+
+    def read_vreg(self, layout: RegisterLayout, vreg: int) -> np.ndarray:
+        """Host-side read of a whole vector register as signed integers."""
+        self._check_layout(layout)
+        n_elem = layout.elements_per_array
+        result = np.zeros(n_elem, dtype=np.int64)
+        for seg in range(layout.segments):
+            row_bits = self.array.read(layout.row_of(vreg, seg))
+            for j in range(layout.factor):
+                bit = row_bits[j::layout.factor][:n_elem].astype(np.int64)
+                result |= bit << (seg * layout.factor + j)
+        sign = 1 << (layout.element_bits - 1)
+        return (result ^ sign) - sign
+
+    def _check_layout(self, layout: RegisterLayout) -> None:
+        if layout.rows > self.rows or layout.cols != self.cols or layout.factor != self.factor:
+            raise SramError("layout does not match this array")
+        if layout.groups_per_element != 1:
+            raise SramError(
+                "bit-exact execution requires the register file to fit one "
+                "column group (reduce num_vregs or raise the factor)")

@@ -1,0 +1,135 @@
+"""Vector-register data layout inside one EVE SRAM array (Section II, Fig. 1).
+
+Bit-hybrid execution with parallelization factor ``n`` splits each
+``element_bits``-wide element into ``element_bits / n`` segments of ``n``
+bits.  Every group of ``n`` adjacent columns forms one in-situ ALU; an
+element's segments are stacked vertically inside its column group, one row
+per segment, least-significant segment first.  All vector registers of an
+element live in the same column group (the S-CIM same-column principle),
+stacked register after register.
+
+When the register file does not fit in one column stack (e.g. bit-serial
+with 32 registers of 32 segments in a 256-row array), registers overflow
+into additional column groups and the number of in-situ ALUs drops — the
+*column under-utilization* of Section II.  When the register file leaves
+rows empty, the array suffers *row under-utilization* instead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import LayoutError
+
+
+@dataclass(frozen=True)
+class RegisterLayout:
+    """Placement of ``num_vregs`` vector registers in a rows x cols array."""
+
+    rows: int
+    cols: int
+    element_bits: int
+    factor: int
+    num_vregs: int
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0 or self.element_bits % self.factor != 0:
+            raise LayoutError(
+                f"factor {self.factor} must divide element width {self.element_bits}")
+        if self.cols % self.factor != 0:
+            raise LayoutError(
+                f"factor {self.factor} must divide column count {self.cols}")
+        if self.num_vregs <= 0:
+            raise LayoutError("need at least one vector register")
+        if self.segments > self.rows:
+            raise LayoutError(
+                f"one register needs {self.segments} rows but array has {self.rows}")
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def segments(self) -> int:
+        """Segments per element (= rows one register occupies per group)."""
+        return self.element_bits // self.factor
+
+    @property
+    def column_groups(self) -> int:
+        """Total n-bit column groups in the array."""
+        return self.cols // self.factor
+
+    @property
+    def regs_per_group(self) -> int:
+        """How many registers fit in one column group's row stack."""
+        return self.rows // self.segments
+
+    @property
+    def groups_per_element(self) -> int:
+        """Column groups one element's register file spans (>1 = column
+        under-utilization; extra groups hold the overflowing registers)."""
+        return math.ceil(self.num_vregs / self.regs_per_group)
+
+    @property
+    def elements_per_array(self) -> int:
+        """Number of elements stored, i.e. the in-situ ALU count."""
+        alus = self.column_groups // self.groups_per_element
+        if alus == 0:
+            raise LayoutError(
+                f"register file does not fit: {self.num_vregs} regs x "
+                f"{self.segments} segments need {self.groups_per_element} "
+                f"groups but array only has {self.column_groups}")
+        return alus
+
+    # -- utilization (Figure 1's visual argument, quantified) ------------------
+
+    @property
+    def used_rows(self) -> int:
+        regs_in_last_group = self.num_vregs - (self.groups_per_element - 1) * self.regs_per_group
+        if self.groups_per_element == 1:
+            return self.num_vregs * self.segments
+        return max(self.regs_per_group, regs_in_last_group) * self.segments
+
+    @property
+    def row_utilization(self) -> float:
+        """Fraction of rows holding register data in the fullest group."""
+        return self.used_rows / self.rows
+
+    @property
+    def storage_utilization(self) -> float:
+        """Fraction of all bit cells holding register data."""
+        used_bits = (self.elements_per_array * self.num_vregs * self.element_bits)
+        return used_bits / (self.rows * self.cols)
+
+    # -- addressing -----------------------------------------------------------
+
+    def group_of_reg(self, vreg: int) -> int:
+        """Which of an element's column groups holds ``vreg`` (0-based)."""
+        self._check_reg(vreg)
+        return vreg // self.regs_per_group
+
+    def row_of(self, vreg: int, segment: int) -> int:
+        """Row address of ``segment`` of ``vreg`` (LSB segment first)."""
+        self._check_reg(vreg)
+        if not 0 <= segment < self.segments:
+            raise LayoutError(
+                f"segment {segment} out of range 0..{self.segments - 1}")
+        return (vreg % self.regs_per_group) * self.segments + segment
+
+    def columns_of_element(self, element: int, vreg: int = 0) -> slice:
+        """Column slice holding ``element``'s copy of ``vreg``."""
+        if not 0 <= element < self.elements_per_array:
+            raise LayoutError(
+                f"element {element} out of range 0..{self.elements_per_array - 1}")
+        group = element * self.groups_per_element + self.group_of_reg(vreg)
+        start = group * self.factor
+        return slice(start, start + self.factor)
+
+    def same_group(self, vreg_a: int, vreg_b: int) -> bool:
+        """True when both registers live in the same column group, i.e.
+        bit-line compute between them needs no move operations."""
+        return self.group_of_reg(vreg_a) == self.group_of_reg(vreg_b)
+
+    def _check_reg(self, vreg: int) -> None:
+        if not 0 <= vreg < self.num_vregs:
+            raise LayoutError(
+                f"vreg {vreg} out of range 0..{self.num_vregs - 1}")

@@ -1,0 +1,28 @@
+"""EVE micro-operation layer (Section IV).
+
+Macro-operations are implemented as *micro-programs*: sequences of VLIW
+tuples, each holding up to one counter μop, one arithmetic μop, and one
+control μop, executed in that order within a single cycle (Section IV-B).
+
+* :mod:`repro.uops.uop` — μop and operand (row reference) definitions.
+* :mod:`repro.uops.counters` — the 12 shared counters with zero and
+  binary-decade flags.
+* :mod:`repro.uops.program` — the micro-program container and builder.
+* :mod:`repro.uops.executor` — executes micro-programs bit-exactly against
+  an :class:`~repro.sram.EveSram`, or in timing-only mode for cycle counts.
+* :mod:`repro.uops.rom` — the macro-operation ROM: builds, caches, and
+  times the micro-program for every (macro-op, parallelization factor).
+"""
+
+from .uop import ArithUop, ControlUop, CounterUop, CounterSeg, DataIn, RowRef, UopTuple
+from .counters import Counter, CounterFile
+from .program import MicroProgram, ProgramBuilder
+from .executor import Binding, MicroEngine
+from .rom import MacroOpRom
+from .assembler import assemble, disassemble
+
+__all__ = [
+    "ArithUop", "ControlUop", "CounterUop", "CounterSeg", "DataIn", "RowRef",
+    "UopTuple", "Counter", "CounterFile", "MicroProgram", "ProgramBuilder",
+    "Binding", "MicroEngine", "MacroOpRom", "assemble", "disassemble",
+]

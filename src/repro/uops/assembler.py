@@ -1,0 +1,286 @@
+"""Textual micro-program assembler and disassembler (Table II syntax).
+
+Micro-programs can be written in the paper's listing style: one VLIW tuple
+per line with the three slots (counter | arithmetic | control) separated
+by ``|``, ``-`` for an empty slot, labels on their own line ending with
+``:``, and ``;`` starting a comment.  Figure 4(a)'s integer addition::
+
+    ; vd = vs1 + vs2, rippling the carry through the spare flip-flop
+        -          | wb carry, data_in <zeros | -
+        init seg0, 8
+    loop:
+        decr seg0  | blc vs1[seg0], vs2[seg0] | -
+        -          | wb vd[seg0], add         | bnz seg0, loop
+        -          | nop                      | ret
+
+Row operands are ``slot[seg]`` where ``seg`` is a literal (``vd[3]``), a
+counter (``vd[seg0]``), a counter plus offset (``vd[seg0+2]``), or a
+reversed walk (``vd[7-seg0]``).  Write-back destinations may also be the
+latches ``mask``, ``mask_groups``, ``xreg``, ``carry``, ``link``.  A
+``<pattern`` suffix drives the data-in port (``<zeros``, ``<ones``,
+``<lsb``, ``<msb``, ``<scalar[seg0]``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from ..errors import MicroProgramError
+from .counters import COUNTER_NAMES
+from .program import MicroProgram
+from .uop import (
+    ArithUop,
+    ControlUop,
+    CounterSeg,
+    CounterUop,
+    DataIn,
+    RowRef,
+    SegSpec,
+    UopTuple,
+)
+
+_LATCH_DESTS = ("mask", "mask_groups", "xreg", "carry", "link")
+_SEG_RE = re.compile(
+    r"^(?:(?P<lit>\d+)"
+    r"|(?P<cnt>[a-z]+\d)(?:\+(?P<off>\d+))?"
+    r"|(?P<base>\d+)-(?P<rcnt>[a-z]+\d))$")
+_ROW_RE = re.compile(r"^(?P<slot>v[smd][12]?)\[(?P<seg>[^\]]+)\]$")
+_DATA_IN_RE = re.compile(r"<\s*(?P<kind>zeros|ones|lsb|msb|scalar\[[^\]]+\])")
+
+_DATA_IN_KINDS = {"zeros": "zeros", "ones": "ones",
+                  "lsb": "lsb_ones", "msb": "msb_ones"}
+
+
+def _parse_seg(text: str) -> SegSpec:
+    text = text.strip()
+    match = _SEG_RE.match(text)
+    if not match:
+        raise MicroProgramError(f"bad segment spec {text!r}")
+    if match.group("lit") is not None:
+        return int(match.group("lit"))
+    if match.group("cnt") is not None:
+        counter = match.group("cnt")
+        if counter not in COUNTER_NAMES:
+            raise MicroProgramError(f"unknown counter {counter!r}")
+        offset = int(match.group("off") or 0)
+        return CounterSeg(counter, base=offset, step=1)
+    counter = match.group("rcnt")
+    if counter not in COUNTER_NAMES:
+        raise MicroProgramError(f"unknown counter {counter!r}")
+    return CounterSeg(counter, base=int(match.group("base")), step=-1)
+
+
+def _parse_row(text: str) -> RowRef:
+    text = text.strip()
+    match = _ROW_RE.match(text)
+    if not match:
+        raise MicroProgramError(f"bad row operand {text!r}")
+    return RowRef(match.group("slot"), _parse_seg(match.group("seg")))
+
+
+def _split_data_in(text: str):
+    match = _DATA_IN_RE.search(text)
+    if not match:
+        return text.strip(), None
+    kind = match.group("kind")
+    rest = (text[:match.start()] + text[match.end():]).strip().rstrip(",")
+    if kind.startswith("scalar["):
+        return rest, DataIn("scalar_seg", _parse_seg(kind[7:-1]))
+    return rest, DataIn(_DATA_IN_KINDS[kind])
+
+
+def _parse_arith(text: str) -> Optional[ArithUop]:
+    text = text.strip()
+    if text in ("-", ""):
+        return None
+    text, data_in = _split_data_in(text)
+    masked = False
+    if text.endswith(" masked"):
+        masked, text = True, text[:-7].rstrip()
+    parts = text.split(None, 1)
+    op, rest = parts[0], (parts[1] if len(parts) > 1 else "")
+    if op == "nop":
+        return ArithUop("nop", data_in=data_in)
+    if op == "rd":
+        return ArithUop("rd", a=_parse_row(rest))
+    if op == "wr":
+        return ArithUop("wr", a=_parse_row(rest), masked=masked,
+                        data_in=data_in)
+    if op == "blc":
+        a_text, b_text = (s.strip() for s in rest.split(","))
+        return ArithUop("blc", a=_parse_row(a_text), b=_parse_row(b_text))
+    if op == "wb":
+        dest_text, src = (s.strip() for s in rest.rsplit(",", 1))
+        dest = dest_text if dest_text in _LATCH_DESTS else _parse_row(dest_text)
+        return ArithUop("wb", dest=dest, src=src, masked=masked,
+                        data_in=data_in)
+    if op in ("lshift", "rshift", "lrot", "rrot"):
+        conditional = rest.strip() != "uncond"
+        return ArithUop(op, conditional=conditional)
+    if op in ("mask_shft", "mask_shftl", "sclr"):
+        return ArithUop(op)
+    if op == "mask_carry":
+        flags = rest.split()
+        return ArithUop("mask_carry", invert="inv" in flags,
+                        lsb_only="lsb" in flags)
+    raise MicroProgramError(f"unknown arithmetic μop {op!r}")
+
+
+def _check_counter(name: str) -> str:
+    if name not in COUNTER_NAMES:
+        raise MicroProgramError(f"unknown counter {name!r}")
+    return name
+
+
+def _parse_counter(text: str) -> Optional[CounterUop]:
+    text = text.strip()
+    if text in ("-", ""):
+        return None
+    parts = text.replace(",", " ").split()
+    if parts[0] == "init":
+        if len(parts) != 3:
+            raise MicroProgramError(f"bad init: {text!r}")
+        return CounterUop("init", counter=_check_counter(parts[1]),
+                          value=int(parts[2]))
+    if parts[0] in ("decr", "incr"):
+        if len(parts) != 2:
+            raise MicroProgramError(f"bad {parts[0]}: {text!r}")
+        return CounterUop(parts[0], counter=_check_counter(parts[1]))
+    raise MicroProgramError(f"unknown counter μop {parts[0]!r}")
+
+
+def _parse_control(text: str) -> Optional[ControlUop]:
+    text = text.strip()
+    if text in ("-", ""):
+        return None
+    parts = text.replace(",", " ").split()
+    if parts[0] == "ret":
+        return ControlUop("ret")
+    if parts[0] == "jmp":
+        return ControlUop("jmp", target=parts[1])
+    if parts[0] in ("bnz", "bnd"):
+        if len(parts) != 3:
+            raise MicroProgramError(f"bad {parts[0]}: {text!r}")
+        return ControlUop(parts[0], counter=_check_counter(parts[1]),
+                          target=parts[2])
+    raise MicroProgramError(f"unknown control μop {parts[0]!r}")
+
+
+def assemble(source: str, name: str = "asm") -> MicroProgram:
+    """Assemble Table II-style text into a :class:`MicroProgram`."""
+    tuples: List[UopTuple] = []
+    labels = {}
+    for raw_line in source.splitlines():
+        line = raw_line.split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.endswith(":"):
+            label = line[:-1].strip()
+            if not label or label in labels:
+                raise MicroProgramError(f"bad or duplicate label {label!r}")
+            labels[label] = len(tuples)
+            continue
+        slots = [s for s in line.split("|")]
+        if len(slots) == 1:
+            # Single-slot shorthand: classify by mnemonic.
+            text = slots[0].strip()
+            op = text.split(None, 1)[0]
+            if op in ("init", "decr", "incr"):
+                slots = [text, "-", "-"]
+            elif op in ("bnz", "bnd", "jmp", "ret"):
+                slots = ["-", "-", text]
+            else:
+                slots = ["-", text, "-"]
+        if len(slots) != 3:
+            raise MicroProgramError(
+                f"expected 3 slots (counter | arith | control): {raw_line!r}")
+        tuples.append(UopTuple(
+            counter=_parse_counter(slots[0]),
+            arith=_parse_arith(slots[1]),
+            control=_parse_control(slots[2]),
+        ))
+    return MicroProgram(name, tuples, labels)
+
+
+# -- disassembly --------------------------------------------------------------
+
+
+def _seg_str(seg: SegSpec) -> str:
+    if isinstance(seg, CounterSeg):
+        if seg.step == -1:
+            return f"{seg.base}-{seg.counter}"
+        if seg.base:
+            return f"{seg.counter}+{seg.base}"
+        return seg.counter
+    return str(seg)
+
+
+def _row_str(ref: RowRef) -> str:
+    return f"{ref.reg}[{_seg_str(ref.seg)}]"
+
+
+def _data_in_str(data_in: Optional[DataIn]) -> str:
+    if data_in is None:
+        return ""
+    if data_in.kind == "scalar_seg":
+        return f" <scalar[{_seg_str(data_in.seg)}]"
+    reverse = {v: k for k, v in _DATA_IN_KINDS.items()}
+    return f" <{reverse[data_in.kind]}"
+
+
+def _arith_str(uop: Optional[ArithUop]) -> str:
+    if uop is None:
+        return "-"
+    masked = " masked" if uop.masked else ""
+    suffix = _data_in_str(uop.data_in)
+    if uop.kind == "rd":
+        return f"rd {_row_str(uop.a)}"
+    if uop.kind == "wr":
+        return f"wr {_row_str(uop.a)}{masked}{suffix}"
+    if uop.kind == "blc":
+        return f"blc {_row_str(uop.a)}, {_row_str(uop.b)}"
+    if uop.kind == "wb":
+        dest = uop.dest if isinstance(uop.dest, str) else _row_str(uop.dest)
+        return f"wb {dest}, {uop.src}{masked}{suffix}"
+    if uop.kind in ("lshift", "rshift", "lrot", "rrot"):
+        return uop.kind + ("" if uop.conditional else " uncond")
+    if uop.kind == "mask_carry":
+        flags = (" inv" if uop.invert else "") + (" lsb" if uop.lsb_only else "")
+        return "mask_carry" + flags
+    return uop.kind + suffix
+
+
+def _counter_str(uop: Optional[CounterUop]) -> str:
+    if uop is None:
+        return "-"
+    if uop.kind == "init":
+        return f"init {uop.counter}, {uop.value}"
+    return f"{uop.kind} {uop.counter}"
+
+
+def _control_str(uop: Optional[ControlUop]) -> str:
+    if uop is None:
+        return "-"
+    if uop.kind == "ret":
+        return "ret"
+    if uop.kind == "jmp":
+        return f"jmp {uop.target}"
+    return f"{uop.kind} {uop.counter}, {uop.target}"
+
+
+def disassemble(program: MicroProgram) -> str:
+    """Render a micro-program back into assemble()-compatible text."""
+    by_index = {}
+    for label, index in program.labels.items():
+        by_index.setdefault(index, []).append(label)
+    lines = [f"; {program.name}"]
+    for i, tup in enumerate(program.tuples):
+        for label in by_index.get(i, []):
+            lines.append(f"{label}:")
+        lines.append("    " + " | ".join([
+            _counter_str(tup.counter), _arith_str(tup.arith),
+            _control_str(tup.control)]))
+    for label in by_index.get(len(program.tuples), []):
+        lines.append(f"{label}:")
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""The 12 shared EVE counters (Section IV-A).
+
+Counters come in three groups of four — segment counters (``seg0..seg3``),
+bit counters (``bit0..bit3``), and array counters (``arr0..arr3``).  Each
+counter auto-resets to its initial value when decremented to zero and keeps
+two sticky flags:
+
+* the *zero flag*, set when the counter wraps (``bnz`` falls through on a
+  set flag and consumes it);
+* the *binary-decade flag*, set when a decrement lands on a power of two
+  (``bnd`` branches on it and consumes it when taken).
+
+For address generation the counter also exposes ``index``: the number of
+decrements since ``init``, modulo the initial value — i.e. the current
+iteration of the loop it drives.
+"""
+
+from __future__ import annotations
+
+from ..errors import MicroExecutionError
+
+COUNTER_NAMES = tuple(
+    f"{group}{i}" for group in ("seg", "bit", "arr") for i in range(4)
+)
+
+
+class Counter:
+    """One hardware counter with auto-reset and sticky flags."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.init_value = 1
+        self.value = 1
+        self.ticks = 0
+        self.zero_flag = False
+        self.decade_flag = False
+
+    def init(self, value: int) -> None:
+        if value <= 0:
+            raise MicroExecutionError(f"{self.name}: init value must be positive")
+        self.init_value = value
+        self.value = value
+        self.ticks = 0
+        self.zero_flag = False
+        self.decade_flag = False
+
+    def decr(self) -> None:
+        self.value -= 1
+        self.ticks += 1
+        if self.value == 0:
+            self.zero_flag = True
+            self.value = self.init_value  # hardware auto-reset
+        if self.value & (self.value - 1) == 0:
+            self.decade_flag = True
+
+    def incr(self) -> None:
+        """Count up from 0 towards the armed bound; the zero (wrap) flag
+        sets when the bound is reached and the counter resets."""
+        if self.value >= self.init_value:  # freshly armed: start from zero
+            self.value = 0
+        self.value += 1
+        self.ticks += 1
+        if self.value == self.init_value:
+            self.zero_flag = True
+            self.value = 0
+
+    @property
+    def index(self) -> int:
+        """0-based iteration index of the loop this counter drives."""
+        if self.ticks == 0:
+            return 0
+        return (self.ticks - 1) % self.init_value
+
+    def consume_zero(self) -> bool:
+        """Read-and-clear used by ``bnz`` fall-through."""
+        flag = self.zero_flag
+        self.zero_flag = False
+        return flag
+
+    def consume_decade(self) -> bool:
+        """Read-and-clear used by ``bnd`` when taken."""
+        flag = self.decade_flag
+        self.decade_flag = False
+        return flag
+
+
+class CounterFile:
+    """The 12 counters shared by all EVE SRAMs."""
+
+    def __init__(self) -> None:
+        self._counters = {name: Counter(name) for name in COUNTER_NAMES}
+
+    def __getitem__(self, name: str) -> Counter:
+        try:
+            return self._counters[name]
+        except KeyError:
+            raise MicroExecutionError(f"unknown counter {name!r}") from None
+
+    def reset(self) -> None:
+        for counter in self._counters.values():
+            counter.init(1)
+            counter.ticks = 0

@@ -1,0 +1,190 @@
+"""Micro-program execution: bit-exact against an EVE SRAM, or timing-only.
+
+The engine models the VSU's per-cycle behaviour: each cycle it fetches one
+VLIW tuple and executes its counter μop, arithmetic μop, and control μop in
+order (Section IV-B).  Arithmetic μops are dispatched to the
+:class:`~repro.sram.EveSram`; with ``sram=None`` they are skipped, which is
+the paper's function/timing separation — control flow is data-independent,
+so the cycle count is exact either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import MicroExecutionError
+from ..sram.eve_sram import EveSram
+from ..sram.layout import RegisterLayout
+from .counters import CounterFile
+from .program import MicroProgram
+from .uop import ArithUop, ControlUop, CounterSeg, CounterUop, DataIn, RowRef, SegSpec
+
+#: Runaway guard: no macro-op on a 32-bit element comes near this.
+MAX_CYCLES = 1_000_000
+
+
+@dataclass
+class Binding:
+    """Resolution context for one macro-operation instance."""
+
+    layout: RegisterLayout
+    regs: Dict[str, int] = field(default_factory=dict)
+    scalar: int = 0
+
+    def vreg(self, slot: str) -> int:
+        try:
+            return self.regs[slot]
+        except KeyError:
+            raise MicroExecutionError(f"register slot {slot!r} not bound") from None
+
+
+class MicroEngine:
+    """Executes micro-programs; owns a counter file across invocations."""
+
+    def __init__(self, counters: Optional[CounterFile] = None) -> None:
+        self.counters = counters or CounterFile()
+
+    # -- resolution helpers ----------------------------------------------
+
+    def _seg_index(self, seg: SegSpec) -> int:
+        if isinstance(seg, CounterSeg):
+            counter = self.counters[seg.counter]
+            return seg.base + seg.step * counter.index
+        return int(seg)
+
+    def _row(self, ref: RowRef, binding: Binding) -> int:
+        return binding.layout.row_of(binding.vreg(ref.reg), self._seg_index(ref.seg))
+
+    def _data_in(self, spec: DataIn, binding: Binding, cols: int) -> np.ndarray:
+        factor = binding.layout.factor
+        pattern = np.zeros(cols, dtype=np.uint8)
+        if spec.kind == "zeros":
+            return pattern
+        if spec.kind == "ones":
+            pattern[:] = 1
+            return pattern
+        if spec.kind == "lsb_ones":
+            pattern[0::factor] = 1
+            return pattern
+        if spec.kind == "msb_ones":
+            pattern[factor - 1::factor] = 1
+            return pattern
+        # scalar_seg: broadcast one segment of the scalar operand.
+        seg = self._seg_index(spec.seg)
+        unsigned = binding.scalar & ((1 << binding.layout.element_bits) - 1)
+        segment = (unsigned >> (seg * factor)) & ((1 << factor) - 1)
+        for j in range(factor):
+            if (segment >> j) & 1:
+                pattern[j::factor] = 1
+        return pattern
+
+    # -- μop dispatch -----------------------------------------------------
+
+    def _apply_counter(self, uop: CounterUop) -> None:
+        if uop.kind == "none":
+            return
+        counter = self.counters[uop.counter]
+        if uop.kind == "init":
+            counter.init(uop.value)
+        elif uop.kind == "decr":
+            counter.decr()
+        else:
+            counter.incr()
+
+    def _apply_arith(self, uop: ArithUop, sram: EveSram, binding: Binding) -> None:
+        if uop.data_in is not None:
+            sram.set_data_in(self._data_in(uop.data_in, binding, sram.cols))
+        kind = uop.kind
+        if kind == "nop":
+            return
+        if kind == "rd":
+            sram.u_rd(self._row(uop.a, binding))
+        elif kind == "wr":
+            sram.u_wr(self._row(uop.a, binding), masked=uop.masked)
+        elif kind == "blc":
+            sram.u_blc(self._row(uop.a, binding), self._row(uop.b, binding))
+        elif kind == "wb":
+            dest = uop.dest
+            if isinstance(dest, RowRef):
+                dest = self._row(dest, binding)
+            sram.u_wb(dest, uop.src, masked=uop.masked)
+        elif kind == "lshift":
+            sram.u_lshift(conditional=uop.conditional)
+        elif kind == "rshift":
+            sram.u_rshift(conditional=uop.conditional)
+        elif kind == "lrot":
+            sram.u_lrotate(conditional=uop.conditional)
+        elif kind == "rrot":
+            sram.u_rrotate(conditional=uop.conditional)
+        elif kind == "mask_shft":
+            sram.u_mask_shft()
+        elif kind == "mask_shftl":
+            sram.u_mask_shftl()
+        elif kind == "mask_carry":
+            sram.u_mask_from_carry(invert=uop.invert, lsb_only=uop.lsb_only)
+        elif kind == "sclr":
+            sram.u_spare_clear()
+        else:  # pragma: no cover - guarded by ArithUop validation
+            raise MicroExecutionError(f"unhandled arithmetic μop {kind!r}")
+
+    def _apply_control(self, uop: ControlUop, program: MicroProgram,
+                       next_upc: int) -> tuple[int, bool]:
+        """Returns (next μpc, returned?)."""
+        if uop.kind == "none":
+            return next_upc, False
+        if uop.kind == "ret":
+            return next_upc, True
+        if uop.kind == "jmp":
+            return program.target(uop.target), False
+        counter = self.counters[uop.counter]
+        if uop.kind == "bnz":
+            if counter.consume_zero():
+                return next_upc, False  # wrapped: fall through, flag consumed
+            return program.target(uop.target), False
+        # bnd: branch when a binary decade was reached; consume on taken.
+        if counter.decade_flag:
+            counter.consume_decade()
+            return program.target(uop.target), False
+        return next_upc, False
+
+    # -- main loop -------------------------------------------------------------
+
+    def run(self, program: MicroProgram, sram: Optional[EveSram] = None,
+            binding: Optional[Binding] = None,
+            histogram: Optional[Dict[str, int]] = None) -> int:
+        """Execute ``program``; returns the cycle count.
+
+        With ``sram=None`` the arithmetic μops are skipped (timing-only
+        mode).  A bound SRAM requires a binding for address resolution.
+        ``histogram`` (if given) accumulates dynamic arithmetic-μop counts
+        by kind — control flow is data-independent, so the histogram is
+        exact even in timing-only mode (the energy model uses this).
+        """
+        if sram is not None and binding is None:
+            raise MicroExecutionError("bit-exact execution requires a binding")
+        upc = 0
+        cycles = 0
+        n = len(program.tuples)
+        while upc < n:
+            tup = program.tuples[upc]
+            cycles += 1
+            if cycles > MAX_CYCLES:
+                raise MicroExecutionError(
+                    f"{program.name}: exceeded {MAX_CYCLES} cycles (runaway loop?)")
+            if tup.counter is not None:
+                self._apply_counter(tup.counter)
+            if tup.arith is not None:
+                if histogram is not None:
+                    histogram[tup.arith.kind] = histogram.get(tup.arith.kind, 0) + 1
+                if sram is not None:
+                    self._apply_arith(tup.arith, sram, binding)
+            next_upc = upc + 1
+            if tup.control is not None:
+                next_upc, returned = self._apply_control(tup.control, program, next_upc)
+                if returned:
+                    return cycles
+            upc = next_upc
+        return cycles

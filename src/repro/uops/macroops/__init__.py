@@ -1,0 +1,38 @@
+"""Macro-operation micro-program generators (Section IV-B).
+
+Each generator builds the micro-program implementing one vector
+macro-operation for a given parallelization factor.  The generators are
+registered in :data:`GENERATORS`; the :class:`~repro.uops.rom.MacroOpRom`
+builds and caches programs through this registry.
+"""
+
+from .arith import generate_add, generate_rsub, generate_sub
+from .logical import (
+    generate_logic,
+    generate_merge,
+    generate_move,
+    generate_splat,
+)
+from .compare import generate_compare, generate_minmax
+from .shift import generate_shift_scalar, generate_shift_variable
+from .mul import generate_mul
+from .div import generate_div
+
+#: macro name -> generator(factor, element_bits, **params) -> MicroProgram
+GENERATORS = {
+    "add": generate_add,
+    "sub": generate_sub,
+    "rsub": generate_rsub,
+    "logic": generate_logic,
+    "move": generate_move,
+    "splat": generate_splat,
+    "merge": generate_merge,
+    "compare": generate_compare,
+    "minmax": generate_minmax,
+    "shift_scalar": generate_shift_scalar,
+    "shift_variable": generate_shift_variable,
+    "mul": generate_mul,
+    "div": generate_div,
+}
+
+__all__ = ["GENERATORS"]

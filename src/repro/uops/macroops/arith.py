@@ -1,0 +1,56 @@
+"""Addition and subtraction macro-operations (Figure 4a).
+
+``add`` is the canonical bit-hybrid sweep: one bit-line compute plus one
+write-back per segment, with the inter-segment carry rippling through the
+spare-shifter flip-flop (XRegister in bit-serial mode).
+
+``sub`` computes ``a + ~b + 1``: the second operand is complemented in
+place, added with carry-in 1, and restored afterwards — bit-line compute
+only produces symmetric functions of the operands, so the complement must
+be materialised.  ``vd`` must therefore not alias ``vs2``.
+"""
+
+from __future__ import annotations
+
+from ..program import MicroProgram, ProgramBuilder
+from .common import add_sweep, complement_sweep, load_mask_from_vreg, set_carry
+
+
+def _segments(factor: int, element_bits: int) -> int:
+    return element_bits // factor
+
+
+def generate_add(factor: int, element_bits: int, masked: bool = False) -> MicroProgram:
+    segments = _segments(factor, element_bits)
+    b = ProgramBuilder(f"add/{factor}" + ("/m" if masked else ""))
+    if masked:
+        load_mask_from_vreg(b)
+    set_carry(b, 0)
+    add_sweep(b, "vs1", "vs2", "vd", segments, masked=masked)
+    return b.build()
+
+
+def _sub_like(name: str, factor: int, element_bits: int, minuend: str,
+              subtrahend: str, masked: bool) -> MicroProgram:
+    segments = _segments(factor, element_bits)
+    b = ProgramBuilder(name)
+    if masked:
+        load_mask_from_vreg(b)
+    complement_sweep(b, subtrahend, subtrahend, segments, counter="seg1")
+    set_carry(b, 1)
+    add_sweep(b, minuend, subtrahend, "vd", segments, masked=masked)
+    # Self-restoring: complement the subtrahend back.
+    complement_sweep(b, subtrahend, subtrahend, segments, counter="seg1")
+    return b.build()
+
+
+def generate_sub(factor: int, element_bits: int, masked: bool = False) -> MicroProgram:
+    """``vd = vs1 - vs2`` (vd must not alias vs2)."""
+    name = f"sub/{factor}" + ("/m" if masked else "")
+    return _sub_like(name, factor, element_bits, "vs1", "vs2", masked)
+
+
+def generate_rsub(factor: int, element_bits: int, masked: bool = False) -> MicroProgram:
+    """``vd = vs2 - vs1`` (vd must not alias vs1)."""
+    name = f"rsub/{factor}" + ("/m" if masked else "")
+    return _sub_like(name, factor, element_bits, "vs2", "vs1", masked)

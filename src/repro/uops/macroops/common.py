@@ -1,0 +1,146 @@
+"""Shared micro-program building blocks.
+
+All helpers emit into a :class:`~repro.uops.program.ProgramBuilder`.  The
+counters used follow a convention: ``seg0``/``seg1`` drive segment sweeps,
+``bit0``/``bit1`` drive within-segment bit loops, and ``seg2`` is reserved
+for outer loops of composite operations.
+"""
+
+from __future__ import annotations
+
+from ..program import ProgramBuilder
+from ..uop import ArithUop, CounterSeg, DataIn, RowRef
+
+
+def seg_ref(slot: str, counter: str = "seg0", base: int = 0, step: int = 1) -> RowRef:
+    return RowRef(slot, CounterSeg(counter, base=base, step=step))
+
+
+def copy_sweep(b: ProgramBuilder, src: str, dst: str, segments: int,
+               counter: str = "seg0", masked: bool = False) -> None:
+    """``dst[t] = src[t]`` for every segment (a blc/wb pair per segment)."""
+    a = seg_ref(src, counter)
+    d = seg_ref(dst, counter)
+    b.sweep(counter, segments, [
+        ArithUop("blc", a=a, b=a),
+        ArithUop("wb", dest=d, src="and", masked=masked),
+    ])
+
+
+def zero_sweep(b: ProgramBuilder, slot: str, segments: int,
+               counter: str = "seg0", masked: bool = False) -> None:
+    """Write zeros into every segment of ``slot`` via the data-in port."""
+    b.sweep(counter, segments, [
+        ArithUop("wr", a=seg_ref(slot, counter), masked=masked,
+                 data_in=DataIn("zeros")),
+    ])
+
+
+def complement_sweep(b: ProgramBuilder, src: str, dst: str, segments: int,
+                     counter: str = "seg0") -> None:
+    """``dst[t] = ~src[t]`` (in place when ``src == dst``)."""
+    a = seg_ref(src, counter)
+    d = seg_ref(dst, counter)
+    b.sweep(counter, segments, [
+        ArithUop("blc", a=a, b=a),
+        ArithUop("wb", dest=d, src="nand"),
+    ])
+
+
+def set_carry(b: ProgramBuilder, value: int) -> None:
+    """Preset the inter-segment carry flip-flop to 0 or 1."""
+    kind = "ones" if value else "zeros"
+    b.arith(ArithUop("wb", dest="carry", src="data_in", data_in=DataIn(kind)))
+
+
+def add_sweep(b: ProgramBuilder, x: str, y: str, dst: str, segments: int,
+              counter: str = "seg0", masked: bool = False) -> None:
+    """``dst[t] = x[t] + y[t]`` rippling the carry through the spare FF.
+
+    The caller must preset the carry (:func:`set_carry`) — carry-in 1 plus a
+    complemented operand is how subtraction is built.
+    """
+    b.sweep(counter, segments, [
+        ArithUop("blc", a=seg_ref(x, counter), b=seg_ref(y, counter)),
+        ArithUop("wb", dest=seg_ref(dst, counter), src="add", masked=masked),
+    ])
+
+
+def load_mask_from_vreg(b: ProgramBuilder, slot: str = "vm") -> None:
+    """Load the mask latches from a 0/1-valued mask register (its LSB)."""
+    ref = RowRef(slot, 0)
+    b.arith(ArithUop("blc", a=ref, b=ref))
+    b.arith(ArithUop("wb", dest="mask_groups", src="and"))
+
+
+def set_mask_pattern(b: ProgramBuilder, kind: str) -> None:
+    """Load the per-column mask latches with a VSU-driven pattern."""
+    b.arith(ArithUop("wb", dest="mask", src="data_in", data_in=DataIn(kind)))
+
+
+def flip_rows_masked(b: ProgramBuilder, refs) -> None:
+    """Complement the mask-selected columns of each listed row in place."""
+    for ref in refs:
+        b.arith(ArithUop("blc", a=ref, b=ref))
+        b.arith(ArithUop("wb", dest=ref, src="nand", masked=True))
+
+
+def materialize_mask(b: ProgramBuilder, segments: int,
+                     counter: str = "seg0") -> None:
+    """Write the current group mask into ``vd`` as 0/1 element values.
+
+    Clears all of ``vd`` then writes a 1 into the LSB column of flagged
+    groups.  The caller must ensure the mask latches hold the result
+    (zeroing uses the data-in port and does not disturb them).
+    """
+    zero_sweep(b, "vd", segments, counter)
+    b.arith(ArithUop("wr", a=RowRef("vd", 0), masked=True,
+                     data_in=DataIn("lsb_ones")))
+
+
+def shift1_sweep(b: ProgramBuilder, slot: str, segments: int, left: bool,
+                 counter: str = "seg0", conditional: bool = False,
+                 masked: bool = False, clear_link: bool = True) -> None:
+    """Shift ``slot`` by one bit across all its segments, in place.
+
+    Left shifts walk segments LSB→MSB, right shifts MSB→LSB, with the spare
+    shifter ferrying the bit across segment boundaries.  With
+    ``conditional``/``masked`` set, only mask-flagged groups shift (the
+    variable-shift building block).
+    """
+    if clear_link:
+        b.arith(ArithUop("sclr"))
+    if left:
+        ref = seg_ref(slot, counter)
+        shift = ArithUop("lshift", conditional=conditional)
+    else:
+        ref = seg_ref(slot, counter, base=segments - 1, step=-1)
+        shift = ArithUop("rshift", conditional=conditional)
+    b.sweep(counter, segments, [
+        ArithUop("rd", a=ref),
+        shift,
+        ArithUop("wb", dest=ref, src="shift", masked=masked),
+    ])
+
+
+def compare_core(b: ProgramBuilder, x: str, y: str, segments: int,
+                 signed: bool) -> None:
+    """Leave the group carry flags holding ``x >= y``; destroys ``vd``.
+
+    Computes the carry-out of ``x + ~y + 1`` (unsigned greater-or-equal).
+    For signed comparison both operands have their sign bits flipped first
+    (the bias trick) via surgical masked complements of the MSB column; the
+    flip of ``x`` is undone afterwards, ``~y`` lives in ``vd`` so ``y`` is
+    never touched.
+    """
+    complement_sweep(b, y, "vd", segments)
+    if signed:
+        set_mask_pattern(b, "msb_ones")
+        top_vd = RowRef("vd", segments - 1)
+        top_x = RowRef(x, segments - 1)
+        flip_rows_masked(b, [top_vd, top_x])
+    set_carry(b, 1)
+    add_sweep(b, x, "vd", "vd", segments)
+    if signed:
+        # Mask still holds the MSB pattern; restore x's sign bit.
+        flip_rows_masked(b, [RowRef(x, segments - 1)])

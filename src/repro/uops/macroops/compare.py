@@ -1,0 +1,84 @@
+"""Comparison, min/max macro-operations.
+
+Ordered comparisons use the adder's carry chain: the carry-out of
+``x + ~y + 1`` is the unsigned ``x >= y`` flag, and flipping both sign bits
+first (the bias trick) turns it into the signed comparison.  Equality uses
+the XOR stack with an OR-fold: first across segments (into ``vd``'s LSB
+segment), then across the columns of each group by walking the XRegister
+and accumulating through masked writes.
+
+``vd`` is used as scratch throughout, so it must not alias a source.
+"""
+
+from __future__ import annotations
+
+from ...errors import MicroProgramError
+from ..program import MicroProgram, ProgramBuilder
+from ..uop import ArithUop, CounterSeg, DataIn, RowRef
+from .common import compare_core, copy_sweep, materialize_mask, seg_ref
+
+#: op -> (x slot, y slot, invert carry) where carry = (x >= y).
+_ORDERED = {
+    "lt": ("vs1", "vs2", True),
+    "ge": ("vs1", "vs2", False),
+    "gt": ("vs2", "vs1", True),
+    "le": ("vs2", "vs1", False),
+}
+
+
+def _equality(b: ProgramBuilder, factor: int, segments: int, op: str) -> None:
+    """Leave the mask latches holding eq (op='eq') or ne (op='ne')."""
+    vd0 = RowRef("vd", 0)
+    b.sweep("seg0", segments, [
+        ArithUop("blc", a=seg_ref("vs1"), b=seg_ref("vs2")),
+        ArithUop("wb", dest=seg_ref("vd"), src="xor"),
+    ])
+    if segments > 1:
+        # OR-fold the higher segments into segment 0.
+        b.sweep("seg1", segments - 1, [
+            ArithUop("blc", a=vd0, b=RowRef("vd", CounterSeg("seg1", base=1))),
+            ArithUop("wb", dest=vd0, src="or"),
+        ])
+    # OR-fold across the columns of each group by walking the XRegister.
+    b.arith(ArithUop("blc", a=vd0, b=vd0))
+    b.arith(ArithUop("wb", dest="xreg", src="and"))
+    b.arith(ArithUop("wr", a=vd0, data_in=DataIn("zeros")))
+    b.sweep("bit0", factor, [
+        ArithUop("mask_shft"),
+        ArithUop("wr", a=vd0, masked=True, data_in=DataIn("lsb_ones")),
+    ])
+    # vd0's LSB now holds the "not equal" flag of each group.
+    b.arith(ArithUop("blc", a=vd0, b=vd0))
+    b.arith(ArithUop("wb", dest="mask_groups", src="and" if op == "ne" else "nor"))
+
+
+def generate_compare(factor: int, element_bits: int, op: str = "lt",
+                     signed: bool = True) -> MicroProgram:
+    """``vd = (vs1 <op> vs2) ? 1 : 0`` — a mask-producing compare."""
+    segments = element_bits // factor
+    b = ProgramBuilder(f"cmp-{op}{'' if signed else 'u'}/{factor}")
+    if op in ("eq", "ne"):
+        _equality(b, factor, segments, op)
+    elif op in _ORDERED:
+        x, y, invert = _ORDERED[op]
+        compare_core(b, x, y, segments, signed=signed)
+        b.arith(ArithUop("mask_carry", invert=invert))
+    else:
+        raise MicroProgramError(f"unknown comparison {op!r}")
+    materialize_mask(b, segments, counter="seg2")
+    return b.build()
+
+
+def generate_minmax(factor: int, element_bits: int, op: str = "min",
+                    signed: bool = True) -> MicroProgram:
+    """``vd = min/max(vs1, vs2)`` via compare-and-masked-copy."""
+    if op not in ("min", "max"):
+        raise MicroProgramError(f"unknown minmax op {op!r}")
+    segments = element_bits // factor
+    b = ProgramBuilder(f"{op}{'' if signed else 'u'}/{factor}")
+    compare_core(b, "vs1", "vs2", segments, signed=signed)  # carry = vs1 >= vs2
+    copy_sweep(b, "vs2", "vd", segments, counter="seg1")
+    # min keeps vs1 where vs1 < vs2 (inverted carry); max where vs1 >= vs2.
+    b.arith(ArithUop("mask_carry", invert=(op == "min")))
+    copy_sweep(b, "vs1", "vd", segments, counter="seg2", masked=True)
+    return b.build()

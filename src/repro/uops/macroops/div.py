@@ -1,0 +1,74 @@
+"""Division and remainder macro-operations (restoring division).
+
+The classic restoring algorithm needs a remainder register alongside the
+shifting dividend; the VCU spills one architectural register to the cache
+ways around a division and lends it to the micro-program as the ``vm``
+slot.  Subtraction of the (untouched) divisor uses the complement identity
+``R - D = ~(~R + D)``, whose carry doubles as the borrow flag, so the
+divisor register is never modified.
+
+Per bit, most significant first::
+
+    [R : W] <<= 1                  # W = dividend copy in vd, collects Q
+    R = ~(~R + D)                  # trial subtract; carry = borrow
+    W.lsb = not borrow             # quotient bit (LSB-column masked write)
+    if borrow: R += D              # restore
+
+Bit-exact for the unsigned forms (``divu``/``remu``); the signed forms use
+the same micro-program as a timing proxy (and are bit-exact for
+non-negative operands) — see DESIGN.md for the rationale.
+"""
+
+from __future__ import annotations
+
+from ...errors import MicroProgramError
+from ..program import MicroProgram, ProgramBuilder
+from ..uop import ArithUop, ControlUop, CounterUop, DataIn, RowRef
+from .common import (
+    add_sweep,
+    complement_sweep,
+    copy_sweep,
+    set_carry,
+    shift1_sweep,
+    zero_sweep,
+)
+
+
+def generate_div(factor: int, element_bits: int, op: str = "divu") -> MicroProgram:
+    """``vd = vs1 / vs2`` or ``vs1 % vs2``; ``vm`` is the spilled scratch.
+
+    Division by zero follows the carry flags naturally: every trial
+    subtract of 0 succeeds, so the quotient saturates to all-ones and the
+    remainder equals the dividend — exactly the RVV-mandated results.
+    """
+    if op not in ("div", "rem", "divu", "remu"):
+        raise MicroProgramError(f"unknown division op {op!r}")
+    segments = element_bits // factor
+    b = ProgramBuilder(f"{op}/{factor}")
+    zero_sweep(b, "vm", segments)            # R = 0
+    copy_sweep(b, "vs1", "vd", segments)     # W = dividend (collects Q)
+
+    b.init("bit1", element_bits)
+    loop = b.label()
+    # [R : W] <<= 1 — the spare-shifter link ferries W's MSB into R's LSB.
+    b.emit(counter=CounterUop(kind="decr", counter="bit1"),
+           arith=ArithUop("sclr"))
+    shift1_sweep(b, "vd", segments, left=True, clear_link=False)
+    shift1_sweep(b, "vm", segments, left=True, clear_link=False)
+    # Trial subtract: R = ~(~R + D); the add's carry is the borrow flag.
+    complement_sweep(b, "vm", "vm", segments)
+    set_carry(b, 0)
+    add_sweep(b, "vm", "vs2", "vm", segments)
+    complement_sweep(b, "vm", "vm", segments)
+    # Quotient bit: W's just-vacated LSB <- no-borrow.
+    b.arith(ArithUop("mask_carry", invert=True, lsb_only=True))
+    b.arith(ArithUop("wr", a=RowRef("vd", 0), masked=True, data_in=DataIn("ones")))
+    # Restore where a borrow occurred: R += D.
+    b.arith(ArithUop("mask_carry", invert=False))
+    set_carry(b, 0)
+    add_sweep(b, "vm", "vs2", "vm", segments, counter="seg1", masked=True)
+    b.emit(control=ControlUop(kind="bnz", counter="bit1", target=loop))
+
+    if op in ("rem", "remu"):
+        copy_sweep(b, "vm", "vd", segments)  # remainder out
+    return b.build()

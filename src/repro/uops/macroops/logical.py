@@ -1,0 +1,77 @@
+"""Bit-wise logic, moves, splats, and the merge (select) macro-operation.
+
+Logic operations are the cheapest micro-programs: the bit-line compute
+produces and/nand/or/nor directly and the XOR layer adds xor/xnor, so each
+segment costs exactly one blc plus one write-back.
+"""
+
+from __future__ import annotations
+
+from ...errors import MicroProgramError
+from ..program import MicroProgram, ProgramBuilder
+from ..uop import ArithUop, DataIn
+from .common import copy_sweep, load_mask_from_vreg, seg_ref
+
+#: Logic op name -> write-back source fed by the bit-line compute stack.
+_LOGIC_SOURCES = {
+    "and": "and", "or": "or", "xor": "xor",
+    "nand": "nand", "nor": "nor", "xnor": "xnor",
+}
+
+
+def generate_logic(factor: int, element_bits: int, op: str = "and",
+                   masked: bool = False) -> MicroProgram:
+    """``vd = vs1 <op> vs2`` for the six bit-line logic functions, plus
+    ``not`` (complement of vs1, implemented as nand with itself)."""
+    segments = element_bits // factor
+    b = ProgramBuilder(f"{op}/{factor}" + ("/m" if masked else ""))
+    if masked:
+        load_mask_from_vreg(b)
+    if op == "not":
+        b.sweep("seg0", segments, [
+            ArithUop("blc", a=seg_ref("vs1"), b=seg_ref("vs1")),
+            ArithUop("wb", dest=seg_ref("vd"), src="nand", masked=masked),
+        ])
+        return b.build()
+    try:
+        src = _LOGIC_SOURCES[op]
+    except KeyError:
+        raise MicroProgramError(f"unknown logic op {op!r}") from None
+    b.sweep("seg0", segments, [
+        ArithUop("blc", a=seg_ref("vs1"), b=seg_ref("vs2")),
+        ArithUop("wb", dest=seg_ref("vd"), src=src, masked=masked),
+    ])
+    return b.build()
+
+
+def generate_move(factor: int, element_bits: int, masked: bool = False) -> MicroProgram:
+    """``vd = vs1`` (register copy)."""
+    segments = element_bits // factor
+    b = ProgramBuilder(f"move/{factor}" + ("/m" if masked else ""))
+    if masked:
+        load_mask_from_vreg(b)
+    copy_sweep(b, "vs1", "vd", segments, masked=masked)
+    return b.build()
+
+
+def generate_splat(factor: int, element_bits: int, masked: bool = False) -> MicroProgram:
+    """``vd = scalar`` broadcast via the data-in port, segment by segment."""
+    segments = element_bits // factor
+    b = ProgramBuilder(f"splat/{factor}" + ("/m" if masked else ""))
+    if masked:
+        load_mask_from_vreg(b)
+    b.sweep("seg0", segments, [
+        ArithUop("wr", a=seg_ref("vd"), masked=masked,
+                 data_in=DataIn("scalar_seg", seg_ref("vd").seg)),
+    ])
+    return b.build()
+
+
+def generate_merge(factor: int, element_bits: int) -> MicroProgram:
+    """``vd = vm ? vs1 : vs2`` — copy vs2, then overwrite flagged groups."""
+    segments = element_bits // factor
+    b = ProgramBuilder(f"merge/{factor}")
+    copy_sweep(b, "vs2", "vd", segments, counter="seg0")
+    load_mask_from_vreg(b)
+    copy_sweep(b, "vs1", "vd", segments, counter="seg1", masked=True)
+    return b.build()

@@ -1,0 +1,65 @@
+"""Multiplication macro-operation (Figure 4b).
+
+Predicated summation, MSB-first: for every bit of the multiplier (walked
+from the most-significant bit via the XRegister), the accumulator is
+doubled and the multiplicand is conditionally added::
+
+    vd = 0
+    for each multiplier bit, MSB first:
+        vd = (vd + vd) + (bit ? vs1 : 0)
+
+The MSB-first walk is what lets the product accumulate *in place* in
+``vd`` — no shifted-multiplicand scratch register is needed, so the full
+32-register file stays resident (Table III's EVE-4 geometry depends on
+this).  ``vd`` must not alias either source.
+
+The doubling exploits the adder directly: ``blc(P, P)`` senses generate =
+P and propagate = 0, so the Manchester chain yields ``2P`` with the
+inter-segment carry rippling through the spare flip-flop — two μops per
+segment instead of a three-μop shifter sweep.
+
+The outer loop iterates the multiplier's segments (MSB segment first,
+loaded into the XRegister); the inner loop walks the segment's bits.  Cost
+per bit is one mask load, one doubling sweep and one masked add sweep, so
+the latency scales with ``element_bits * segments`` — thousands of cycles
+for bit-serial, a few hundred for bit-parallel, matching Figure 2.
+"""
+
+from __future__ import annotations
+
+from ..program import MicroProgram, ProgramBuilder
+from ..uop import ArithUop, ControlUop, CounterSeg, CounterUop, RowRef
+from .common import add_sweep, set_carry, zero_sweep
+
+
+def generate_mul(factor: int, element_bits: int, high: bool = False) -> MicroProgram:
+    """``vd = vs1 * vs2`` (low half).
+
+    ``high=True`` builds the same control structure (the timing proxy used
+    for ``vmulh``/``vmulhu``); its bit-exact result is still the low half,
+    which the functional engine refuses to use (see the ROM).
+    """
+    segments = element_bits // factor
+    b = ProgramBuilder(f"mul{'h' if high else ''}/{factor}")
+    zero_sweep(b, "vd", segments, counter="seg0")
+
+    # Outer loop: segments of the multiplier, most significant first.
+    b.init("seg1", segments)
+    outer = b.label()
+    msb_seg = RowRef("vs2", CounterSeg("seg1", base=segments - 1, step=-1))
+    b.emit(counter=CounterUop(kind="decr", counter="seg1"),
+           arith=ArithUop("blc", a=msb_seg, b=msb_seg))
+    b.arith(ArithUop("wb", dest="xreg", src="and"))
+
+    # Inner loop: bits of the segment, MSB first via the left mask walk.
+    b.init("bit0", factor)
+    inner = b.label()
+    b.emit(counter=CounterUop(kind="decr", counter="bit0"),
+           arith=ArithUop("mask_shftl"))
+    set_carry(b, 0)
+    add_sweep(b, "vd", "vd", "vd", segments, counter="seg0")  # vd = 2*vd
+    set_carry(b, 0)
+    add_sweep(b, "vd", "vs1", "vd", segments, counter="seg0", masked=True)
+    b.emit(control=ControlUop(kind="bnz", counter="bit0", target=inner))
+    b.emit(control=ControlUop(kind="bnz", counter="seg1", target=outer))
+    return b.build()

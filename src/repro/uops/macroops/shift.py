@@ -1,0 +1,126 @@
+"""Shift macro-operations (Section III-B/C).
+
+Scalar-amount shifts (``vx`` forms) are specialised by the VSU for the
+known amount: whole segments move as masked row copies, the sub-segment
+remainder as one-bit sweeps through the constant shifter with the spare
+shifter ferrying bits across segment boundaries.
+
+Variable shifts (``vv`` forms) use binary decomposition of the per-element
+amount: for each bit ``i`` of the amount, the mask latches are loaded with
+that bit (via the XRegister walk) and ``2^i`` worth of shifting is applied
+*conditionally* — one-bit constant-shifter steps while ``2^i < n``, whole
+conditional segment copies once ``2^i >= n``.  This segment-granularity
+path is why bit-hybrid shifts beat bit-parallel ones (Section III-C).
+"""
+
+from __future__ import annotations
+
+from ...errors import MicroProgramError
+from ..program import MicroProgram, ProgramBuilder
+from ..uop import ArithUop, CounterSeg, DataIn, RowRef
+from .common import copy_sweep, shift1_sweep
+
+
+def _seg_move(b: ProgramBuilder, slot_src: str, slot_dst: str, segments: int,
+              by: int, left: bool, masked: bool, counter: str = "seg0",
+              zero_counter: str = "seg1") -> None:
+    """Move ``slot_src`` into ``slot_dst`` displaced by ``by`` whole
+    segments, zero-filling the vacated segments."""
+    span = segments - by
+    if left:
+        dst = RowRef(slot_dst, CounterSeg(counter, base=segments - 1, step=-1))
+        src = RowRef(slot_src, CounterSeg(counter, base=segments - 1 - by, step=-1))
+    else:
+        dst = RowRef(slot_dst, CounterSeg(counter, base=0, step=1))
+        src = RowRef(slot_src, CounterSeg(counter, base=by, step=1))
+    if span > 0:
+        b.sweep(counter, span, [
+            ArithUop("blc", a=src, b=src),
+            ArithUop("wb", dest=dst, src="and", masked=masked),
+        ])
+    fill = min(by, segments)
+    if left:
+        fill_ref = RowRef(slot_dst, CounterSeg(zero_counter, base=0, step=1))
+    else:
+        fill_ref = RowRef(slot_dst, CounterSeg(zero_counter, base=segments - fill, step=1))
+    b.sweep(zero_counter, fill, [
+        ArithUop("wr", a=fill_ref, masked=masked, data_in=DataIn("zeros")),
+    ])
+
+
+def _seed_sign(b: ProgramBuilder, slot: str, segments: int) -> None:
+    """Load the spare-shifter ferry bit with each group's sign bit."""
+    top = RowRef(slot, segments - 1)
+    b.arith(ArithUop("blc", a=top, b=top))
+    b.arith(ArithUop("wb", dest="link", src="and"))
+
+
+def generate_shift_scalar(factor: int, element_bits: int, op: str = "sll",
+                          amount: int = 0) -> MicroProgram:
+    """``vd = vs1 <op> amount`` with a compile-time-known scalar amount."""
+    if op not in ("sll", "srl", "sra"):
+        raise MicroProgramError(f"unknown shift op {op!r}")
+    segments = element_bits // factor
+    amount &= element_bits - 1
+    b = ProgramBuilder(f"{op}/{factor}/{amount}")
+    if amount == 0:
+        copy_sweep(b, "vs1", "vd", segments)
+        return b.build()
+
+    whole, rest = divmod(amount, factor)
+    if op == "sra":
+        # Arithmetic shifts keep sign replication simple: copy, then one-bit
+        # sweeps each seeded with the current sign bit.
+        copy_sweep(b, "vs1", "vd", segments)
+        for _ in range(amount):
+            _seed_sign(b, "vd", segments)
+            shift1_sweep(b, "vd", segments, left=False, clear_link=False)
+        return b.build()
+
+    left = op == "sll"
+    if whole:
+        _seg_move(b, "vs1", "vd", segments, by=whole, left=left, masked=False)
+    else:
+        copy_sweep(b, "vs1", "vd", segments)
+    for _ in range(rest):
+        shift1_sweep(b, "vd", segments, left=left)
+    return b.build()
+
+
+def generate_shift_variable(factor: int, element_bits: int,
+                            op: str = "sll") -> MicroProgram:
+    """``vd = vs1 <op> vs2`` with per-element amounts (binary decomposition).
+
+    Runs a data-independent worst case: every bit position of the amount is
+    visited and applied conditionally, which is what lock-step SIMD
+    execution requires.
+    """
+    if op not in ("sll", "srl", "sra"):
+        raise MicroProgramError(f"unknown shift op {op!r}")
+    segments = element_bits // factor
+    shamt_bits = element_bits.bit_length() - 1  # 5 for 32-bit elements
+    b = ProgramBuilder(f"{op}v/{factor}")
+    copy_sweep(b, "vs1", "vd", segments)
+    left = op == "sll"
+    for i in range(shamt_bits):
+        # Load mask <- bit i of the per-element amount (vs2).
+        seg, pos = divmod(i, factor)
+        amt = RowRef("vs2", seg)
+        b.arith(ArithUop("blc", a=amt, b=amt))
+        b.arith(ArithUop("wb", dest="xreg", src="and"))
+        for _ in range(pos + 1):
+            b.arith(ArithUop("mask_shft"))
+        step = 1 << i
+        if op == "sra" or step < factor:
+            for _ in range(step):
+                if op == "sra":
+                    _seed_sign(b, "vd", segments)
+                    shift1_sweep(b, "vd", segments, left=False,
+                                 conditional=True, masked=True, clear_link=False)
+                else:
+                    shift1_sweep(b, "vd", segments, left=left,
+                                 conditional=True, masked=True)
+        else:
+            _seg_move(b, "vd", "vd", segments, by=step // factor, left=left,
+                      masked=True)
+    return b.build()

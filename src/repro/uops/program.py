@@ -1,0 +1,111 @@
+"""Micro-program container and a builder for writing them in Python.
+
+A micro-program is a list of :class:`~repro.uops.uop.UopTuple` plus a label
+table.  :class:`ProgramBuilder` provides the idioms the hand-written ROM
+programs need — most importantly the *canonical sweep*: a two-tuple loop
+body iterating a counter over all segments, which is the shape of Figure 4's
+``add`` macro-operation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import MicroProgramError
+from .uop import ArithUop, ControlUop, CounterUop, UopTuple
+
+
+class MicroProgram:
+    """An immutable sequence of VLIW μop tuples with resolved labels."""
+
+    def __init__(self, name: str, tuples: List[UopTuple],
+                 labels: Dict[str, int]) -> None:
+        self.name = name
+        self.tuples = list(tuples)
+        self.labels = dict(labels)
+        for label, target in self.labels.items():
+            if not 0 <= target <= len(self.tuples):
+                raise MicroProgramError(
+                    f"{name}: label {label!r} points outside the program")
+        self._check_targets()
+
+    def _check_targets(self) -> None:
+        for i, tup in enumerate(self.tuples):
+            ctrl = tup.control
+            if ctrl is not None and ctrl.kind in ("bnz", "bnd", "jmp"):
+                if ctrl.target not in self.labels:
+                    raise MicroProgramError(
+                        f"{self.name}[{i}]: undefined label {ctrl.target!r}")
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def target(self, label: str) -> int:
+        return self.labels[label]
+
+
+class ProgramBuilder:
+    """Accumulates tuples and labels, then freezes into a MicroProgram."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._tuples: List[UopTuple] = []
+        self._labels: Dict[str, int] = {}
+        self._auto_label = 0
+
+    # -- raw emission -------------------------------------------------------
+
+    def label(self, name: Optional[str] = None) -> str:
+        if name is None:
+            name = f"_L{self._auto_label}"
+            self._auto_label += 1
+        if name in self._labels:
+            raise MicroProgramError(f"{self.name}: duplicate label {name!r}")
+        self._labels[name] = len(self._tuples)
+        return name
+
+    def emit(self, counter: Optional[CounterUop] = None,
+             arith: Optional[ArithUop] = None,
+             control: Optional[ControlUop] = None) -> None:
+        self._tuples.append(UopTuple(counter=counter, arith=arith, control=control))
+
+    # -- sugar ---------------------------------------------------------------
+
+    def arith(self, uop: ArithUop) -> None:
+        self.emit(arith=uop)
+
+    def init(self, counter: str, value: int) -> None:
+        self.emit(counter=CounterUop(kind="init", counter=counter, value=value))
+
+    def ret(self) -> None:
+        self.emit(control=ControlUop(kind="ret"))
+
+    def sweep(self, counter: str, count: int, body: List[ArithUop]) -> None:
+        """The canonical count-down loop (Figure 4a's shape).
+
+        Emits ``init counter``, then a loop whose body is ``body``; the
+        first body μop shares its tuple with the ``decr`` and the last with
+        the ``bnz``, so a two-μop body costs exactly two cycles per
+        iteration.  A one-μop body costs one cycle per iteration.
+        """
+        if not body:
+            raise MicroProgramError("sweep body must not be empty")
+        if count <= 0:
+            raise MicroProgramError("sweep count must be positive")
+        self.init(counter, count)
+        top = self.label()
+        decr = CounterUop(kind="decr", counter=counter)
+        back = ControlUop(kind="bnz", counter=counter, target=top)
+        if len(body) == 1:
+            self.emit(counter=decr, arith=body[0], control=back)
+            return
+        self.emit(counter=decr, arith=body[0])
+        for uop in body[1:-1]:
+            self.emit(arith=uop)
+        self.emit(arith=body[-1], control=back)
+
+    def build(self) -> MicroProgram:
+        if not self._tuples or self._tuples[-1].control is None or \
+                self._tuples[-1].control.kind != "ret":
+            self.ret()
+        return MicroProgram(self.name, self._tuples, self._labels)

@@ -1,0 +1,156 @@
+"""The macro-operation ROM (Section V-B).
+
+The VSU holds a ROM with the micro-program for every macro-operation; this
+class builds those programs on demand (per parallelization factor),
+caches them, and answers cycle counts via timing-only execution — the
+control flow of every program is data-independent, so one timing run is
+exact for all inputs.
+
+Opcode mapping: the ROM serves the compute macro-ops.  Memory, reduction,
+slide, and gather instructions are executed as read/write streams by the
+VMU / VRU / VSU and are timed by the engine models instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..errors import IsaError
+from ..isa.instructions import VectorInstr
+from .executor import MicroEngine
+from .macroops import GENERATORS
+from .program import MicroProgram
+
+#: Opcodes whose timing is a VSU/VMU/VRU stream, not a ROM program.
+STREAMED_OPS = frozenset({
+    "vle32", "vse32", "vlse32", "vsse32", "vluxei32", "vsuxei32",
+    "vredsum", "vredmax", "vredmin", "vredand", "vredor", "vredxor",
+    "vrgather", "vslideup", "vslidedown", "vmv.x.s", "vmv.s.x",
+    "vsetvl", "vmfence",
+})
+
+#: Macro-ops whose bit-exact result is only a timing proxy.
+TIMING_PROXIES = frozenset({"mulh", "mulhu"})
+
+#: VCU decompositions (Section V-A: instructions may become *multiple*
+#: macro-operations): saturating arithmetic as sequences of base macros.
+#: Signed overflow of a+b has sign(t4) with t4 = (a^sum) & ~(a^b); the
+#: saturation value is (a >> 31) ^ INT_MAX; a final merge selects.
+COMPOSITE_MACROS = {
+    "sadd": (
+        ("add", {}), ("logic", {"op": "xor"}), ("logic", {"op": "xor"}),
+        ("logic", {"op": "not"}), ("logic", {"op": "and"}), ("splat", {}),
+        ("compare", {"op": "lt", "signed": True}),
+        ("shift_scalar", {"op": "sra", "amount": 31}), ("splat", {}),
+        ("logic", {"op": "xor"}), ("merge", {}),
+    ),
+    "ssub": (
+        ("sub", {}), ("logic", {"op": "xor"}), ("logic", {"op": "xor"}),
+        ("logic", {"op": "and"}), ("splat", {}),
+        ("compare", {"op": "lt", "signed": True}),
+        ("shift_scalar", {"op": "sra", "amount": 31}), ("splat", {}),
+        ("logic", {"op": "xor"}), ("merge", {}),
+    ),
+    "saddu": (
+        ("add", {}), ("compare", {"op": "lt", "signed": False}),
+        ("splat", {}), ("merge", {}),
+    ),
+    "ssubu": (
+        ("sub", {}), ("compare", {"op": "lt", "signed": False}),
+        ("splat", {}), ("merge", {}),
+    ),
+}
+
+_LOGIC = {"vand": "and", "vor": "or", "vxor": "xor", "vnot": "not"}
+_COMPARE = {"vmseq": "eq", "vmsne": "ne", "vmslt": "lt",
+            "vmsle": "le", "vmsgt": "gt", "vmsge": "ge"}
+_MINMAX = {"vmin": ("min", True), "vmax": ("max", True),
+           "vminu": ("min", False), "vmaxu": ("max", False)}
+_SHIFT = {"vsll": "sll", "vsrl": "srl", "vsra": "sra"}
+_DIV = {"vdiv": "div", "vrem": "rem", "vdivu": "divu", "vremu": "remu"}
+
+
+def instr_key(instr: VectorInstr) -> Optional[Tuple[str, Tuple[Tuple[str, object], ...]]]:
+    """Map a vector instruction to its (macro, params) ROM key.
+
+    Returns ``None`` for streamed (non-ROM) instructions.
+    """
+    op = instr.op
+    if op in STREAMED_OPS:
+        return None
+    if op in ("vadd", "vsub", "vrsub"):
+        return op[1:], (("masked", instr.masked),)
+    if op in _LOGIC:
+        return "logic", (("op", _LOGIC[op]), ("masked", instr.masked))
+    if op == "vmv":
+        if instr.vs1 >= 0:
+            return "move", (("masked", instr.masked),)
+        return "splat", (("masked", instr.masked),)
+    if op == "vmerge":
+        return "merge", ()
+    if op in _COMPARE:
+        return "compare", (("op", _COMPARE[op]), ("signed", True))
+    if op in _MINMAX:
+        mm, signed = _MINMAX[op]
+        return "minmax", (("op", mm), ("signed", signed))
+    if op in _SHIFT:
+        if instr.vs2 >= 0:
+            return "shift_variable", (("op", _SHIFT[op]),)
+        return "shift_scalar", (("op", _SHIFT[op]), ("amount", instr.scalar & 31))
+    if op in ("vmul", "vmulh", "vmulhu"):
+        return "mul", (("high", op != "vmul"),)
+    if op in _DIV:
+        return "div", (("op", _DIV[op]),)
+    if op in ("vsadd", "vssub", "vsaddu", "vssubu"):
+        return op[1:], ()  # composite macro (VCU decomposition)
+    raise IsaError(f"no macro-operation mapping for {op!r}")
+
+
+class MacroOpRom:
+    """Builds/caches micro-programs and cycle counts for one EVE-n design."""
+
+    def __init__(self, factor: int, element_bits: int = 32) -> None:
+        self.factor = factor
+        self.element_bits = element_bits
+        self._programs: Dict[tuple, MicroProgram] = {}
+        self._cycles: Dict[tuple, int] = {}
+        self._engine = MicroEngine()
+
+    def program(self, macro: str, **params: object) -> MicroProgram:
+        if macro in COMPOSITE_MACROS:
+            raise IsaError(
+                f"{macro!r} is a VCU composite of base macro-operations; "
+                "it has no single micro-program (see COMPOSITE_MACROS)")
+        key = (macro, tuple(sorted(params.items())))
+        if key not in self._programs:
+            try:
+                generator = GENERATORS[macro]
+            except KeyError:
+                raise IsaError(f"unknown macro-operation {macro!r}") from None
+            self._programs[key] = generator(self.factor, self.element_bits, **params)
+        return self._programs[key]
+
+    def cycles(self, macro: str, **params: object) -> int:
+        if macro in COMPOSITE_MACROS:
+            return sum(self.cycles(part, **part_params)
+                       for part, part_params in COMPOSITE_MACROS[macro])
+        key = (macro, tuple(sorted(params.items())))
+        if key not in self._cycles:
+            self._cycles[key] = self._engine.run(self.program(macro, **params))
+        return self._cycles[key]
+
+    def cycles_for(self, instr: VectorInstr) -> Optional[int]:
+        """Cycle count of the ROM program for ``instr``; ``None`` if the
+        instruction is a streamed (VMU/VRU) operation."""
+        key = instr_key(instr)
+        if key is None:
+            return None
+        macro, params = key
+        return self.cycles(macro, **dict(params))
+
+    def program_for(self, instr: VectorInstr) -> Optional[MicroProgram]:
+        key = instr_key(instr)
+        if key is None:
+            return None
+        macro, params = key
+        return self.program(macro, **dict(params))

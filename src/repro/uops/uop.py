@@ -1,0 +1,145 @@
+"""Micro-operation definitions (Table II).
+
+Row operands are *symbolic*: a :class:`RowRef` names a register slot
+(``vs1``, ``vs2``, ``vd``, ``vm``) and a segment, where the segment may be a
+literal or derived from a counter (``base + step * iteration``).  The VSU's
+address generator resolves these against the register layout at execution
+time, which is what makes one micro-program serve any register binding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from ..errors import MicroProgramError
+
+#: Register slots a micro-program may reference.
+REG_SLOTS = ("vs1", "vs2", "vd", "vm")
+
+ARITH_KINDS = (
+    "rd", "wr", "blc", "wb", "lshift", "rshift", "lrot", "rrot",
+    "mask_shft", "mask_shftl", "mask_carry", "sclr", "nop",
+)
+
+#: Data-in port patterns the VSU can drive (resolved per cycle).
+DATA_IN_KINDS = ("zeros", "ones", "lsb_ones", "msb_ones", "scalar_seg")
+
+COUNTER_KINDS = ("init", "decr", "incr", "none")
+CONTROL_KINDS = ("bnz", "bnd", "jmp", "ret", "none")
+
+
+@dataclass(frozen=True)
+class CounterSeg:
+    """A counter-derived segment index: ``base + step * iteration``."""
+
+    counter: str
+    base: int = 0
+    step: int = 1
+
+
+SegSpec = Union[int, CounterSeg]
+
+
+@dataclass(frozen=True)
+class RowRef:
+    """Symbolic wordline reference: (register slot, segment)."""
+
+    reg: str
+    seg: SegSpec = 0
+
+    def __post_init__(self) -> None:
+        if self.reg not in REG_SLOTS:
+            raise MicroProgramError(f"unknown register slot {self.reg!r}")
+
+
+@dataclass(frozen=True)
+class DataIn:
+    """A data-in port pattern driven by the VSU.
+
+    ``scalar_seg`` broadcasts segment ``seg`` of the macro-op's scalar
+    operand to every column group (used for splats and constants).
+    """
+
+    kind: str
+    seg: SegSpec = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in DATA_IN_KINDS:
+            raise MicroProgramError(f"unknown data-in kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class ArithUop:
+    """One arithmetic μop executed by the EVE SRAM (Table II)."""
+
+    kind: str
+    a: Optional[RowRef] = None        # first wordline (rd/wr/blc/wb dest)
+    b: Optional[RowRef] = None        # second wordline (blc)
+    dest: Union[RowRef, str, None] = None   # wb destination (row or latch)
+    src: Optional[str] = None         # wb source
+    masked: bool = False
+    conditional: bool = True          # shifters: gate on the mask latch
+    invert: bool = False              # mask_carry: load the complement
+    lsb_only: bool = False            # mask_carry: gate onto LSB columns
+    data_in: Optional[DataIn] = None  # pattern to drive before wr/wb
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARITH_KINDS:
+            raise MicroProgramError(f"unknown arithmetic μop {self.kind!r}")
+        if self.kind == "blc" and (self.a is None or self.b is None):
+            raise MicroProgramError("blc needs two wordline operands")
+        if self.kind in ("rd", "wr") and self.a is None:
+            raise MicroProgramError(f"{self.kind} needs a wordline operand")
+        if self.kind == "wb" and (self.dest is None or self.src is None):
+            raise MicroProgramError("wb needs a destination and a source")
+
+
+@dataclass(frozen=True)
+class CounterUop:
+    """One counter μop (init / decr / incr)."""
+
+    kind: str
+    counter: str = ""
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in COUNTER_KINDS:
+            raise MicroProgramError(f"unknown counter μop {self.kind!r}")
+        if self.kind != "none" and not self.counter:
+            raise MicroProgramError(f"{self.kind} needs a counter name")
+        if self.kind == "init" and self.value <= 0:
+            raise MicroProgramError("counter init value must be positive")
+
+
+@dataclass(frozen=True)
+class ControlUop:
+    """One control μop manipulating the micro-program counter."""
+
+    kind: str
+    counter: str = ""
+    target: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in CONTROL_KINDS:
+            raise MicroProgramError(f"unknown control μop {self.kind!r}")
+        if self.kind in ("bnz", "bnd") and (not self.counter or not self.target):
+            raise MicroProgramError(f"{self.kind} needs a counter and a target label")
+        if self.kind == "jmp" and not self.target:
+            raise MicroProgramError("jmp needs a target label")
+
+
+@dataclass(frozen=True)
+class UopTuple:
+    """One VLIW tuple: counter μop, arithmetic μop, control μop.
+
+    The three μops of a tuple execute in one cycle, in the order counter →
+    arithmetic → control (Section IV-B).
+    """
+
+    counter: Optional[CounterUop] = None
+    arith: Optional[ArithUop] = None
+    control: Optional[ControlUop] = None
+
+    def parts(self) -> Tuple[Optional[CounterUop], Optional[ArithUop], Optional[ControlUop]]:
+        return self.counter, self.arith, self.control

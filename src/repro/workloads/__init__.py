@@ -1,0 +1,18 @@
+"""Benchmark workloads (Table IV).
+
+Each workload is written once against the vector-intrinsics API and runs
+on any context — the trace-building :class:`~repro.isa.intrinsics.VectorContext`
+(functional numpy + trace emission) or the bit-exact
+:class:`~repro.core.functional.EveFunctionalEngine` — plus a scalar-trace
+variant for the IO/O3 baselines.  Every vector build self-checks against a
+pure-numpy reference before returning its trace.
+
+Paper inputs are scaled down (documented per workload and in DESIGN.md);
+the instruction mixes, stride patterns, and memory-boundedness crossovers
+are preserved.
+"""
+
+from .base import REGISTRY, Workload, get_workload, workload_names
+from . import vvadd, mmult, kmeans, pathfinder, jacobi2d, backprop, sw  # noqa: F401  (registration)
+
+__all__ = ["REGISTRY", "Workload", "get_workload", "workload_names"]

@@ -1,0 +1,91 @@
+"""backprop — Rodinia's neural-network layer (the MSHR-starved kernel).
+
+Paper input: 524K input units; ours: 32768 inputs x 16 hidden units.  The
+weight matrix is stored input-major, so reading one hidden unit's column
+is a constant-stride load with a 64-byte stride — every element lands in
+its own cache line, which is precisely the paper's "no two elements in
+the same cacheline" pathology: the VMU pins an MSHR per element and
+spends >90% of its time stalled on the LLC (Figure 8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..isa.intrinsics import wrap32
+from ..isa.trace import Trace
+from .base import Workload, register
+
+SCALAR_INSTRS_PER_MAC = 7
+STRIP_OVERHEAD_INSTRS = 6
+
+
+class BackpropWorkload(Workload):
+    name = "backprop"
+    suite = "rodinia"
+    #: n_in must stay divisible by every machine's VLMAX (the dot products
+    #: accumulate in a fixed-length vector register).  The weight matrix
+    #: (32768 x 16 x 4B = 2MB) intentionally exceeds the LLC so the
+    #: stride-64B pathology stays DRAM/MSHR-bound as in the paper.
+    params = {"n_in": 32768, "n_hidden": 16}
+    tiny_params = {"n_in": 128, "n_hidden": 4}
+
+    def make_inputs(self, params, seed: int = 1234) -> Dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        n_in, n_hidden = params["n_in"], params["n_hidden"]
+        return {
+            "x": rng.integers(-128, 128, n_in).astype(np.int32),
+            "w": rng.integers(-64, 64, n_in * n_hidden).astype(np.int32),
+        }
+
+    def reference(self, inputs, params) -> Dict[str, np.ndarray]:
+        n_in, n_hidden = params["n_in"], params["n_hidden"]
+        w = inputs["w"].reshape(n_in, n_hidden).astype(np.int64)
+        x = inputs["x"].astype(np.int64)
+        hidden = wrap32(x @ w)
+        # Integer "squash": scale down, as the fixed-point port would.
+        return {"hidden": hidden.astype(np.int64) >> 8}
+
+    def kernel(self, ctx, inputs, params) -> Dict[str, np.ndarray]:
+        n_in, n_hidden = params["n_in"], params["n_hidden"]
+        x = ctx.vm.alloc_i32("x", inputs["x"])
+        w = ctx.vm.alloc_i32("w", inputs["w"])
+        hidden = np.zeros(n_hidden, dtype=np.int64)
+        for h in range(n_hidden):
+            ctx.setvl(n_in)
+            acc = ctx.vmv(0)
+            i = 0
+            while i < n_in:
+                vl = ctx.setvl(n_in - i)
+                # Column h of the input-major weight matrix: stride 64B.
+                wv = ctx.vlse32(w, i * n_hidden + h, n_hidden)
+                xv = ctx.vle32(x, i)
+                prod = ctx.vmul(wv, xv)
+                acc = ctx.vadd(acc, prod)
+                ctx.scalar(STRIP_OVERHEAD_INSTRS)
+                i += vl
+            hidden[h] = ctx.vredsum(acc) >> 8  # scalar squash on the core
+            ctx.scalar(6)
+        return {"hidden": hidden}
+
+    def scalar_trace(self, params: Optional[dict] = None) -> Trace:
+        params = self.resolve(params)
+        n_in, n_hidden = params["n_in"], params["n_hidden"]
+        inputs = self.make_inputs(params)
+        ctx = self._scalar_ctx()
+        x = ctx.vm.alloc_i32("x", inputs["x"])
+        w = ctx.vm.alloc_i32("w", inputs["w"])
+        chunk = 512
+        for h in range(n_hidden):
+            for i in range(0, n_in, chunk):
+                count = min(chunk, n_in - i)
+                ctx.block(count * SCALAR_INSTRS_PER_MAC, [
+                    ctx.load_pattern(w, i * n_hidden + h, count, n_hidden),
+                    ctx.load_pattern(x, i, count),
+                ])
+        return ctx.trace
+
+
+register(BackpropWorkload())

@@ -1,0 +1,117 @@
+"""k-means — Rodinia's clustering kernel (integer features).
+
+Paper input: 10K points x 34 features; ours: 2048 x 34, 5 clusters, one
+assignment iteration plus the RMSE-style error pass.  The mix mirrors
+Table IV: feature columns are constant-stride loads (point-major layout),
+distances need multiplies, the best-cluster tracking is compare+merge
+(predication), membership is a unit-stride store, and the error pass
+gathers each point's assigned centre with indexed loads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..isa.trace import Trace
+from .base import Workload, register
+
+INT_MAX = 2**31 - 1
+
+#: Scalar per point/cluster/feature: load, sub, mul, add + loop share.
+SCALAR_INSTRS_PER_TERM = 6
+STRIP_OVERHEAD_INSTRS = 12
+
+
+class KmeansWorkload(Workload):
+    name = "k-means"
+    suite = "rodinia"
+    #: Figure 8's MSHR study re-runs this workload with n=8192 so the
+    #: point set thrashes the LLC (see benchmarks/test_fig8_vmu_stalls.py).
+    params = {"n": 2048, "f": 34, "k": 5}
+    tiny_params = {"n": 48, "f": 6, "k": 3}
+
+    def make_inputs(self, params, seed: int = 1234) -> Dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        n, f, k = params["n"], params["f"], params["k"]
+        return {
+            "points": rng.integers(0, 256, n * f).astype(np.int32),
+            "centers": rng.integers(0, 256, k * f).astype(np.int32),
+        }
+
+    def reference(self, inputs, params) -> Dict[str, np.ndarray]:
+        n, f, k = params["n"], params["f"], params["k"]
+        pts = inputs["points"].reshape(n, f).astype(np.int64)
+        ctr = inputs["centers"].reshape(k, f).astype(np.int64)
+        dists = ((pts[:, None, :] - ctr[None, :, :]) ** 2).sum(axis=2)
+        membership = dists.argmin(axis=1).astype(np.int64)
+        err = int(dists[np.arange(n), membership].sum() & 0xFFFFFFFF)
+        err = err - 0x1_0000_0000 if err >= 0x8000_0000 else err
+        return {"membership": membership, "error": np.array([err])}
+
+    def kernel(self, ctx, inputs, params) -> Dict[str, np.ndarray]:
+        n, f, k = params["n"], params["f"], params["k"]
+        points = ctx.vm.alloc_i32("points", inputs["points"])
+        centers = ctx.vm.alloc_i32("centers", inputs["centers"])
+        membership = ctx.vm.alloc_i32("membership", n)
+        centers_host = inputs["centers"].reshape(k, f)
+        error = 0
+        i = 0
+        while i < n:
+            vl = ctx.setvl(n - i)
+            best_d = ctx.vmv(INT_MAX)
+            best_i = ctx.vmv(0)
+            for c in range(k):
+                acc = ctx.vmv(0)
+                for j in range(f):
+                    x = ctx.vlse32(points, i * f + j, f)
+                    d = ctx.vsub(x, int(centers_host[c, j]))
+                    acc = ctx.vadd(acc, ctx.vmul(d, d))
+                    ctx.scalar(2)
+                closer = ctx.vmslt(acc, best_d)
+                best_d = ctx.vmerge(closer, acc, best_d)
+                best_i = ctx.vmerge(closer, ctx.vmv(c), best_i)
+            ctx.vse32(best_i, membership, i)
+            # Error pass: gather the assigned centre, feature by feature,
+            # accumulating in a vector register (one reduction per strip).
+            base = ctx.vmul(best_i, f)
+            err_acc = ctx.vmv(0)
+            for j in range(f):
+                idx = ctx.vadd(base, j)
+                cval = ctx.vluxei32(centers, idx)
+                x = ctx.vlse32(points, i * f + j, f)
+                d = ctx.vsub(x, cval)
+                err_acc = ctx.vadd(err_acc, ctx.vmul(d, d))
+            error = ctx.vredsum(err_acc, init=error)
+            ctx.scalar(STRIP_OVERHEAD_INSTRS)
+            i += vl
+        return {"membership": membership.data.copy().astype(np.int64),
+                "error": np.array([error])}
+
+    def scalar_trace(self, params: Optional[dict] = None) -> Trace:
+        params = self.resolve(params)
+        n, f, k = params["n"], params["f"], params["k"]
+        inputs = self.make_inputs(params)
+        ctx = self._scalar_ctx()
+        points = ctx.vm.alloc_i32("points", inputs["points"])
+        centers = ctx.vm.alloc_i32("centers", inputs["centers"])
+        membership = ctx.vm.alloc_i32("membership", n)
+        chunk = 64  # points per modelled block
+        for i in range(0, n, chunk):
+            count = min(chunk, n - i)
+            terms = count * k * f
+            ctx.block(terms * SCALAR_INSTRS_PER_TERM + count * 8, [
+                ctx.load_pattern(points, i * f, count * f),
+                ctx.load_pattern(centers, 0, k * f),
+                ctx.store_pattern(membership, i, count),
+            ])
+            # Error pass over the assigned centres.
+            ctx.block(count * f * SCALAR_INSTRS_PER_TERM, [
+                ctx.load_pattern(points, i * f, count * f),
+                ctx.load_pattern(centers, 0, f),
+            ])
+        return ctx.trace
+
+
+register(KmeansWorkload())

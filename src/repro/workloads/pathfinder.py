@@ -1,0 +1,98 @@
+"""pathfinder — Rodinia's grid dynamic program (memory-bound).
+
+Paper input: 5M x 10 grid; ours: 32 768 x 10.  Each row computes
+``dst[j] = wall[r][j] + min(src[j-1], src[j], src[j+1])``; the row buffers
+carry sentinel guard cells so the three neighbour reads are plain
+unit-stride loads, and the three-way minimum is done with compare+merge
+(predication), matching Table IV's ~25% predicated instructions.  Four
+streams per strip against two ALU ops makes the kernel transpose/memory
+bound on EVE, as in Figure 7.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..isa.trace import Trace
+from .base import Workload, register
+
+SENTINEL = 2**30  # guard value that never wins the min
+
+SCALAR_INSTRS_PER_CELL = 11
+STRIP_OVERHEAD_INSTRS = 8
+
+
+class PathfinderWorkload(Workload):
+    name = "pathfinder"
+    suite = "rodinia"
+    params = {"cols": 32768, "rows": 10}
+    tiny_params = {"cols": 96, "rows": 4}
+
+    def make_inputs(self, params, seed: int = 1234) -> Dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        cols, rows = params["cols"], params["rows"]
+        return {"wall": rng.integers(0, 10, rows * cols).astype(np.int32)}
+
+    def reference(self, inputs, params) -> Dict[str, np.ndarray]:
+        cols, rows = params["cols"], params["rows"]
+        wall = inputs["wall"].reshape(rows, cols).astype(np.int64)
+        cur = wall[0].copy()
+        for r in range(1, rows):
+            left = np.concatenate(([SENTINEL], cur[:-1]))
+            right = np.concatenate((cur[1:], [SENTINEL]))
+            cur = wall[r] + np.minimum(np.minimum(left, cur), right)
+        return {"result": cur}
+
+    def kernel(self, ctx, inputs, params) -> Dict[str, np.ndarray]:
+        cols, rows = params["cols"], params["rows"]
+        wall = ctx.vm.alloc_i32("wall", inputs["wall"])
+        # Row buffers with one guard cell on each side.
+        src_init = np.full(cols + 2, SENTINEL, dtype=np.int32)
+        src_init[1:cols + 1] = inputs["wall"][:cols]
+        src = ctx.vm.alloc_i32("src", src_init)
+        dst_init = np.full(cols + 2, SENTINEL, dtype=np.int32)
+        dst = ctx.vm.alloc_i32("dst", dst_init)
+        bufs = [src, dst]
+        for r in range(1, rows):
+            src_b, dst_b = bufs[(r - 1) % 2], bufs[r % 2]
+            j = 0
+            while j < cols:
+                vl = ctx.setvl(cols - j)
+                left = ctx.vle32(src_b, j)
+                center = ctx.vle32(src_b, j + 1)
+                right = ctx.vle32(src_b, j + 2)
+                le = ctx.vmslt(left, center)
+                best = ctx.vmerge(le, left, center)
+                re = ctx.vmslt(right, best)
+                best = ctx.vmerge(re, right, best)
+                w = ctx.vle32(wall, r * cols + j)
+                out = ctx.vadd(best, w)
+                ctx.vse32(out, dst_b, j + 1)
+                ctx.scalar(STRIP_OVERHEAD_INSTRS)
+                j += vl
+        final = bufs[(rows - 1) % 2]
+        return {"result": final.data[1:cols + 1].copy().astype(np.int64)}
+
+    def scalar_trace(self, params: Optional[dict] = None) -> Trace:
+        params = self.resolve(params)
+        cols, rows = params["cols"], params["rows"]
+        inputs = self.make_inputs(params)
+        ctx = self._scalar_ctx()
+        wall = ctx.vm.alloc_i32("wall", inputs["wall"])
+        src = ctx.vm.alloc_i32("src", cols)
+        dst = ctx.vm.alloc_i32("dst", cols)
+        chunk = 1024
+        for r in range(1, rows):
+            for j in range(0, cols, chunk):
+                count = min(chunk, cols - j)
+                ctx.block(count * SCALAR_INSTRS_PER_CELL, [
+                    ctx.load_pattern(src, j, count),
+                    ctx.load_pattern(wall, r * cols + j, count),
+                    ctx.store_pattern(dst, j, count),
+                ])
+        return ctx.trace
+
+
+register(PathfinderWorkload())

@@ -1,0 +1,113 @@
+"""Section II taxonomy model and Section VI circuit-evaluation numbers."""
+
+import pytest
+
+from repro.analytics import figure2_series, measured_design_point, modeled_design_point
+from repro.circuits_model import AreaModel, cycle_time_ns, frequency_ghz, system_area_factor
+from repro.circuits_model.area import circuit_family
+from repro.circuits_model.timing import cycle_time_penalty
+from repro.errors import ConfigError
+
+
+class TestFigure2:
+    """The paper's key taxonomy claims, from the real micro-programs."""
+
+    @pytest.fixture(scope="class")
+    def series(self):
+        return figure2_series(measured=True)
+
+    def test_alu_counts_match_paper_axis(self, series):
+        assert [row["alus"] for row in series] == [64, 64, 64, 32, 16, 8]
+
+    def test_latency_monotonically_decreases(self, series):
+        for key in ("add_latency_rel", "mul_latency_rel"):
+            values = [row[key] for row in series]
+            assert values == sorted(values, reverse=True)
+
+    def test_latency_sublinear_in_segments(self, series):
+        """Halving segments does not halve latency (control overhead)."""
+        by_factor = {row["factor"]: row for row in series}
+        assert by_factor[2]["add_latency_rel"] > 0.5
+
+    def test_throughput_peaks_at_factor_four(self, series):
+        """Section II: balanced utilization at n = 4."""
+        for key in ("add_throughput_rel", "mul_throughput_rel"):
+            values = {row["factor"]: row[key] for row in series}
+            assert max(values, key=values.get) == 4
+
+    def test_throughput_falls_beyond_balance(self, series):
+        values = {row["factor"]: row["add_throughput_rel"] for row in series}
+        assert values[4] > values[8] > values[16] > values[32]
+
+    def test_modeled_tracks_measured(self):
+        """The closed-form model agrees with micro-program counts."""
+        for factor in (1, 2, 4, 8, 16, 32):
+            measured = measured_design_point(factor)
+            modeled = modeled_design_point(factor)
+            assert measured.add_latency == modeled.add_latency
+            assert measured.mul_latency == pytest.approx(
+                modeled.mul_latency, rel=0.20)
+
+    def test_normalisation_baseline_is_one(self, series):
+        first = series[0]
+        assert first["add_latency_rel"] == 1.0
+        assert first["add_throughput_rel"] == 1.0
+
+
+class TestAreaModel:
+    def test_eve8_l2_overhead_is_paper_value(self):
+        """Section VII-B: EVE-8 incurs 11.7% total L2 area overhead."""
+        assert AreaModel(8).l2_overhead == pytest.approx(0.117, abs=0.001)
+
+    def test_per_subarray_stack_overheads(self):
+        assert AreaModel(1).stack_overhead == pytest.approx(0.090)
+        assert AreaModel(8).stack_overhead == pytest.approx(0.156)
+        assert AreaModel(32).stack_overhead == pytest.approx(0.126)
+
+    def test_banking_halves_overhead(self):
+        assert AreaModel(8).eve_sram_overhead == pytest.approx(0.078)
+
+    def test_dtus_and_rom_are_5_of_64_subarrays(self):
+        assert AreaModel(8).extra_subarray_overhead == pytest.approx(5 / 64)
+
+    @pytest.mark.parametrize("name,factor", [
+        ("O3", 1.00), ("O3+IV", 1.10), ("O3+DV", 2.00),
+    ])
+    def test_baseline_factors(self, name, factor):
+        assert system_area_factor(name) == pytest.approx(factor)
+
+    @pytest.mark.parametrize("n,factor", [
+        (1, 1.10), (2, 1.12), (4, 1.12), (8, 1.12), (16, 1.12), (32, 1.11),
+    ])
+    def test_eve_factors_round_to_paper(self, n, factor):
+        assert round(system_area_factor(f"O3+EVE-{n}"), 2) == factor
+
+    def test_circuit_families(self):
+        assert circuit_family(1) == "serial"
+        assert circuit_family(8) == "hybrid"
+        assert circuit_family(32) == "parallel"
+        with pytest.raises(ConfigError):
+            circuit_family(3)
+
+    def test_unknown_system(self):
+        with pytest.raises(ConfigError):
+            system_area_factor("O3+NPU")
+
+
+class TestCycleTime:
+    def test_paper_values(self):
+        assert cycle_time_ns(8) == pytest.approx(1.025)
+        assert cycle_time_ns(16) == pytest.approx(1.175)
+        assert cycle_time_ns(32) == pytest.approx(1.550)
+
+    def test_penalties(self):
+        assert cycle_time_penalty(4) == pytest.approx(0.0)
+        assert cycle_time_penalty(16) == pytest.approx(0.146, abs=0.01)
+        assert cycle_time_penalty(32) == pytest.approx(0.512, abs=0.01)
+
+    def test_frequency(self):
+        assert frequency_ghz(8) == pytest.approx(1 / 1.025)
+
+    def test_unknown_factor(self):
+        with pytest.raises(ConfigError):
+            cycle_time_ns(3)

@@ -1,0 +1,62 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_system(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "CRAY-1", "vvadd"])
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "IO", "linpack"])
+
+
+class TestCommands:
+    def test_systems(self, capsys):
+        assert main(["systems"]) == 0
+        out = capsys.readouterr().out
+        assert "O3+EVE-8" in out and "1024" in out
+
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("vvadd", "sw", "k-means"):
+            assert name in out
+
+    def test_uprog(self, capsys):
+        assert main(["uprog", "add", "--factor", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "blc vs1[seg0], vs2[seg0]" in out
+        assert "bnz seg0" in out
+
+    def test_uprog_with_op(self, capsys):
+        assert main(["uprog", "compare", "--op", "eq"]) == 0
+        assert "mask_groups" in capsys.readouterr().out
+
+    def test_figure_fig2(self, capsys):
+        assert main(["figure", "fig2"]) == 0
+        assert "factor" in capsys.readouterr().out
+
+    def test_figure_area(self, capsys):
+        assert main(["figure", "area"]) == 0
+        assert "O3+DV" in capsys.readouterr().out
+
+    def test_figure_unknown(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+
+    def test_run_small(self, capsys, monkeypatch):
+        # Patch the workload registry entry to its tiny size for speed.
+        from repro.workloads import REGISTRY
+        monkeypatch.setattr(REGISTRY["vvadd"], "params",
+                            dict(REGISTRY["vvadd"].tiny_params))
+        assert main(["run", "O3+EVE-8", "vvadd"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out and "busy" in out

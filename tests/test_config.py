@@ -1,0 +1,156 @@
+"""Tests for the Table III system configurations."""
+
+import pytest
+
+from repro.config import (
+    BASE_CYCLE_TIME_NS,
+    CacheConfig,
+    DramConfig,
+    EVE_FACTORS,
+    EveSramConfig,
+    ScalarCoreConfig,
+    SystemConfig,
+    VectorEngineConfig,
+    all_system_names,
+    eve_hardware_vl,
+    make_system,
+    with_dram,
+)
+from repro.errors import ConfigError
+
+
+class TestCacheConfig:
+    def test_table3_l2_geometry(self):
+        l2 = make_system("O3").l2
+        assert l2.size_bytes == 512 * 1024
+        assert l2.ways == 8
+        assert l2.banks == 8
+        assert l2.hit_latency == 8
+        assert l2.mshrs == 32
+        assert l2.sets == 1024
+        assert l2.lines == 8192
+
+    def test_llc_geometry(self):
+        llc = make_system("IO").llc
+        assert llc.size_bytes == 2 * 1024 * 1024
+        assert llc.ways == 16
+        assert llc.hit_latency == 12
+
+    def test_l1_latencies(self):
+        config = make_system("IO")
+        assert config.l1i.hit_latency == 1
+        assert config.l1d.hit_latency == 2
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", size_bytes=1000, ways=3, hit_latency=1, mshrs=4)
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", size_bytes=3 * 64 * 8, ways=8, hit_latency=1, mshrs=4)
+
+
+class TestEveHardwareVl:
+    """Table III: EVE-{1,2,4}=2048, EVE-8=1024, EVE-16=512, EVE-32=256."""
+
+    @pytest.mark.parametrize("factor,expected", [
+        (1, 2048), (2, 2048), (4, 2048), (8, 1024), (16, 512), (32, 256),
+    ])
+    def test_paper_vector_lengths(self, factor, expected):
+        assert eve_hardware_vl(factor) == expected
+
+
+class TestMakeSystem:
+    def test_all_names_build(self):
+        for name in all_system_names():
+            config = make_system(name)
+            assert config.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            make_system("O3+TPU")
+
+    def test_bad_eve_factor(self):
+        with pytest.raises(ConfigError):
+            make_system("O3+EVE-7")
+
+    def test_garbled_eve_name(self):
+        with pytest.raises(ConfigError):
+            make_system("O3+EVE-x")
+
+    def test_eve_l2_halved(self):
+        config = make_system("O3+EVE-8")
+        assert config.l2.size_bytes == 256 * 1024
+        assert config.l2.ways == 4
+
+    def test_scalar_systems_have_no_vector(self):
+        assert make_system("IO").vector is None
+        assert make_system("O3").vector is None
+
+    def test_iv_dv_parameters(self):
+        iv = make_system("O3+IV").vector
+        dv = make_system("O3+DV").vector
+        assert (iv.hardware_vl, iv.exec_pipes, iv.in_order) == (4, 3, False)
+        assert (dv.hardware_vl, dv.exec_pipes, dv.in_order) == (64, 4, True)
+
+    @pytest.mark.parametrize("factor", EVE_FACTORS)
+    def test_eve_cycle_times(self, factor):
+        config = make_system(f"O3+EVE-{factor}")
+        if factor <= 8:
+            assert config.cycle_time_ns == pytest.approx(1.025)
+        elif factor == 16:
+            assert config.cycle_time_ns == pytest.approx(1.175)
+        else:
+            assert config.cycle_time_ns == pytest.approx(1.550)
+
+    def test_slow_clock_rescales_dram(self):
+        """DRAM is fixed in wall-clock; slower clocks see fewer cycles."""
+        base = make_system("O3+EVE-8")
+        slow = make_system("O3+EVE-32")
+        ratio = slow.cycle_time_ns / BASE_CYCLE_TIME_NS
+        assert slow.dram.access_latency == pytest.approx(
+            base.dram.access_latency / ratio)
+        assert slow.dram.bytes_per_cycle == pytest.approx(
+            base.dram.bytes_per_cycle * ratio)
+        # Wall-clock latency is invariant.
+        assert slow.dram.access_latency * slow.cycle_time_ns == pytest.approx(
+            base.dram.access_latency * base.cycle_time_ns)
+
+
+class TestValidation:
+    def test_core_kind_validated(self):
+        with pytest.raises(ConfigError):
+            ScalarCoreConfig(kind="vliw", issue_width=4, miss_overlap=0.5,
+                             base_cpi=1.0)
+
+    def test_miss_overlap_range(self):
+        with pytest.raises(ConfigError):
+            ScalarCoreConfig(kind="o3", issue_width=8, miss_overlap=1.0,
+                             base_cpi=0.5)
+
+    def test_vector_kind_validated(self):
+        with pytest.raises(ConfigError):
+            VectorEngineConfig(kind="gpu", hardware_vl=32, exec_pipes=1,
+                               in_order=True)
+
+    def test_eve_needs_factor(self):
+        with pytest.raises(ConfigError):
+            VectorEngineConfig(kind="eve", hardware_vl=1024, exec_pipes=1,
+                               in_order=True, factor=3)
+
+    def test_eve_system_needs_sram_config(self):
+        config = make_system("O3+EVE-8")
+        with pytest.raises(ConfigError):
+            SystemConfig(name="x", core=config.core, l1i=config.l1i,
+                         l1d=config.l1d, l2=config.l2, llc=config.llc,
+                         dram=DramConfig(), vector=config.vector,
+                         eve_sram=None)
+
+    def test_eve_sram_power_of_two(self):
+        with pytest.raises(ConfigError):
+            EveSramConfig(rows=100)
+
+    def test_with_dram_override(self):
+        config = with_dram(make_system("IO"), DramConfig(access_latency=40.0))
+        assert config.dram.access_latency == 40.0
+        assert config.name == "IO"

@@ -1,0 +1,175 @@
+"""Machine-model behaviour on synthetic traces (IO, O3, IV, DV)."""
+
+import numpy as np
+import pytest
+
+from repro.config import make_system
+from repro.cores import DecoupledVectorMachine, IntegratedVectorMachine, ScalarCore
+from repro.cores.result import SimResult, StallBreakdown
+from repro.errors import SimulationError
+from repro.isa import MemAccess, ScalarBlock, Trace, VectorInstr
+
+
+def scalar_trace(n_instr=1000, accesses=()):
+    trace = Trace("synthetic")
+    trace.append(ScalarBlock(n_instr=n_instr, accesses=tuple(accesses)))
+    return trace
+
+
+def compute_trace(n=32, op="vadd", vl=64):
+    trace = Trace("synthetic")
+    trace.append(VectorInstr(op="vsetvl", vl=vl))
+    for i in range(n):
+        trace.append(VectorInstr(op=op, vl=vl, vd=(i % 8) + 1,
+                                 vs1=((i + 1) % 8) + 10, vs2=((i + 2) % 8) + 20))
+    return trace
+
+
+class TestScalarCores:
+    def test_io_pure_compute_is_cpi_bound(self):
+        core = ScalarCore(make_system("IO"))
+        result = core.run(scalar_trace(n_instr=5000))
+        assert result.cycles == pytest.approx(5000.0)
+
+    def test_io_blocks_on_misses(self):
+        core = ScalarCore(make_system("IO"))
+        pattern = MemAccess(base=0, stride=64, count=100)
+        result = core.run(scalar_trace(n_instr=100, accesses=[pattern]))
+        # Every line is a cold DRAM miss; each blocks ~100 cycles.
+        assert result.cycles > 100 * 90
+
+    def test_o3_overlaps_misses(self):
+        io = ScalarCore(make_system("IO"))
+        o3 = ScalarCore(make_system("O3"))
+        pattern = MemAccess(base=0, stride=64, count=100)
+        t = lambda: scalar_trace(n_instr=1000, accesses=[pattern])
+        assert o3.run(t()).cycles < io.run(t()).cycles
+
+    def test_scalar_core_rejects_vector_traces(self):
+        core = ScalarCore(make_system("IO"))
+        with pytest.raises(SimulationError):
+            core.run(compute_trace())
+
+    def test_result_metadata(self):
+        core = ScalarCore(make_system("IO"))
+        result = core.run(scalar_trace(n_instr=10))
+        assert result.system == "IO"
+        assert result.instructions == 10
+        assert result.time_ns == pytest.approx(result.cycles * 1.025)
+
+
+class TestIntegratedVector:
+    def make(self):
+        return IntegratedVectorMachine(make_system("O3+IV"))
+
+    def test_requires_iv_config(self):
+        with pytest.raises(SimulationError):
+            IntegratedVectorMachine(make_system("O3"))
+
+    def test_alu_throughput_two_per_cycle(self):
+        result = self.make().run(compute_trace(n=64, vl=64))
+        # 64 instrs x 16 μops at 0.5 cycles each = 512 issue cycles.
+        assert result.cycles == pytest.approx(512, rel=0.1)
+
+    def test_mul_is_iterative(self):
+        adds = self.make().run(compute_trace(n=32, op="vadd")).cycles
+        muls = self.make().run(compute_trace(n=32, op="vmul")).cycles
+        assert muls > 4 * adds
+
+    def test_strided_decomposed_per_element(self):
+        unit = Trace("unit")
+        strided = Trace("strided")
+        unit.append(VectorInstr(op="vle32", vl=64, vd=1,
+                                mem=MemAccess(base=0, stride=4, count=64)))
+        strided.append(VectorInstr(op="vlse32", vl=64, vd=1,
+                                   mem=MemAccess(base=0, stride=256, count=64)))
+        assert self.make().run(strided).cycles > self.make().run(unit).cycles
+
+    def test_dependency_chain_serialises(self):
+        chain = Trace("chain")
+        indep = Trace("indep")
+        chain.append(VectorInstr(op="vsetvl", vl=64))
+        indep.append(VectorInstr(op="vsetvl", vl=64))
+        for i in range(16):
+            chain.append(VectorInstr(op="vmul", vl=64, vd=1, vs1=1, vs2=2))
+            indep.append(VectorInstr(op="vmul", vl=64, vd=(i % 8) + 1,
+                                     vs1=10, vs2=20))
+        assert self.make().run(chain).cycles >= self.make().run(indep).cycles
+
+
+class TestDecoupledVector:
+    def make(self):
+        return DecoupledVectorMachine(make_system("O3+DV"))
+
+    def test_requires_dv_config(self):
+        with pytest.raises(SimulationError):
+            DecoupledVectorMachine(make_system("O3+IV"))
+
+    def test_lanes_bound_alu_occupancy(self):
+        result = self.make().run(compute_trace(n=64, vl=64))
+        # 64 ops x 64/8 lanes = 512 pipe-occupancy cycles, pipelined.
+        assert 500 <= result.cycles <= 700
+
+    def test_pipes_run_in_parallel(self):
+        mixed = Trace("mixed")
+        mixed.append(VectorInstr(op="vsetvl", vl=64))
+        for i in range(32):
+            mixed.append(VectorInstr(op="vadd", vl=64, vd=1 + i % 4, vs1=10, vs2=11))
+            mixed.append(VectorInstr(op="vmul", vl=64, vd=5 + i % 4, vs1=12, vs2=13))
+        only_mul = compute_trace(n=64, op="vmul")
+        # Interleaved add/mul overlaps on two pipes; 64 muls serialise on one.
+        assert self.make().run(mixed).cycles < self.make().run(only_mul).cycles
+
+    def test_store_data_dependency_does_not_block_later_loads(self):
+        """The store queue decouples store data from address generation."""
+        trace = Trace("st-ld")
+        trace.append(VectorInstr(op="vsetvl", vl=64))
+        trace.append(VectorInstr(op="vle32", vl=64, vd=1,
+                                 mem=MemAccess(base=0, stride=4, count=64)))
+        trace.append(VectorInstr(op="vmul", vl=64, vd=2, vs1=1, vs2=1))
+        trace.append(VectorInstr(op="vse32", vl=64, vd=2,
+                                 mem=MemAccess(base=0x10000, stride=4, count=64,
+                                               is_store=True)))
+        load = VectorInstr(op="vle32", vl=64, vd=3,
+                           mem=MemAccess(base=0x20000, stride=4, count=64))
+        trace.append(load)
+        machine = self.make()
+        result = machine.run(trace)
+        # The final load's data must be back well before the full chain
+        # latency would imply (it never waited on the multiply).
+        assert machine.reg_ready[3] < result.cycles
+
+    def test_chaining_beats_full_serialisation(self):
+        chain = Trace("chain")
+        chain.append(VectorInstr(op="vsetvl", vl=64))
+        for _ in range(16):
+            chain.append(VectorInstr(op="vadd", vl=64, vd=1, vs1=1, vs2=2))
+        result = self.make().run(chain)
+        # Fully serialised would be 16 x (startup 2 + 8) = 160.
+        assert result.cycles < 160
+
+
+class TestStallBreakdown:
+    def test_total_and_dict(self):
+        b = StallBreakdown(busy=10, ld_mem_stall=5)
+        assert b.total() == 15
+        assert b.as_dict()["ld_mem_stall"] == 5
+
+    def test_add_and_negative_guard(self):
+        b = StallBreakdown()
+        b.add("vru_stall", 3)
+        assert b.vru_stall == 3
+        with pytest.raises(ValueError):
+            b.add("busy", -1)
+
+    def test_normalised(self):
+        b = StallBreakdown(busy=50, empty_stall=50)
+        norm = b.normalised_to(200)
+        assert norm["busy"] == 0.25
+        with pytest.raises(ValueError):
+            b.normalised_to(0)
+
+    def test_speedup_over(self):
+        a = SimResult(system="a", workload="w", cycles=100, cycle_time_ns=1.0)
+        b = SimResult(system="b", workload="w", cycles=100, cycle_time_ns=2.0)
+        assert a.speedup_over(b) == pytest.approx(2.0)

@@ -1,0 +1,71 @@
+"""Error hierarchy and top-level public API surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConfigError,
+    IsaError,
+    LayoutError,
+    MemoryModelError,
+    MicroExecutionError,
+    MicroProgramError,
+    ReproError,
+    SimulationError,
+    SramError,
+    WorkloadError,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ConfigError, IsaError, LayoutError, MemoryModelError,
+        MicroExecutionError, MicroProgramError, SimulationError, SramError,
+        WorkloadError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_catchable_as_library_failure(self):
+        from repro.config import make_system
+        with pytest.raises(ReproError):
+            make_system("nonsense")
+
+
+class TestPublicApi:
+    def test_exports(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_system_list_is_figure6_axis(self):
+        names = repro.all_system_names()
+        assert names[0] == "IO"
+        assert names[-1] == "O3+EVE-32"
+        assert len(names) == 10
+
+    def test_eve_hardware_vl_export(self):
+        assert repro.eve_hardware_vl(8) == 1024
+
+    def test_subpackages_importable(self):
+        import repro.analytics
+        import repro.circuits_model
+        import repro.core
+        import repro.cores
+        import repro.experiments
+        import repro.isa
+        import repro.mem
+        import repro.sram
+        import repro.uops
+        import repro.workloads
+
+    def test_docstrings_on_public_modules(self):
+        import repro.core.engine
+        import repro.sram.eve_sram
+        import repro.uops.rom
+        for module in (repro, repro.core.engine, repro.sram.eve_sram,
+                       repro.uops.rom):
+            assert module.__doc__ and len(module.__doc__) > 50

@@ -1,0 +1,83 @@
+"""End-to-end shape checks at tiny scale (fast versions of the benchmark
+assertions — the full-size versions live in benchmarks/)."""
+
+import pytest
+
+from repro.config import EVE_FACTORS
+from repro.workloads import REGISTRY, get_workload
+
+APPS = sorted(REGISTRY)
+
+
+class TestCrossSystemOrderings:
+    def test_every_vector_system_beats_io_on_vvadd(self, tiny_runner):
+        for system in ("O3+IV", "O3+DV", "O3+EVE-8"):
+            assert tiny_runner.speedup(system, "vvadd", baseline="IO") > 1.0
+
+    def test_dv_beats_iv_on_streaming(self, tiny_runner):
+        dv = tiny_runner.run("O3+DV", "vvadd")
+        iv = tiny_runner.run("O3+IV", "vvadd")
+        assert dv.time_ns < iv.time_ns
+
+    def test_eve8_beats_eve1_on_compute(self, tiny_runner):
+        """Multiply-heavy mmult: bit-serial loses to bit-hybrid."""
+        e1 = tiny_runner.run("O3+EVE-1", "mmult")
+        e8 = tiny_runner.run("O3+EVE-8", "mmult")
+        assert e8.time_ns < e1.time_ns
+
+    def test_eve32_pays_clock_penalty(self, tiny_runner):
+        result = tiny_runner.run("O3+EVE-32", "vvadd")
+        assert result.cycle_time_ns == pytest.approx(1.55)
+        assert result.time_ns == pytest.approx(result.cycles * 1.55)
+
+    def test_all_systems_complete_all_workloads(self, tiny_runner):
+        """Smoke the full matrix at tiny scale (every pair simulates)."""
+        for app in APPS:
+            for system in ("IO", "O3", "O3+IV", "O3+DV", "O3+EVE-4",
+                           "O3+EVE-16"):
+                result = tiny_runner.run(system, app)
+                assert result.cycles > 0
+
+
+class TestEveResultInvariants:
+    @pytest.mark.parametrize("factor", [1, 8, 32])
+    def test_breakdown_accounts_for_cycles(self, tiny_runner, factor):
+        for app in ("vvadd", "mmult"):
+            result = tiny_runner.run(f"O3+EVE-{factor}", app)
+            assert result.breakdown.total() == pytest.approx(result.cycles,
+                                                             rel=0.02)
+
+    def test_vmu_stall_fraction_bounded(self, tiny_runner):
+        for factor in EVE_FACTORS:
+            result = tiny_runner.run(f"O3+EVE-{factor}", "backprop")
+            assert 0.0 <= result.vmu_llc_stall_frac <= 1.0
+
+    def test_instruction_counts_decrease_with_hw_vl(self, tiny_runner):
+        short = tiny_runner.run("O3+EVE-32", "vvadd").instructions
+        long_ = tiny_runner.run("O3+EVE-1", "vvadd").instructions
+        assert long_ <= short
+
+
+class TestTraceFootprints:
+    @pytest.mark.parametrize("name", APPS)
+    def test_footprint_positive_and_bounded(self, name):
+        wl = get_workload(name)
+        trace = wl.vector_trace(64, wl.tiny_params)
+        footprint = trace.memory_footprint_bytes()
+        assert footprint > 0
+        assert footprint < 512 * 1024 * 1024
+
+    @pytest.mark.parametrize("name", APPS)
+    def test_loads_and_stores_present(self, name):
+        wl = get_workload(name)
+        trace = wl.vector_trace(64, wl.tiny_params)
+        has_load = any(i.info.is_load for i in trace.vector_instrs())
+        assert has_load
+
+    @pytest.mark.parametrize("name", APPS)
+    def test_setvl_precedes_all_vector_work(self, name):
+        wl = get_workload(name)
+        trace = wl.vector_trace(64, wl.tiny_params)
+        for event in trace.vector_instrs():
+            assert event.op == "vsetvl"
+            break

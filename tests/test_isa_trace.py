@@ -1,0 +1,86 @@
+"""Trace container and Table IV characterisation statistics."""
+
+import numpy as np
+import pytest
+
+from repro.isa import MemAccess, ScalarBlock, Trace, VectorContext, VectorInstr
+from repro.isa.opcodes import Category
+
+
+def build_sample_trace() -> Trace:
+    ctx = VectorContext(vlmax=8, name="sample")
+    a = ctx.vm.alloc_i32("a", np.arange(16, dtype=np.int32))
+    b = ctx.vm.alloc_i32("b", np.arange(16, dtype=np.int32))
+    out = ctx.vm.alloc_i32("c", 16)
+    i = 0
+    while i < 16:
+        vl = ctx.setvl(16 - i)
+        x = ctx.vle32(a, i)
+        y = ctx.vle32(b, i)
+        z = ctx.vadd(x, y)
+        ctx.vse32(z, out, i)
+        ctx.scalar(6)
+        i += vl
+    return ctx.trace
+
+
+class TestTraceStats:
+    def test_event_counts(self):
+        trace = build_sample_trace()
+        stats = trace.stats()
+        # 2 strips x (vsetvl + 2 loads + add + store) = 10 vector instrs.
+        assert stats.vector_instrs == 10
+        assert stats.scalar_instrs == 12
+        assert stats.dynamic_instrs == 22
+
+    def test_vector_ops_count_active_lengths(self):
+        stats = build_sample_trace().stats()
+        # Each of the 10 vector instructions ran 8 active elements.
+        assert stats.vector_ops == 80
+        assert stats.total_ops == 80 + 12
+
+    def test_mix_percentages(self):
+        stats = build_sample_trace().stats()
+        assert stats.mix_pct(Category.CTRL) == pytest.approx(20.0)
+        assert stats.mix_pct(Category.IALU) == pytest.approx(20.0)
+        assert stats.mix_pct(Category.MEM_UNIT) == pytest.approx(60.0)
+
+    def test_vi_pct(self):
+        stats = build_sample_trace().stats()
+        assert stats.vi_pct == pytest.approx(100.0 * 10 / 22)
+
+    def test_arith_intensity(self):
+        stats = build_sample_trace().stats()
+        # 16 adds vs 48 memory element-ops = 1/3 (vvadd's Table IV value).
+        assert stats.arith_intensity == pytest.approx(1 / 3)
+
+    def test_vpar(self):
+        stats = build_sample_trace().stats()
+        assert stats.vpar == pytest.approx(92 / 22)
+
+    def test_prd_counts_masked(self):
+        trace = Trace()
+        trace.append(VectorInstr(op="vadd", vl=4, vd=1, vs1=2, vs2=3,
+                                 masked=True))
+        trace.append(VectorInstr(op="vadd", vl=4, vd=1, vs1=2, vs2=3))
+        assert trace.stats().prd_pct == pytest.approx(50.0)
+
+    def test_empty_trace(self):
+        stats = Trace().stats()
+        assert stats.dynamic_instrs == 0
+        assert stats.vi_pct == 0.0
+        assert stats.vpar == 0.0
+
+    def test_memory_footprint(self):
+        trace = Trace()
+        trace.append(VectorInstr(op="vle32", vl=8, vd=1,
+                                 mem=MemAccess(base=0, stride=4, count=8)))
+        trace.append(ScalarBlock(n_instr=4, accesses=(
+            MemAccess(base=0x100, stride=4, count=2, is_store=True),)))
+        assert trace.memory_footprint_bytes() == 32 + 8
+
+    def test_iterators(self):
+        trace = build_sample_trace()
+        assert len(list(trace.vector_instrs())) == 10
+        assert len(list(trace.scalar_blocks())) == 2
+        assert len(trace) == 12

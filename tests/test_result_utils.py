@@ -1,0 +1,39 @@
+"""SimResult utilities and report-row flattening."""
+
+import pytest
+
+from repro.cores.result import BREAKDOWN_BUCKETS, SimResult, StallBreakdown, merge_fields
+
+
+class TestMergeFields:
+    def test_flattens_breakdown_and_mem_stats(self):
+        result = SimResult(
+            system="O3+EVE-8", workload="vvadd", cycles=100.0,
+            cycle_time_ns=1.025, instructions=42,
+            breakdown=StallBreakdown(busy=60, ld_mem_stall=40),
+            mem_stats={"l1d": (1, 2)},
+        )
+        row = merge_fields(result)
+        assert row["system"] == "O3+EVE-8"
+        assert row["busy"] == 60
+        assert row["mem_l1d"] == (1, 2)
+        assert row["time_ns"] == pytest.approx(102.5)
+
+    def test_without_breakdown(self):
+        result = SimResult(system="IO", workload="w", cycles=10.0,
+                           cycle_time_ns=1.0)
+        row = merge_fields(result)
+        assert "busy" not in row
+        assert row["cycles"] == 10.0
+
+
+class TestBucketOrder:
+    def test_figure7_bucket_order(self):
+        assert BREAKDOWN_BUCKETS[0] == "busy"
+        assert BREAKDOWN_BUCKETS[-1] == "dep_stall"
+        assert len(BREAKDOWN_BUCKETS) == 9  # the nine Figure 7 categories
+
+    def test_buckets_are_breakdown_fields(self):
+        b = StallBreakdown()
+        for bucket in BREAKDOWN_BUCKETS:
+            assert hasattr(b, bucket)

@@ -1,0 +1,131 @@
+"""Fixed-point saturating arithmetic (vsadd family) — the VCU-composite
+extension: intrinsics semantics, ROM composite timing, and bit-exactness
+through the functional engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EveFunctionalEngine
+from repro.errors import IsaError
+from repro.isa import VectorContext, VectorInstr
+from repro.uops import MacroOpRom
+from repro.uops.rom import COMPOSITE_MACROS, instr_key
+
+I32MIN, I32MAX = -(2 ** 31), 2 ** 31 - 1
+U32MAX = 2 ** 32 - 1
+
+
+def ctx_with(values_a, values_b):
+    n = len(values_a)
+    ctx = VectorContext(vlmax=n)
+    ctx.setvl(n)
+    a = ctx.vle32(ctx.vm.alloc_i32("a", np.asarray(values_a, np.int64).astype(np.int32)))
+    b = ctx.vle32(ctx.vm.alloc_i32("b", np.asarray(values_b, np.int64).astype(np.int32)))
+    return ctx, a, b
+
+
+class TestIntrinsicsSemantics:
+    def test_vsadd_clamps_positive(self):
+        ctx, a, b = ctx_with([I32MAX, 1, I32MAX], [1, 1, I32MAX])
+        assert list(ctx.vsadd(a, b).values) == [I32MAX, 2, I32MAX]
+
+    def test_vsadd_clamps_negative(self):
+        ctx, a, b = ctx_with([I32MIN, -1], [-1, -2])
+        assert list(ctx.vsadd(a, b).values) == [I32MIN, -3]
+
+    def test_vssub_clamps(self):
+        ctx, a, b = ctx_with([I32MIN, I32MAX, 5], [1, -1, 3])
+        assert list(ctx.vssub(a, b).values) == [I32MIN, I32MAX, 2]
+
+    def test_vsaddu_clamps_at_uint_max(self):
+        ctx, a, b = ctx_with([-1, 1], [1, 1])  # 0xFFFFFFFF + 1 saturates
+        r = ctx.vsaddu(a, b)
+        assert (int(r.values[0]) & 0xFFFFFFFF) == U32MAX
+        assert r.values[1] == 2
+
+    def test_vssubu_clamps_at_zero(self):
+        ctx, a, b = ctx_with([1, 5], [2, 3])
+        assert list(ctx.vssubu(a, b).values) == [0, 2]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(I32MIN, I32MAX), min_size=4, max_size=8),
+           st.lists(st.integers(I32MIN, I32MAX), min_size=4, max_size=8))
+    def test_vsadd_property(self, xs, ys):
+        n = min(len(xs), len(ys))
+        ctx, a, b = ctx_with(xs[:n], ys[:n])
+        r = ctx.vsadd(a, b)
+        expected = np.clip(np.asarray(xs[:n], np.int64)
+                           + np.asarray(ys[:n], np.int64), I32MIN, I32MAX)
+        assert np.array_equal(r.values.astype(np.int64), expected)
+
+
+class TestRomComposites:
+    def test_instr_mapping(self):
+        instr = VectorInstr(op="vsadd", vl=8, vd=1, vs1=2, vs2=3)
+        assert instr_key(instr) == ("sadd", ())
+
+    @pytest.mark.parametrize("macro", sorted(COMPOSITE_MACROS))
+    @pytest.mark.parametrize("factor", [1, 8, 32])
+    def test_cycles_are_component_sums(self, macro, factor):
+        rom = MacroOpRom(factor)
+        total = rom.cycles(macro)
+        parts = sum(rom.cycles(part, **params)
+                    for part, params in COMPOSITE_MACROS[macro])
+        assert total == parts > 0
+
+    def test_signed_costs_more_than_unsigned(self):
+        rom = MacroOpRom(8)
+        assert rom.cycles("sadd") > rom.cycles("saddu")
+
+    def test_no_single_microprogram(self):
+        with pytest.raises(IsaError):
+            MacroOpRom(8).program("sadd")
+
+    def test_cycles_for_instr(self):
+        rom = MacroOpRom(8)
+        instr = VectorInstr(op="vsaddu", vl=8, vd=1, vs1=2, vs2=3)
+        assert rom.cycles_for(instr) == rom.cycles("saddu")
+
+
+@pytest.mark.parametrize("factor", [1, 8, 32], ids=lambda f: f"n{f}")
+class TestBitExact:
+    def engine_with(self, factor, values_a, values_b):
+        engine = EveFunctionalEngine(factor=factor, capacity=16)
+        engine.setvl(len(values_a))
+        a = engine._write_new(np.asarray(values_a, np.int64))
+        b = engine._write_new(np.asarray(values_b, np.int64))
+        return engine, a, b
+
+    def test_vsadd(self, factor, rng):
+        xs = np.concatenate([[I32MAX, I32MIN, 0, -1],
+                             rng.integers(I32MIN, I32MAX, 12)])
+        ys = np.concatenate([[1, -1, 0, -1],
+                             rng.integers(I32MIN, I32MAX, 12)])
+        engine, a, b = self.engine_with(factor, xs, ys)
+        got = engine._read(engine.vsadd(a, b)).astype(np.int64)
+        assert np.array_equal(got, np.clip(xs + ys, I32MIN, I32MAX))
+
+    def test_vssub(self, factor, rng):
+        xs = rng.integers(I32MIN, I32MAX, 16)
+        ys = rng.integers(I32MIN, I32MAX, 16)
+        engine, a, b = self.engine_with(factor, xs, ys)
+        got = engine._read(engine.vssub(a, b)).astype(np.int64)
+        assert np.array_equal(got, np.clip(xs - ys, I32MIN, I32MAX))
+
+    def test_vsaddu(self, factor, rng):
+        xs = rng.integers(I32MIN, I32MAX, 16)
+        ys = rng.integers(I32MIN, I32MAX, 16)
+        engine, a, b = self.engine_with(factor, xs, ys)
+        got = engine._read(engine.vsaddu(a, b)).astype(np.int64) & 0xFFFFFFFF
+        expected = np.minimum((xs & U32MAX) + (ys & U32MAX), U32MAX)
+        assert np.array_equal(got, expected)
+
+    def test_vssubu(self, factor, rng):
+        xs = rng.integers(I32MIN, I32MAX, 16)
+        ys = rng.integers(I32MIN, I32MAX, 16)
+        engine, a, b = self.engine_with(factor, xs, ys)
+        got = engine._read(engine.vssubu(a, b)).astype(np.int64) & 0xFFFFFFFF
+        expected = np.maximum((xs & U32MAX) - (ys & U32MAX), 0)
+        assert np.array_equal(got, expected)

@@ -1,0 +1,182 @@
+"""Peripheral circuit-stack tests (Section III layers)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SramError
+from repro.sram.array import BitLineResult
+from repro.sram.circuits import (
+    AddLogic,
+    ConstantShifter,
+    MaskLogic,
+    SpareShifter,
+    XorLayer,
+    XRegister,
+    group_view,
+)
+
+
+def bits(values):
+    return np.asarray(values, dtype=np.uint8)
+
+
+def blr(a, b):
+    a, b = bits(a), bits(b)
+    return BitLineResult(and_=a & b, nand=1 - (a & b), or_=a | b,
+                         nor=1 - (a | b))
+
+
+class TestGroupView:
+    def test_reshape(self):
+        v = group_view(bits(range(8)), 4)
+        assert v.shape == (2, 4)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(SramError):
+            group_view(bits([0] * 10), 4)
+
+
+class TestXorLayer:
+    def test_truth_table(self):
+        xor, xnor = XorLayer.compute(blr([0, 0, 1, 1], [0, 1, 0, 1]))
+        assert list(xor) == [0, 1, 1, 0]
+        assert list(xnor) == [1, 0, 0, 1]
+
+
+class TestAddLogic:
+    def encode(self, value, n):
+        return bits([(value >> j) & 1 for j in range(n)])
+
+    def decode(self, row):
+        return sum(int(b) << j for j, b in enumerate(row))
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=st.integers(0, 255), b=st.integers(0, 255),
+           carry=st.integers(0, 1))
+    def test_manchester_chain_adds(self, a, b, carry):
+        logic = AddLogic(groups=1, factor=8)
+        av, bv = self.encode(a, 8), self.encode(b, 8)
+        result = blr(av, bv)
+        xor, _ = XorLayer.compute(result)
+        sums, carry_out = logic.compute(result.and_, xor,
+                                        np.array([carry], dtype=np.uint8))
+        total = a + b + carry
+        assert self.decode(sums[0]) == total & 0xFF
+        assert carry_out[0] == total >> 8
+
+    def test_parallel_groups_independent(self):
+        logic = AddLogic(groups=2, factor=4)
+        a = np.concatenate([self.encode(0xF, 4), self.encode(0x1, 4)])
+        b = np.concatenate([self.encode(0x1, 4), self.encode(0x2, 4)])
+        result = blr(a, b)
+        xor, _ = XorLayer.compute(result)
+        sums, carry = logic.compute(result.and_, xor, bits([0, 0]))
+        assert self.decode(sums[0]) == 0x0  # 0xF + 1 wraps
+        assert self.decode(sums[1]) == 0x3
+        assert list(carry) == [1, 0]
+
+    def test_carry_shape_checked(self):
+        logic = AddLogic(groups=2, factor=4)
+        with pytest.raises(SramError):
+            logic.compute(bits([0] * 8), bits([0] * 8), bits([0]))
+
+
+class TestXRegister:
+    def test_shift_right_walks_lsb_first(self):
+        x = XRegister(groups=1, factor=4)
+        x.load(bits([1, 0, 1, 1]))  # value 0b1101
+        seen = [int(x.lsb[0])]
+        for _ in range(3):
+            x.shift_right()
+            seen.append(int(x.lsb[0]))
+        assert seen == [1, 0, 1, 1]
+
+    def test_shift_left_walks_msb_first(self):
+        x = XRegister(groups=1, factor=4)
+        x.load(bits([1, 0, 1, 1]))
+        seen = [int(x.msb[0])]
+        for _ in range(3):
+            x.shift_left()
+            seen.append(int(x.msb[0]))
+        assert seen == [1, 1, 0, 1]
+
+    def test_zero_fill(self):
+        x = XRegister(groups=1, factor=2)
+        x.load(bits([1, 1]))
+        x.shift_right()
+        x.shift_right()
+        assert x.bits.sum() == 0
+
+
+class TestMaskLogic:
+    def test_reset_all_active(self):
+        mask = MaskLogic(cols=8, factor=4)
+        assert mask.bits.sum() == 8
+
+    def test_load_groups_replicates(self):
+        mask = MaskLogic(cols=8, factor=4)
+        mask.load_groups(bits([1, 0]))
+        assert list(mask.bits) == [1, 1, 1, 1, 0, 0, 0, 0]
+        assert list(mask.group_bits) == [1, 0]
+
+    def test_width_checked(self):
+        mask = MaskLogic(cols=8, factor=4)
+        with pytest.raises(SramError):
+            mask.load_columns(bits([1] * 4))
+        with pytest.raises(SramError):
+            mask.load_groups(bits([1] * 3))
+
+
+class TestConstantShifter:
+    def test_conditional_left_shift(self):
+        shifter = ConstantShifter(groups=2, factor=4)
+        shifter.load(bits([1, 0, 0, 0] * 2))  # both groups hold value 1
+        out = shifter.shift_left(condition=np.array([True, False]),
+                                 bit_in=bits([0, 0]))
+        assert list(shifter.bits[0]) == [0, 1, 0, 0]  # shifted: value 2
+        assert list(shifter.bits[1]) == [1, 0, 0, 0]  # untouched
+        assert list(out) == [0, 0]
+
+    def test_shift_right_returns_lsb(self):
+        shifter = ConstantShifter(groups=1, factor=4)
+        shifter.load(bits([1, 1, 0, 0]))
+        out = shifter.shift_right(condition=np.array([True]), bit_in=bits([1]))
+        assert out[0] == 1
+        assert list(shifter.bits[0]) == [1, 0, 0, 1]
+
+    def test_rotate_roundtrip(self):
+        shifter = ConstantShifter(groups=1, factor=4)
+        pattern = bits([1, 1, 0, 1])
+        shifter.load(pattern)
+        for _ in range(4):
+            shifter.rotate_left(np.array([True]))
+        assert np.array_equal(shifter.bits[0], pattern)
+
+
+class TestSpareShifter:
+    def test_exchange_ferries_bits(self):
+        spare = SpareShifter(groups=1, factor=4)
+        incoming = spare.exchange(bits([1]), np.array([True]))
+        assert incoming[0] == 0  # link started clear
+        incoming = spare.exchange(bits([0]), np.array([True]))
+        assert incoming[0] == 1  # previous out-bit comes back
+
+    def test_exchange_conditional(self):
+        spare = SpareShifter(groups=2, factor=4)
+        spare.exchange(bits([1, 1]), np.array([True, False]))
+        assert list(spare.link) == [1, 0]
+
+    def test_carry_storage(self):
+        spare = SpareShifter(groups=2, factor=4)
+        spare.set_carry(bits([1, 0]))
+        assert list(spare.carry) == [1, 0]
+        spare.clear_carry()
+        assert spare.carry.sum() == 0
+
+    def test_link_and_carry_independent(self):
+        spare = SpareShifter(groups=1, factor=4)
+        spare.set_carry(bits([1]))
+        spare.clear_link()
+        assert spare.carry[0] == 1

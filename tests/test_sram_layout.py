@@ -1,0 +1,154 @@
+"""Register-layout model tests (Figure 1 geometry, Table III lengths)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LayoutError
+from repro.sram import RegisterLayout
+
+
+def layout(factor, rows=256, cols=256, bits=32, regs=32):
+    return RegisterLayout(rows=rows, cols=cols, element_bits=bits,
+                          factor=factor, num_vregs=regs)
+
+
+class TestFigure1Example:
+    """The paper's 16x16 array with 8-bit elements."""
+
+    def test_one_register_half_utilized(self):
+        lay = layout(1, rows=16, cols=16, bits=8, regs=1)
+        assert lay.elements_per_array == 16
+        assert lay.row_utilization == pytest.approx(0.5)
+
+    def test_two_registers_balanced(self):
+        lay = layout(1, rows=16, cols=16, bits=8, regs=2)
+        assert lay.elements_per_array == 16
+        assert lay.row_utilization == pytest.approx(1.0)
+
+    def test_four_registers_column_underutilized(self):
+        """Columns are repurposed for the extra registers — ALUs halve."""
+        lay = layout(1, rows=16, cols=16, bits=8, regs=4)
+        assert lay.groups_per_element == 2
+        assert lay.elements_per_array == 8
+
+    def test_higher_factor_restores_alus(self):
+        lay = layout(2, rows=16, cols=16, bits=8, regs=4)
+        assert lay.groups_per_element == 1
+        assert lay.elements_per_array == 8  # 8 two-column groups
+
+
+class TestTable3VectorLengths:
+    @pytest.mark.parametrize("factor,per_array", [
+        (1, 64), (2, 64), (4, 64), (8, 32), (16, 16), (32, 8),
+    ])
+    def test_elements_per_array(self, factor, per_array):
+        assert layout(factor).elements_per_array == per_array
+
+    def test_balanced_utilization_at_factor4(self):
+        """32 regs x 8 segments exactly fill the 256 rows (Section II)."""
+        lay = layout(4)
+        assert lay.row_utilization == pytest.approx(1.0)
+        assert lay.groups_per_element == 1
+
+    def test_row_underutilization_beyond_4(self):
+        assert layout(8).row_utilization == pytest.approx(0.5)
+        assert layout(32).row_utilization == pytest.approx(0.125)
+
+    def test_column_underutilization_below_4(self):
+        assert layout(1).groups_per_element == 4
+        assert layout(2).groups_per_element == 2
+
+
+class TestAddressing:
+    def test_row_of_lsb_segment_first(self):
+        lay = layout(8)
+        assert lay.row_of(0, 0) == 0
+        assert lay.row_of(0, 3) == 3
+        assert lay.row_of(1, 0) == 4
+
+    def test_rows_distinct_within_group(self):
+        lay = layout(8)
+        rows = {lay.row_of(r, s) for r in range(32) for s in range(4)}
+        assert len(rows) == 128
+
+    def test_columns_of_element(self):
+        lay = layout(8)
+        assert lay.columns_of_element(0) == slice(0, 8)
+        assert lay.columns_of_element(3) == slice(24, 32)
+
+    def test_columns_follow_register_group(self):
+        lay = layout(1)  # 4 groups per element
+        assert lay.columns_of_element(0, vreg=0) == slice(0, 1)
+        assert lay.columns_of_element(0, vreg=8) == slice(1, 2)
+        assert lay.columns_of_element(1, vreg=0) == slice(4, 5)
+
+    def test_same_group(self):
+        lay = layout(1)
+        assert lay.same_group(0, 7)
+        assert not lay.same_group(0, 8)
+
+    def test_bounds_checked(self):
+        lay = layout(8)
+        with pytest.raises(LayoutError):
+            lay.row_of(32, 0)
+        with pytest.raises(LayoutError):
+            lay.row_of(0, 4)
+        with pytest.raises(LayoutError):
+            lay.columns_of_element(32)
+
+
+class TestValidation:
+    def test_factor_must_divide_width(self):
+        with pytest.raises(LayoutError):
+            layout(3)
+
+    def test_factor_must_divide_columns(self):
+        with pytest.raises(LayoutError):
+            layout(32, cols=48)
+
+    def test_register_must_fit_rows(self):
+        with pytest.raises(LayoutError):
+            layout(1, rows=16, bits=32, regs=1)
+
+    def test_register_file_must_fit_array(self):
+        with pytest.raises(LayoutError):
+            layout(1, rows=32, cols=2, bits=32, regs=32).elements_per_array
+
+    def test_needs_a_register(self):
+        with pytest.raises(LayoutError):
+            layout(8, regs=0)
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(factor=st.sampled_from([1, 2, 4, 8, 16, 32]),
+           regs=st.integers(1, 32),
+           rows_log=st.integers(5, 9), cols_log=st.integers(5, 9))
+    def test_utilization_and_capacity_invariants(self, factor, regs,
+                                                 rows_log, cols_log):
+        rows, cols = 2 ** rows_log, 2 ** cols_log
+        if 32 // factor > rows or factor > cols:
+            return
+        try:
+            lay = RegisterLayout(rows=rows, cols=cols, element_bits=32,
+                                 factor=factor, num_vregs=regs)
+            alus = lay.elements_per_array
+        except LayoutError:
+            return
+        assert alus >= 1
+        assert 0 < lay.storage_utilization <= 1.0
+        assert 0 < lay.row_utilization <= 1.0
+        # Total stored bits can never exceed the array.
+        assert alus * regs * 32 <= rows * cols
+
+    @settings(max_examples=30, deadline=None)
+    @given(factor=st.sampled_from([4, 8, 16, 32]))
+    def test_element_columns_disjoint(self, factor):
+        lay = layout(factor)
+        seen = set()
+        for e in range(lay.elements_per_array):
+            cols = lay.columns_of_element(e)
+            span = set(range(cols.start, cols.stop))
+            assert not span & seen
+            seen |= span

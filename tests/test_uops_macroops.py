@@ -1,0 +1,243 @@
+"""Bit-exact verification of every macro-operation micro-program.
+
+Each test runs the real micro-program on the bit-level EVE SRAM for every
+parallelization factor (the ``macro_tester`` fixture parametrises n over
+{1, 2, 4, 8, 16, 32}) and compares against two's-complement numpy
+semantics.
+"""
+
+import numpy as np
+import pytest
+
+from tests.conftest import wrap32
+
+U32 = 0xFFFFFFFF
+
+
+def rnd(rng, n, lo=-2 ** 31, hi=2 ** 31):
+    return rng.integers(lo, hi, n)
+
+
+class TestAddSub:
+    def test_add(self, macro_tester, rng):
+        a, b = rnd(rng, macro_tester.n), rnd(rng, macro_tester.n)
+        got, _ = macro_tester.run("add", a, b)
+        assert np.array_equal(got, wrap32(a + b))
+
+    def test_add_wraps_at_boundaries(self, macro_tester):
+        a = np.full(macro_tester.n, 2 ** 31 - 1)
+        b = np.ones(macro_tester.n)
+        got, _ = macro_tester.run("add", a, b)
+        assert (got == -(2 ** 31)).all()
+
+    def test_sub(self, macro_tester, rng):
+        a, b = rnd(rng, macro_tester.n), rnd(rng, macro_tester.n)
+        got, _ = macro_tester.run("sub", a, b)
+        assert np.array_equal(got, wrap32(a - b))
+
+    def test_sub_restores_subtrahend(self, macro_tester, rng):
+        """The complement-restore sequence must leave vs2 intact."""
+        a, b = rnd(rng, macro_tester.n), rnd(rng, macro_tester.n)
+        macro_tester.run("sub", a, b)
+        restored = macro_tester.sram.read_vreg(macro_tester.layout, 2)
+        assert np.array_equal(restored, wrap32(b))
+
+    def test_rsub(self, macro_tester, rng):
+        a, b = rnd(rng, macro_tester.n), rnd(rng, macro_tester.n)
+        got, _ = macro_tester.run("rsub", a, b)
+        assert np.array_equal(got, wrap32(b - a))
+
+    def test_masked_add(self, macro_tester, rng):
+        a, b = rnd(rng, macro_tester.n), rnd(rng, macro_tester.n)
+        m = rng.integers(0, 2, macro_tester.n)
+        got, _ = macro_tester.run("add", a, b, m=m, masked=True)
+        assert np.array_equal(got, np.where(m == 1, wrap32(a + b), 0))
+
+
+class TestLogic:
+    @pytest.mark.parametrize("op,fn", [
+        ("and", lambda a, b: a & b), ("or", lambda a, b: a | b),
+        ("xor", lambda a, b: a ^ b), ("nand", lambda a, b: ~(a & b)),
+        ("nor", lambda a, b: ~(a | b)), ("xnor", lambda a, b: ~(a ^ b)),
+    ])
+    def test_binary_logic(self, macro_tester, rng, op, fn):
+        a, b = rnd(rng, macro_tester.n), rnd(rng, macro_tester.n)
+        got, _ = macro_tester.run("logic", a, b, op=op)
+        assert np.array_equal(got, wrap32(fn(a, b)))
+
+    def test_not(self, macro_tester, rng):
+        a = rnd(rng, macro_tester.n)
+        got, _ = macro_tester.run("logic", a, None, op="not")
+        assert np.array_equal(got, wrap32(~a))
+
+
+class TestMoves:
+    def test_move(self, macro_tester, rng):
+        a = rnd(rng, macro_tester.n)
+        got, _ = macro_tester.run("move", a)
+        assert np.array_equal(got, wrap32(a))
+
+    @pytest.mark.parametrize("value", [0, 1, -1, 123456789, -(2 ** 31)])
+    def test_splat(self, macro_tester, value):
+        got, _ = macro_tester.run("splat", scalar=value)
+        assert (got == value).all()
+
+    def test_merge(self, macro_tester, rng):
+        a, b = rnd(rng, macro_tester.n), rnd(rng, macro_tester.n)
+        m = rng.integers(0, 2, macro_tester.n)
+        got, _ = macro_tester.run("merge", a, b, m=m)
+        assert np.array_equal(got, np.where(m == 1, wrap32(a), wrap32(b)))
+
+
+class TestCompare:
+    @pytest.mark.parametrize("op,fn", [
+        ("lt", lambda a, b: a < b), ("le", lambda a, b: a <= b),
+        ("gt", lambda a, b: a > b), ("ge", lambda a, b: a >= b),
+        ("eq", lambda a, b: a == b), ("ne", lambda a, b: a != b),
+    ])
+    def test_signed_compares(self, macro_tester, rng, op, fn):
+        a, b = rnd(rng, macro_tester.n), rnd(rng, macro_tester.n)
+        got, _ = macro_tester.run("compare", a, b, op=op)
+        assert np.array_equal(got, fn(a, b).astype(np.int64))
+
+    def test_equality_with_many_duplicates(self, macro_tester, rng):
+        a = rnd(rng, macro_tester.n, 0, 3)
+        b = rnd(rng, macro_tester.n, 0, 3)
+        got, _ = macro_tester.run("compare", a, b, op="eq")
+        assert np.array_equal(got, (a == b).astype(np.int64))
+
+    def test_compare_sign_boundary(self, macro_tester):
+        """The bias trick must survive INT_MIN / INT_MAX operands."""
+        n = macro_tester.n
+        a = np.resize([-(2 ** 31), 2 ** 31 - 1, -1, 0], n)
+        b = np.resize([2 ** 31 - 1, -(2 ** 31), 0, -1], n)
+        got, _ = macro_tester.run("compare", a, b, op="lt")
+        assert np.array_equal(got, (a < b).astype(np.int64))
+
+    def test_compare_restores_vs1(self, macro_tester, rng):
+        a, b = rnd(rng, macro_tester.n), rnd(rng, macro_tester.n)
+        macro_tester.run("compare", a, b, op="lt")
+        assert np.array_equal(
+            macro_tester.sram.read_vreg(macro_tester.layout, 1), wrap32(a))
+
+
+class TestMinMax:
+    def test_min_max_signed(self, macro_tester, rng):
+        a, b = rnd(rng, macro_tester.n), rnd(rng, macro_tester.n)
+        got_min, _ = macro_tester.run("minmax", a, b, op="min")
+        got_max, _ = macro_tester.run("minmax", a, b, op="max")
+        assert np.array_equal(got_min, wrap32(np.minimum(a, b)))
+        assert np.array_equal(got_max, wrap32(np.maximum(a, b)))
+
+    def test_min_max_unsigned(self, macro_tester, rng):
+        a, b = rnd(rng, macro_tester.n), rnd(rng, macro_tester.n)
+        au, bu = a & U32, b & U32
+        got, _ = macro_tester.run("minmax", a, b, op="min", signed=False)
+        assert np.array_equal(got & U32, np.minimum(au, bu))
+
+
+class TestShifts:
+    @pytest.mark.parametrize("amount", [0, 1, 3, 7, 8, 15, 31])
+    def test_sll_scalar(self, macro_tester, rng, amount):
+        a = rnd(rng, macro_tester.n)
+        got, _ = macro_tester.run("shift_scalar", a, op="sll", amount=amount)
+        assert np.array_equal(got, wrap32(a << amount))
+
+    @pytest.mark.parametrize("amount", [1, 4, 9, 31])
+    def test_srl_scalar(self, macro_tester, rng, amount):
+        a = rnd(rng, macro_tester.n)
+        got, _ = macro_tester.run("shift_scalar", a, op="srl", amount=amount)
+        assert np.array_equal(got, wrap32((a & U32) >> amount))
+
+    @pytest.mark.parametrize("amount", [1, 5, 31])
+    def test_sra_scalar(self, macro_tester, rng, amount):
+        a = rnd(rng, macro_tester.n)
+        got, _ = macro_tester.run("shift_scalar", a, op="sra", amount=amount)
+        assert np.array_equal(got, wrap32(a >> amount))
+
+    @pytest.mark.parametrize("op,fn", [
+        ("sll", lambda a, s: a << s),
+        ("srl", lambda a, s: (a & U32) >> s),
+        ("sra", lambda a, s: a >> s),
+    ])
+    def test_variable_shifts(self, macro_tester, rng, op, fn):
+        a = rnd(rng, macro_tester.n)
+        s = rnd(rng, macro_tester.n, 0, 32)
+        got, _ = macro_tester.run("shift_variable", a, s, op=op)
+        assert np.array_equal(got, wrap32(fn(a, s)))
+
+
+class TestMultiply:
+    def test_mul(self, macro_tester, rng):
+        a, b = rnd(rng, macro_tester.n), rnd(rng, macro_tester.n)
+        got, _ = macro_tester.run("mul", a, b)
+        assert np.array_equal(got, wrap32(a * b))
+
+    def test_mul_preserves_sources(self, macro_tester, rng):
+        a, b = rnd(rng, macro_tester.n), rnd(rng, macro_tester.n)
+        macro_tester.run("mul", a, b)
+        assert np.array_equal(
+            macro_tester.sram.read_vreg(macro_tester.layout, 1), wrap32(a))
+        assert np.array_equal(
+            macro_tester.sram.read_vreg(macro_tester.layout, 2), wrap32(b))
+
+    def test_mul_edge_values(self, macro_tester):
+        n = macro_tester.n
+        a = np.resize([0, 1, -1, 2 ** 31 - 1, -(2 ** 31), 65536], n)
+        b = np.resize([-1, 2 ** 31 - 1, -(2 ** 31), 3, 65536, 0], n)
+        got, _ = macro_tester.run("mul", a, b)
+        assert np.array_equal(got, wrap32(a * b))
+
+
+class TestDivide:
+    def test_divu(self, macro_tester, rng):
+        a = rnd(rng, macro_tester.n, 0)
+        b = rnd(rng, macro_tester.n, 1)
+        got, _ = macro_tester.run("div", a, b, op="divu")
+        assert np.array_equal(got & U32, (a & U32) // (b & U32))
+
+    def test_remu(self, macro_tester, rng):
+        a = rnd(rng, macro_tester.n, 0)
+        b = rnd(rng, macro_tester.n, 1)
+        got, _ = macro_tester.run("div", a, b, op="remu")
+        assert np.array_equal(got & U32, (a & U32) % (b & U32))
+
+    def test_divu_by_zero_saturates(self, macro_tester):
+        a = np.full(macro_tester.n, 1234)
+        b = np.zeros(macro_tester.n)
+        got, _ = macro_tester.run("div", a, b, op="divu")
+        assert (got == -1).all()  # UINT_MAX, the RVV-mandated result
+
+    def test_remu_by_zero_is_dividend(self, macro_tester):
+        a = np.full(macro_tester.n, 1234)
+        b = np.zeros(macro_tester.n)
+        got, _ = macro_tester.run("div", a, b, op="remu")
+        assert (got == 1234).all()
+
+    def test_signed_div_nonnegative_operands(self, macro_tester, rng):
+        a = rnd(rng, macro_tester.n, 0)
+        b = rnd(rng, macro_tester.n, 1)
+        got, _ = macro_tester.run("div", a, b, op="div")
+        assert np.array_equal(got & U32, (a & U32) // (b & U32))
+
+
+class TestLatencyShape:
+    """Section II/III: latencies fall with the factor; shifts are cheapest
+    at bit-hybrid factors (the segment-granularity optimisation)."""
+
+    def test_add_latency_decreases_with_factor(self):
+        from tests.conftest import MacroTester
+        cycles = [MacroTester(n).run("add", [1], [2])[1]
+                  for n in (1, 2, 4, 8, 16, 32)]
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_mul_is_thousands_of_cycles_bit_serial(self):
+        from tests.conftest import MacroTester
+        _, cycles = MacroTester(1).run("mul", [3], [5])
+        assert cycles > 1000  # "thousands of cycles" (Section I)
+
+    def test_hybrid_variable_shift_beats_bit_parallel(self):
+        from tests.conftest import MacroTester
+        _, hybrid = MacroTester(8).run("shift_variable", [1], [3], op="sll")
+        _, parallel = MacroTester(32).run("shift_variable", [1], [3], op="sll")
+        assert hybrid < parallel  # Section III-C's claim

@@ -1,0 +1,110 @@
+"""Micro-program container, builder, and μop validation."""
+
+import pytest
+
+from repro.errors import MicroProgramError
+from repro.uops import ArithUop, ControlUop, CounterUop, MicroProgram, ProgramBuilder, RowRef
+from repro.uops.uop import CounterSeg, DataIn, UopTuple
+
+
+class TestUopValidation:
+    def test_unknown_arith_kind(self):
+        with pytest.raises(MicroProgramError):
+            ArithUop("frobnicate")
+
+    def test_blc_needs_two_operands(self):
+        with pytest.raises(MicroProgramError):
+            ArithUop("blc", a=RowRef("vs1"))
+
+    def test_wb_needs_dest_and_src(self):
+        with pytest.raises(MicroProgramError):
+            ArithUop("wb", dest=RowRef("vd"))
+
+    def test_rowref_slot_validated(self):
+        with pytest.raises(MicroProgramError):
+            RowRef("vt9")
+
+    def test_data_in_kind_validated(self):
+        with pytest.raises(MicroProgramError):
+            DataIn("sevens")
+
+    def test_counter_uop_validated(self):
+        with pytest.raises(MicroProgramError):
+            CounterUop("init", counter="seg0", value=0)
+        with pytest.raises(MicroProgramError):
+            CounterUop("decr")
+
+    def test_control_uop_validated(self):
+        with pytest.raises(MicroProgramError):
+            ControlUop("bnz", counter="seg0")
+        with pytest.raises(MicroProgramError):
+            ControlUop("jmp")
+
+
+class TestBuilder:
+    def test_auto_ret_appended(self):
+        b = ProgramBuilder("t")
+        b.arith(ArithUop("nop"))
+        program = b.build()
+        assert program.tuples[-1].control.kind == "ret"
+
+    def test_explicit_ret_not_duplicated(self):
+        b = ProgramBuilder("t")
+        b.ret()
+        assert len(b.build()) == 1
+
+    def test_duplicate_label_rejected(self):
+        b = ProgramBuilder("t")
+        b.label("x")
+        with pytest.raises(MicroProgramError):
+            b.label("x")
+
+    def test_auto_labels_unique(self):
+        b = ProgramBuilder("t")
+        assert b.label() != b.label()
+
+    def test_undefined_branch_target_rejected(self):
+        b = ProgramBuilder("t")
+        b.emit(control=ControlUop("jmp", target="nowhere"))
+        with pytest.raises(MicroProgramError):
+            b.build()
+
+    def test_sweep_two_uop_body_is_two_cycles_per_iteration(self):
+        b = ProgramBuilder("t")
+        ref = RowRef("vs1", CounterSeg("seg0"))
+        b.sweep("seg0", 4, [
+            ArithUop("blc", a=ref, b=ref),
+            ArithUop("wb", dest=RowRef("vd", CounterSeg("seg0")), src="and"),
+        ])
+        program = b.build()
+        # init + 2 body tuples + ret
+        assert len(program) == 4
+        first_body = program.tuples[1]
+        assert first_body.counter.kind == "decr"
+        assert first_body.arith.kind == "blc"
+        last_body = program.tuples[2]
+        assert last_body.control.kind == "bnz"
+
+    def test_sweep_single_uop_fuses_everything(self):
+        b = ProgramBuilder("t")
+        b.sweep("seg0", 4, [ArithUop("sclr")])
+        program = b.build()
+        assert len(program) == 3  # init + 1 fused tuple + ret
+
+    def test_sweep_rejects_empty_body(self):
+        with pytest.raises(MicroProgramError):
+            ProgramBuilder("t").sweep("seg0", 4, [])
+
+    def test_sweep_rejects_zero_count(self):
+        with pytest.raises(MicroProgramError):
+            ProgramBuilder("t").sweep("seg0", 0, [ArithUop("sclr")])
+
+
+class TestMicroProgram:
+    def test_label_bounds_checked(self):
+        with pytest.raises(MicroProgramError):
+            MicroProgram("t", [UopTuple()], {"x": 5})
+
+    def test_target_lookup(self):
+        program = MicroProgram("t", [UopTuple(), UopTuple()], {"top": 1})
+        assert program.target("top") == 1
