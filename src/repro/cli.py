@@ -15,6 +15,10 @@ Commands
 ``uprog MACRO``
     Print the micro-program for a macro-operation (disassembled) and its
     cycle count per parallelization factor.
+``lint``
+    Statically verify micro-programs (CFG + dataflow analysis): every ROM
+    program for every parallelization factor by default, or an assembly
+    listing via ``--asm``.  Exits non-zero when errors are found.
 ``figure NAME``
     Regenerate a figure/table (fig1, fig2, table3, area).
 """
@@ -27,10 +31,13 @@ from typing import List, Optional
 
 from . import __version__
 from .config import all_system_names
+from .errors import MicroProgramError
 from .experiments import ExperimentRunner, format_table
 from .experiments.figures import area_table, figure2, table3
-from .uops import MacroOpRom, disassemble
+from .uops import MacroOpRom, assemble, disassemble, lint_program, lint_rom
 from .workloads import REGISTRY
+
+EVE_FACTORS = (1, 2, 4, 8, 16, 32)
 
 
 def _cmd_systems(_args) -> int:
@@ -99,6 +106,42 @@ def _cmd_uprog(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    factors = args.factor or list(EVE_FACTORS)
+    if args.asm is not None:
+        try:
+            with open(args.asm) as handle:
+                source = handle.read()
+        except OSError as exc:
+            print(f"lint: cannot read {args.asm}: {exc}", file=sys.stderr)
+            return 2
+        findings = []
+        count = 0
+        for factor in factors:
+            try:
+                program = assemble(source, name=f"{args.asm}@n{factor}")
+            except MicroProgramError as exc:
+                print(f"lint: {args.asm} (n={factor}): {exc}", file=sys.stderr)
+                return 2
+            findings += lint_program(program, factor)
+            count += 1
+    else:
+        count, findings = lint_rom(factors, macro=args.macro)
+        if count == 0:
+            print(f"lint: no ROM program named {args.macro!r}", file=sys.stderr)
+            return 2
+    if findings:
+        rows = [[f.program, f.index if f.index >= 0 else "-", f.rule,
+                 f.severity, f.message] for f in findings]
+        print(format_table(["program", "tuple", "rule", "severity", "message"],
+                           rows))
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+    print(f"{count} program(s) linted: {errors} error(s), "
+          f"{warnings} warning(s)")
+    return 1 if errors else 0
+
+
 def _cmd_figure(args) -> int:
     if args.name == "fig2":
         rows = figure2(measured=True)
@@ -139,8 +182,19 @@ def build_parser() -> argparse.ArgumentParser:
     uprog = sub.add_parser("uprog", help="show a macro-op micro-program")
     uprog.add_argument("macro")
     uprog.add_argument("--factor", type=int, default=8,
-                       choices=[1, 2, 4, 8, 16, 32])
+                       choices=list(EVE_FACTORS))
     uprog.add_argument("--op", default=None)
+
+    lint = sub.add_parser(
+        "lint", help="statically verify micro-programs (CFG + dataflow)")
+    lint.add_argument("--factor", type=int, action="append",
+                      choices=list(EVE_FACTORS), default=None,
+                      help="parallelization factor(s) to lint for "
+                           "(repeatable; default: all)")
+    lint.add_argument("--macro", default=None,
+                      help="restrict the ROM sweep to one macro-operation")
+    lint.add_argument("--asm", default=None, metavar="FILE",
+                      help="lint an assembly listing instead of the ROM")
 
     figure = sub.add_parser("figure", help="regenerate a static figure")
     figure.add_argument("name")
@@ -153,6 +207,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
     "uprog": _cmd_uprog,
+    "lint": _cmd_lint,
     "figure": _cmd_figure,
 }
 

@@ -60,7 +60,7 @@ class EveMachine(VectorMachineBase):
         self.layout = RegisterLayout(
             rows=sram.rows, cols=sram.cols, element_bits=32,
             factor=self.factor, num_vregs=sram.num_vregs)
-        self.rom = MacroOpRom(self.factor)
+        self.rom = MacroOpRom(self.factor, strict=True)
         self.segments = 32 // self.factor
         self.num_arrays = sram.num_arrays
         self.num_dtus = sram.num_dtus

@@ -79,7 +79,7 @@ class EveFunctionalEngine:
         if self.layout.elements_per_array != capacity:
             raise SimulationError("functional engine layout mismatch")
         self.sram = EveSram(rows, cols, factor)
-        self.rom = MacroOpRom(factor, element_bits)
+        self.rom = MacroOpRom(factor, element_bits, strict=True)
         self.engine = MicroEngine()
         self.vm = VirtualMemory()
         self.capacity = capacity

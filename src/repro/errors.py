@@ -29,6 +29,18 @@ class MicroProgramError(ReproError):
     """A micro-program is malformed (bad label, operand, or tuple)."""
 
 
+class LintError(MicroProgramError):
+    """A micro-program failed static verification.
+
+    Carries the analyzer's full diagnostic list in :attr:`findings`
+    (a tuple of :class:`repro.uops.lint.Finding`).
+    """
+
+    def __init__(self, message: str, findings=()) -> None:
+        super().__init__(message)
+        self.findings = tuple(findings)
+
+
 class MicroExecutionError(ReproError):
     """A micro-program performed an illegal action at execution time."""
 

@@ -12,17 +12,26 @@ control μop, executed in that order within a single cycle (Section IV-B).
   an :class:`~repro.sram.EveSram`, or in timing-only mode for cycle counts.
 * :mod:`repro.uops.rom` — the macro-operation ROM: builds, caches, and
   times the micro-program for every (macro-op, parallelization factor).
+* :mod:`repro.uops.cfg` — exact control-flow graphs of micro-programs
+  (control flow is data-independent, so the CFG is not an approximation).
+* :mod:`repro.uops.lint` — the static analyzer: CFG + dataflow checks of
+  every ROM listing (counters, latches, segment bounds, structure,
+  termination, intra-tuple hazards).
 """
 
 from .uop import ArithUop, ControlUop, CounterUop, CounterSeg, DataIn, RowRef, UopTuple
 from .counters import Counter, CounterFile
 from .program import MicroProgram, ProgramBuilder
 from .executor import Binding, MicroEngine
-from .rom import MacroOpRom
+from .rom import MacroOpRom, rom_specs
 from .assembler import assemble, disassemble
+from .cfg import ControlFlowGraph
+from .lint import Finding, check_program, lint_program, lint_rom
 
 __all__ = [
     "ArithUop", "ControlUop", "CounterUop", "CounterSeg", "DataIn", "RowRef",
     "UopTuple", "Counter", "CounterFile", "MicroProgram", "ProgramBuilder",
     "Binding", "MicroEngine", "MacroOpRom", "assemble", "disassemble",
+    "ControlFlowGraph", "Finding", "check_program", "lint_program",
+    "lint_rom", "rom_specs",
 ]

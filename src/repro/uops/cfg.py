@@ -1,0 +1,175 @@
+"""Control-flow graphs of micro-programs (the static-analysis substrate).
+
+Control flow in EVE micro-programs is *data-independent* (Section IV-B):
+branches test counter flags whose evolution is fixed by the program text,
+never by the vector data being operated on.  A micro-program's CFG is
+therefore **exact** — every static path is a possible dynamic path and the
+dynamic trace follows one static path — which is what lets the dataflow
+checks in :mod:`repro.uops.lint` be sound verifications rather than
+heuristics.
+
+Nodes are tuple indices ``0 .. len(program) - 1`` plus a virtual exit node
+(:attr:`ControlFlowGraph.exit_node`, equal to ``len(program)``).  Edges are
+labelled with how control reaches the successor:
+
+``fall``
+    Sequential flow, including the fall-through of ``bnz`` (counter
+    wrapped) and ``bnd`` (no decade reached).
+``taken``
+    A ``jmp`` target, or the taken side of ``bnz`` / ``bnd``.
+``ret``
+    A ``ret`` μop ending the macro-operation.
+
+An edge into the exit node whose kind is not ``ret`` means control runs off
+the end of the ROM listing — legal in the Python executor, a bug in the
+hardware μsequencer (it would fetch the next program's first tuple).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from .program import MicroProgram
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One directed CFG edge ``src -> dst`` with its control kind."""
+
+    src: int
+    dst: int
+    kind: str  # "fall" | "taken" | "ret"
+
+
+class ControlFlowGraph:
+    """CFG over the tuples of one :class:`MicroProgram`."""
+
+    def __init__(self, program: MicroProgram) -> None:
+        self.program = program
+        n = len(program.tuples)
+        self.exit_node = n
+        self.edges: List[Edge] = []
+        for i, tup in enumerate(program.tuples):
+            ctrl = tup.control
+            kind = ctrl.kind if ctrl is not None else "none"
+            if kind == "ret":
+                self.edges.append(Edge(i, n, "ret"))
+            elif kind == "jmp":
+                self.edges.append(Edge(i, program.target(ctrl.target), "taken"))
+            elif kind in ("bnz", "bnd"):
+                self.edges.append(Edge(i, program.target(ctrl.target), "taken"))
+                self.edges.append(Edge(i, i + 1, "fall"))
+            else:
+                self.edges.append(Edge(i, i + 1, "fall"))
+        self._succs: Dict[int, List[Edge]] = {i: [] for i in range(n + 1)}
+        self._preds: Dict[int, List[Edge]] = {i: [] for i in range(n + 1)}
+        for edge in self.edges:
+            self._succs[edge.src].append(edge)
+            self._preds[edge.dst].append(edge)
+
+    def successors(self, node: int) -> List[Edge]:
+        return self._succs[node]
+
+    def predecessors(self, node: int) -> List[Edge]:
+        return self._preds[node]
+
+    # -- reachability ------------------------------------------------------
+
+    @property
+    def reachable(self) -> Set[int]:
+        """Nodes reachable from the entry tuple (index 0), exit included."""
+        seen = {0} if self.exit_node > 0 else {self.exit_node}
+        stack = list(seen)
+        while stack:
+            node = stack.pop()
+            for edge in self._succs[node]:
+                if edge.dst not in seen:
+                    seen.add(edge.dst)
+                    stack.append(edge.dst)
+        return seen
+
+    # -- dominators --------------------------------------------------------
+
+    def dominators(self) -> Dict[int, Set[int]]:
+        """``dom[v]`` = nodes on *every* entry→v path (iterative dataflow).
+
+        Only reachable nodes appear as keys; the entry dominates itself.
+        """
+        reach = self.reachable
+        entry = 0 if self.exit_node > 0 else self.exit_node
+        order = sorted(reach)
+        dom: Dict[int, Set[int]] = {v: set(reach) for v in order}
+        dom[entry] = {entry}
+        changed = True
+        while changed:
+            changed = False
+            for v in order:
+                if v == entry:
+                    continue
+                preds = [e.src for e in self._preds[v] if e.src in reach]
+                new = set.intersection(*(dom[p] for p in preds)) if preds else set()
+                new.add(v)
+                if new != dom[v]:
+                    dom[v] = new
+                    changed = True
+        return dom
+
+    # -- strongly connected components ------------------------------------
+
+    def sccs(self) -> List[List[int]]:
+        """Tarjan's SCCs over the reachable subgraph (iterative).
+
+        Returns every component that can loop: size > 1, or a single node
+        with a self-edge.  Straight-line nodes are omitted.
+        """
+        reach = self.reachable
+        index: Dict[int, int] = {}
+        low: Dict[int, int] = {}
+        on_stack: Set[int] = set()
+        stack: List[int] = []
+        result: List[List[int]] = []
+        counter = [0]
+
+        for root in sorted(reach):
+            if root in index:
+                continue
+            work = [(root, iter([e.dst for e in self._succs[root] if e.dst in reach]))]
+            index[root] = low[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, succs = work[-1]
+                advanced = False
+                for succ in succs:
+                    if succ not in index:
+                        index[succ] = low[succ] = counter[0]
+                        counter[0] += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append(
+                            (succ, iter([e.dst for e in self._succs[succ]
+                                         if e.dst in reach])))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        low[node] = min(low[node], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    if len(component) > 1 or any(
+                            e.dst == node for e in self._succs[node]):
+                        result.append(sorted(component))
+        return result

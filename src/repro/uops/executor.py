@@ -22,7 +22,7 @@ from .counters import CounterFile
 from .program import MicroProgram
 from .uop import ArithUop, ControlUop, CounterSeg, CounterUop, DataIn, RowRef, SegSpec
 
-#: Runaway guard: no macro-op on a 32-bit element comes near this.
+#: Default watchdog limit: no macro-op on a 32-bit element comes near this.
 MAX_CYCLES = 1_000_000
 
 
@@ -42,10 +42,19 @@ class Binding:
 
 
 class MicroEngine:
-    """Executes micro-programs; owns a counter file across invocations."""
+    """Executes micro-programs; owns a counter file across invocations.
 
-    def __init__(self, counters: Optional[CounterFile] = None) -> None:
+    ``max_cycles`` is the watchdog: the dynamic backstop to the static
+    termination check (lint rule 5).  A program still running after that
+    many cycles raises :class:`MicroExecutionError` instead of hanging.
+    """
+
+    def __init__(self, counters: Optional[CounterFile] = None,
+                 max_cycles: int = MAX_CYCLES) -> None:
+        if max_cycles <= 0:
+            raise MicroExecutionError("watchdog limit must be positive")
         self.counters = counters or CounterFile()
+        self.max_cycles = max_cycles
 
     # -- resolution helpers ----------------------------------------------
 
@@ -154,7 +163,8 @@ class MicroEngine:
 
     def run(self, program: MicroProgram, sram: Optional[EveSram] = None,
             binding: Optional[Binding] = None,
-            histogram: Optional[Dict[str, int]] = None) -> int:
+            histogram: Optional[Dict[str, int]] = None,
+            max_cycles: Optional[int] = None) -> int:
         """Execute ``program``; returns the cycle count.
 
         With ``sram=None`` the arithmetic μops are skipped (timing-only
@@ -162,18 +172,21 @@ class MicroEngine:
         ``histogram`` (if given) accumulates dynamic arithmetic-μop counts
         by kind — control flow is data-independent, so the histogram is
         exact even in timing-only mode (the energy model uses this).
+        ``max_cycles`` overrides the engine's watchdog limit for this run.
         """
         if sram is not None and binding is None:
             raise MicroExecutionError("bit-exact execution requires a binding")
+        limit = self.max_cycles if max_cycles is None else max_cycles
         upc = 0
         cycles = 0
         n = len(program.tuples)
         while upc < n:
             tup = program.tuples[upc]
             cycles += 1
-            if cycles > MAX_CYCLES:
+            if cycles > limit:
                 raise MicroExecutionError(
-                    f"{program.name}: exceeded {MAX_CYCLES} cycles (runaway loop?)")
+                    f"{program.name}: watchdog tripped after {limit} cycles "
+                    "(non-terminating micro-program?)")
             if tup.counter is not None:
                 self._apply_counter(tup.counter)
             if tup.arith is not None:

@@ -13,10 +13,11 @@ VMU / VRU / VSU and are timed by the engine models instead.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import IsaError
 from ..isa.instructions import VectorInstr
+from ..isa.opcodes import OPCODES, OpInfo
 from .executor import MicroEngine
 from .macroops import GENERATORS
 from .program import MicroProgram
@@ -60,6 +61,85 @@ COMPOSITE_MACROS = {
         ("splat", {}), ("merge", {}),
     ),
 }
+
+#: Opcode-table macro family -> the base macro-op name(s) the ROM must hold
+#: for it (``instr_key`` picks between them per instruction form).
+_FAMILY_MACROS = {
+    "add": ("add", "sub", "rsub"),
+    "logic": ("logic",),
+    "move": ("move", "splat"),
+    "merge": ("merge",),
+    "compare": ("compare",),
+    "minmax": ("minmax",),
+    "shift": ("shift_scalar", "shift_variable"),
+    "mul": ("mul",),
+    "div": ("div",),
+}
+
+
+def rom_coverage_gaps(opcodes: Optional[Dict[str, OpInfo]] = None) -> List[str]:
+    """Macro-operations the opcode table needs but the ROM cannot build.
+
+    Checks every non-streamed opcode's macro family against
+    :data:`GENERATORS` and :data:`COMPOSITE_MACROS`, and every composite's
+    parts against :data:`GENERATORS`.  Returns human-readable gap names.
+    """
+    table = OPCODES if opcodes is None else opcodes
+    gaps = []
+    for name, info in table.items():
+        if name in STREAMED_OPS:
+            continue
+        for macro in _FAMILY_MACROS.get(info.macro, (info.macro,)):
+            if macro not in GENERATORS and macro not in COMPOSITE_MACROS:
+                gaps.append(f"{name} -> {macro}")
+    for name, parts in COMPOSITE_MACROS.items():
+        for part, _ in parts:
+            if part not in GENERATORS:
+                gaps.append(f"{name} (composite) -> {part}")
+    return gaps
+
+
+def _check_rom_coverage() -> None:
+    """Import-time fail-fast: a ROM that cannot serve the ISA is a build
+    error, not something to discover mid-simulation."""
+    gaps = rom_coverage_gaps()
+    if gaps:
+        raise IsaError(
+            "opcode table references macro-operations missing from the ROM: "
+            + ", ".join(sorted(set(gaps))))
+
+
+def rom_specs() -> Tuple[Tuple[str, Dict[str, object]], ...]:
+    """Every (macro, params) combination the ROM serves.
+
+    This enumeration is the build path's ground truth: ``instr_key`` only
+    produces instances of these specs (shift amounts sample the 0..31
+    range).  Strict ROMs, ``repro lint``, and the round-trip tests all
+    iterate it.
+    """
+    specs: List[Tuple[str, Dict[str, object]]] = []
+    for masked in (False, True):
+        for macro in ("add", "sub", "rsub", "move", "splat"):
+            specs.append((macro, {"masked": masked}))
+        for op in ("and", "or", "xor", "nand", "nor", "xnor", "not"):
+            specs.append(("logic", {"op": op, "masked": masked}))
+    specs.append(("merge", {}))
+    for op in ("eq", "ne", "lt", "le", "gt", "ge"):
+        for signed in (True, False):
+            specs.append(("compare", {"op": op, "signed": signed}))
+    for op in ("min", "max"):
+        for signed in (True, False):
+            specs.append(("minmax", {"op": op, "signed": signed}))
+    for op in ("sll", "srl", "sra"):
+        specs.append(("shift_variable", {"op": op}))
+        for amount in (0, 1, 7, 13, 31):
+            specs.append(("shift_scalar", {"op": op, "amount": amount}))
+    for high in (False, True):
+        specs.append(("mul", {"high": high}))
+    for op in ("div", "rem", "divu", "remu"):
+        specs.append(("div", {"op": op}))
+    return tuple(specs)
+
 
 _LOGIC = {"vand": "and", "vor": "or", "vxor": "xor", "vnot": "not"}
 _COMPARE = {"vmseq": "eq", "vmsne": "ne", "vmslt": "lt",
@@ -107,11 +187,19 @@ def instr_key(instr: VectorInstr) -> Optional[Tuple[str, Tuple[Tuple[str, object
 
 
 class MacroOpRom:
-    """Builds/caches micro-programs and cycle counts for one EVE-n design."""
+    """Builds/caches micro-programs and cycle counts for one EVE-n design.
 
-    def __init__(self, factor: int, element_bits: int = 32) -> None:
+    With ``strict=True`` every program is statically verified on build
+    (:func:`repro.uops.lint.check_program`): a malformed listing raises
+    :class:`~repro.errors.LintError` at ROM-construction time instead of
+    surfacing as a wrong cycle count or a hang mid-simulation.
+    """
+
+    def __init__(self, factor: int, element_bits: int = 32,
+                 strict: bool = False) -> None:
         self.factor = factor
         self.element_bits = element_bits
+        self.strict = strict
         self._programs: Dict[tuple, MicroProgram] = {}
         self._cycles: Dict[tuple, int] = {}
         self._engine = MicroEngine()
@@ -127,8 +215,26 @@ class MacroOpRom:
                 generator = GENERATORS[macro]
             except KeyError:
                 raise IsaError(f"unknown macro-operation {macro!r}") from None
-            self._programs[key] = generator(self.factor, self.element_bits, **params)
+            program = generator(self.factor, self.element_bits, **params)
+            if self.strict:
+                from .lint import check_program
+                check_program(program, self.factor, self.element_bits)
+            self._programs[key] = program
         return self._programs[key]
+
+    def verify(self) -> int:
+        """Build and lint every spec this ROM serves (build-path check).
+
+        Returns the number of programs verified; raises
+        :class:`~repro.errors.LintError` on the first malformed one.
+        """
+        from .lint import check_program
+        count = 0
+        for macro, params in rom_specs():
+            program = self.program(macro, **params)
+            check_program(program, self.factor, self.element_bits)
+            count += 1
+        return count
 
     def cycles(self, macro: str, **params: object) -> int:
         if macro in COMPOSITE_MACROS:
@@ -154,3 +260,7 @@ class MacroOpRom:
             return None
         macro, params = key
         return self.program(macro, **dict(params))
+
+
+# Fail fast: an ISA/ROM mismatch is a packaging error, caught at import.
+_check_rom_coverage()

@@ -60,3 +60,43 @@ class TestCommands:
         assert main(["run", "O3+EVE-8", "vvadd"]) == 0
         out = capsys.readouterr().out
         assert "cycles" in out and "busy" in out
+
+
+class TestLintCommand:
+    def test_rom_sweep_is_clean(self, capsys):
+        assert main(["lint", "--factor", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out and "program(s) linted" in out
+
+    def test_macro_filter(self, capsys):
+        assert main(["lint", "--factor", "8", "--macro", "div"]) == 0
+        assert "4 program(s) linted" in capsys.readouterr().out
+
+    def test_unknown_macro_is_usage_error(self, capsys):
+        assert main(["lint", "--macro", "frobnicate"]) == 2
+        assert "frobnicate" in capsys.readouterr().err
+
+    def test_asm_listing_with_errors_exits_nonzero(self, capsys, tmp_path):
+        listing = tmp_path / "bad.uasm"
+        listing.write_text("loop:\n    decr seg0 | nop | bnz seg0, loop\n"
+                           "    ret\n")
+        assert main(["lint", "--asm", str(listing), "--factor", "4"]) == 1
+        out = capsys.readouterr().out
+        assert "counter-uninit" in out and "2 error(s)" in out
+
+    def test_asm_listing_clean(self, capsys, tmp_path):
+        listing = tmp_path / "ok.uasm"
+        listing.write_text("    init seg0, 4\nloop:\n"
+                           "    decr seg0 | sclr | bnz seg0, loop\n    ret\n")
+        assert main(["lint", "--asm", str(listing)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_asm_syntax_error_is_usage_error(self, capsys, tmp_path):
+        listing = tmp_path / "syntax.uasm"
+        listing.write_text("- | frob vd[0] | -\n")
+        assert main(["lint", "--asm", str(listing)]) == 2
+        assert "syntax.uasm" in capsys.readouterr().err
+
+    def test_missing_asm_file_is_usage_error(self, capsys, tmp_path):
+        assert main(["lint", "--asm", str(tmp_path / "nope.uasm")]) == 2
+        assert "cannot read" in capsys.readouterr().err

@@ -1,6 +1,5 @@
 """Machine-model behaviour on synthetic traces (IO, O3, IV, DV)."""
 
-import numpy as np
 import pytest
 
 from repro.config import make_system

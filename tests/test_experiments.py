@@ -6,9 +6,8 @@ from repro.config import make_system
 from repro.core import EveMachine
 from repro.cores import DecoupledVectorMachine, IntegratedVectorMachine, ScalarCore
 from repro.errors import ConfigError
-from repro.experiments import ExperimentRunner, build_machine, format_table, trace_vlmax
+from repro.experiments import build_machine, format_table, trace_vlmax
 from repro.experiments.figures import (
-    GEOMEAN_APPS,
     area_efficiency,
     area_table,
     figure2,
@@ -18,8 +17,6 @@ from repro.experiments.figures import (
     table3,
     table4_characterization,
 )
-
-from tests.conftest import TINY_PARAMS
 
 
 class TestSystems:

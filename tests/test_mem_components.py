@@ -1,6 +1,5 @@
 """MSHR pool, cache array, and DRAM channel unit tests."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

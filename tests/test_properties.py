@@ -6,7 +6,6 @@ and structural invariants of traces and layouts.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import MicroProgramError
 from repro.sram import EveSram, RegisterLayout
-from repro.uops import Binding, MacroOpRom, MicroEngine
+from repro.uops import Binding, MacroOpRom, MicroEngine, rom_specs
 from repro.uops.assembler import assemble, disassemble
 from repro.uops.uop import CounterSeg
 
@@ -131,6 +131,21 @@ class TestRoundTrip:
         assert rebuilt.labels == original.labels
         for a, b in zip(original.tuples, rebuilt.tuples):
             assert a == b
+
+    @pytest.mark.parametrize("factor", [1, 2, 4, 8, 16, 32])
+    def test_every_rom_spec_round_trips(self, factor):
+        """Property: assemble(disassemble(p)) == p for the *entire* ROM.
+
+        Sweeps every (macro, params) spec the ROM serves at every
+        parallelization factor — the text form is a faithful, loss-free
+        serialisation of the binary micro-program.
+        """
+        rom = MacroOpRom(factor)
+        for macro, params in rom_specs():
+            original = rom.program(macro, **params)
+            rebuilt = assemble(disassemble(original), name=original.name)
+            assert rebuilt.labels == original.labels, original.name
+            assert rebuilt.tuples == original.tuples, original.name
 
     def test_round_trip_preserves_cycles(self):
         rom = MacroOpRom(8)

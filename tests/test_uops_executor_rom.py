@@ -1,6 +1,5 @@
 """Executor mechanics and the macro-op ROM."""
 
-import numpy as np
 import pytest
 
 from repro.errors import IsaError, MicroExecutionError
@@ -10,7 +9,6 @@ from repro.uops import (
     ArithUop,
     Binding,
     ControlUop,
-    CounterUop,
     MacroOpRom,
     MicroEngine,
     ProgramBuilder,

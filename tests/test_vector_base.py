@@ -1,6 +1,5 @@
 """Shared vector-machine machinery: memory streams and scalar blocks."""
 
-import numpy as np
 import pytest
 
 from repro.config import DramConfig, make_system, with_dram
