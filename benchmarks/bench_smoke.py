@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Wall-clock smoke benchmark: how long does each workload take to simulate?
+
+Runs every workload on a representative system pair (IO baseline and
+O3+EVE-4) at tiny problem sizes by default, timing the host-side cost of
+trace building and simulation via the runner's self-profiler, and writes
+one ``BENCH_<label>.json`` file with per-workload wall-clock seconds.
+
+This is a *simulator-performance* benchmark, not a paper-results one: CI
+runs it to catch host-time regressions in the hot paths (the paper's
+figures live in the ``test_*`` drivers next to this file).
+
+Usage::
+
+    python benchmarks/bench_smoke.py                # tiny inputs
+    python benchmarks/bench_smoke.py --full         # paper-scaled inputs
+    python benchmarks/bench_smoke.py -o out/        # where to write
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro import __version__
+from repro.experiments import ExperimentRunner
+from repro.workloads import REGISTRY
+
+SYSTEMS = ("IO", "O3+EVE-4")
+
+
+def run_benchmark(full: bool) -> dict:
+    override = None if full else {
+        name: dict(wl.tiny_params) for name, wl in REGISTRY.items()}
+    per_workload = {}
+    for workload in sorted(REGISTRY):
+        runner = ExperimentRunner(params_override=override)
+        start = time.perf_counter()
+        for system in SYSTEMS:
+            runner.run(system, workload)
+        elapsed = time.perf_counter() - start
+        profile = runner.profiler.merged()
+        per_workload[workload] = {
+            "seconds": elapsed,
+            "trace_build_seconds": profile.get("trace_build", 0.0),
+            "sim_seconds": profile.get("sim", 0.0),
+        }
+    return per_workload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scaled inputs (slow) instead of tiny")
+    parser.add_argument("-o", "--output-dir", default=".",
+                        help="directory for the BENCH_*.json file")
+    args = parser.parse_args(argv)
+
+    label = "full" if args.full else "tiny"
+    results = run_benchmark(args.full)
+    payload = {
+        "label": label,
+        "systems": list(SYSTEMS),
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workloads": results,
+        "total_seconds": sum(r["seconds"] for r in results.values()),
+    }
+    out = Path(args.output_dir) / f"BENCH_{label}.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    width = max(len(name) for name in results)
+    for name, row in sorted(results.items()):
+        print(f"{name:<{width}}  {row['seconds'] * 1e3:9.1f} ms")
+    print(f"{'total':<{width}}  {payload['total_seconds'] * 1e3:9.1f} ms")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,9 +9,20 @@ Commands
     List the Table IV workloads and their (scaled) default inputs.
 ``run SYSTEM WORKLOAD``
     Simulate one (system, workload) pair and print cycles, time, and the
-    execution breakdown.
+    execution breakdown.  ``--metrics-out FILE`` also captures the full
+    metrics-registry snapshot as JSON.
 ``compare WORKLOAD``
     Run a workload on every system and print the speedup column.
+    ``--json`` emits a machine-readable report (per-system SimResult
+    fields + stall breakdown + the simulator's own phase wall-clock);
+    ``--metrics-out FILE`` captures per-system registry snapshots.
+``trace SYSTEM WORKLOAD -o FILE``
+    Simulate with the timeline tracer enabled and export Chrome
+    trace-event JSON (load it at https://ui.perfetto.dev): one track per
+    unit/structure (VSU, VMU, DTU, VRU, DRAM, caches, MSHRs, ...).
+``stats SYSTEM WORKLOAD``
+    Simulate with the metrics registry enabled and print every counter /
+    gauge / histogram (``--json`` or ``--csv`` for machines).
 ``uprog MACRO``
     Print the micro-program for a macro-operation (disassembled) and its
     cycle count per parallelization factor.
@@ -21,11 +32,17 @@ Commands
     listing via ``--asm``.  Exits non-zero when errors are found.
 ``figure NAME``
     Regenerate a figure/table (fig1, fig2, table3, area).
+
+System and workload names are matched case-insensitively (``o3+eve-4``
+works), and ``run`` / ``trace`` / ``stats`` accept ``--tiny`` to use the
+test-sized problem inputs.
 """
 
 from __future__ import annotations
 
 import argparse
+import csv
+import json
 import sys
 from typing import List, Optional
 
@@ -34,10 +51,38 @@ from .config import all_system_names
 from .errors import MicroProgramError
 from .experiments import ExperimentRunner, format_table
 from .experiments.figures import area_table, figure2, table3
+from .obs import MetricsRegistry, SpanTracer
 from .uops import MacroOpRom, assemble, disassemble, lint_program, lint_rom
 from .workloads import REGISTRY
 
 EVE_FACTORS = (1, 2, 4, 8, 16, 32)
+
+
+def _canonical_system(name: str) -> str:
+    """Case-insensitive system-name lookup (``o3+eve-4`` → ``O3+EVE-4``)."""
+    by_lower = {known.lower(): known for known in all_system_names()}
+    return by_lower.get(name.lower(), name)
+
+
+def _canonical_workload(name: str) -> str:
+    by_lower = {known.lower(): known for known in REGISTRY}
+    return by_lower.get(name.lower(), name)
+
+
+def _make_runner(args) -> ExperimentRunner:
+    override = None
+    if getattr(args, "tiny", False):
+        override = {name: dict(wl.tiny_params) for name, wl in REGISTRY.items()}
+    return ExperimentRunner(params_override=override)
+
+
+def _write_json(path: str, payload: dict) -> None:
+    if path == "-":
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    else:
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2)
 
 
 def _cmd_systems(_args) -> int:
@@ -56,8 +101,9 @@ def _cmd_workloads(_args) -> int:
 
 
 def _cmd_run(args) -> int:
-    runner = ExperimentRunner()
-    result = runner.run(args.system, args.workload)
+    runner = _make_runner(args)
+    metrics = MetricsRegistry() if args.metrics_out else None
+    result = runner.run(args.system, args.workload, metrics=metrics)
     print(f"system    : {result.system}")
     print(f"workload  : {result.workload}")
     print(f"cycles    : {result.cycles:.0f}")
@@ -67,18 +113,98 @@ def _cmd_run(args) -> int:
                 for bucket, value in result.breakdown.as_dict().items()
                 if value > 0]
         print(format_table(["bucket", "cycles", "fraction"], rows))
+    if args.metrics_out:
+        _write_json(args.metrics_out, {
+            "system": result.system,
+            "workload": result.workload,
+            "metrics": metrics.snapshot(),
+            "self_profile": runner.profiler.as_dict(),
+        })
     return 0
 
 
 def _cmd_compare(args) -> int:
-    runner = ExperimentRunner()
+    runner = _make_runner(args)
     base = runner.run("IO", args.workload)
+    per_system = {}
+    metrics_out = {}
     rows = []
     for system in all_system_names():
-        result = runner.run(system, args.workload)
+        metrics = MetricsRegistry() if args.metrics_out else None
+        result = runner.run(system, args.workload, metrics=metrics)
         rows.append([system, result.cycles, result.time_ns / 1e3,
                      base.time_ns / result.time_ns])
-    print(format_table(["system", "cycles", "time_us", "speedup_vs_IO"], rows))
+        entry = result.to_json_dict()
+        entry.pop("metrics", None)
+        entry["speedup_vs_IO"] = base.time_ns / result.time_ns
+        per_system[system] = entry
+        if metrics is not None:
+            metrics_out[system] = metrics.snapshot()
+    if args.json:
+        json.dump({
+            "workload": args.workload,
+            "baseline": "IO",
+            "systems": per_system,
+            "self_profile": runner.profiler.as_dict(),
+        }, sys.stdout, indent=2)
+        print()
+    else:
+        print(format_table(
+            ["system", "cycles", "time_us", "speedup_vs_IO"], rows))
+    if args.metrics_out:
+        _write_json(args.metrics_out, {
+            "workload": args.workload,
+            "metrics": metrics_out,
+            "self_profile": runner.profiler.as_dict(),
+        })
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    runner = _make_runner(args)
+    tracer = SpanTracer(process=f"repro:{args.system}:{args.workload}")
+    result = runner.run(args.system, args.workload, tracer=tracer)
+    with runner.profiler.phase("report"):
+        tracer.export(args.output)
+    tracks = ", ".join(tracer.track_names())
+    print(f"system    : {result.system}")
+    print(f"workload  : {result.workload}")
+    print(f"cycles    : {result.cycles:.0f}")
+    print(f"events    : {tracer.num_events}")
+    print(f"tracks    : {tracks}")
+    print(f"trace     : {args.output}  (open in https://ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    runner = _make_runner(args)
+    metrics = MetricsRegistry()
+    result = runner.run(args.system, args.workload, metrics=metrics)
+    payload = result.to_json_dict()
+    payload["metrics"] = metrics.snapshot()
+    payload["self_profile"] = runner.profiler.as_dict()
+    if args.json:
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    elif args.csv:
+        writer = csv.writer(sys.stdout)
+        writer.writerow(["metric", "value"])
+        writer.writerow(["sim.system", result.system])
+        writer.writerow(["sim.workload", result.workload])
+        for name, value in metrics.flat().items():
+            writer.writerow([name, value])
+    else:
+        print(f"system    : {result.system}")
+        print(f"workload  : {result.workload}")
+        print(f"cycles    : {result.cycles:.0f}")
+        print(f"time      : {result.time_ns / 1e3:.1f} us")
+        rows = list(metrics.flat().items())
+        print(format_table(["metric", "value"], rows))
+        prof = runner.profiler.merged()
+        prof_rows = [[phase, f"{seconds * 1e3:.1f} ms"]
+                     for phase, seconds in sorted(prof.items())]
+        print()
+        print(format_table(["host phase", "wall-clock"], prof_rows))
     return 0
 
 
@@ -162,6 +288,16 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _add_pair_arguments(sub, tiny_help: bool = True) -> None:
+    sub.add_argument("system", type=_canonical_system,
+                     choices=all_system_names())
+    sub.add_argument("workload", type=_canonical_workload,
+                     choices=sorted(REGISTRY))
+    if tiny_help:
+        sub.add_argument("--tiny", action="store_true",
+                         help="use the test-sized problem inputs")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="EVE (HPCA 2023) reproduction toolkit")
@@ -173,11 +309,36 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("workloads", help="list Table IV workloads")
 
     run = sub.add_parser("run", help="simulate one system x workload")
-    run.add_argument("system", choices=all_system_names())
-    run.add_argument("workload", choices=sorted(REGISTRY))
+    _add_pair_arguments(run)
+    run.add_argument("--metrics-out", default=None, metavar="FILE",
+                     help="write the metrics-registry snapshot as JSON "
+                          "('-' for stdout)")
 
     compare = sub.add_parser("compare", help="one workload on every system")
-    compare.add_argument("workload", choices=sorted(REGISTRY))
+    compare.add_argument("workload", type=_canonical_workload,
+                         choices=sorted(REGISTRY))
+    compare.add_argument("--tiny", action="store_true",
+                         help="use the test-sized problem inputs")
+    compare.add_argument("--json", action="store_true",
+                         help="machine-readable output (per-system SimResult "
+                              "fields + stall breakdown)")
+    compare.add_argument("--metrics-out", default=None, metavar="FILE",
+                         help="write per-system metrics snapshots as JSON")
+
+    trace = sub.add_parser(
+        "trace", help="export a Perfetto/Chrome timeline trace of one run")
+    _add_pair_arguments(trace)
+    trace.add_argument("-o", "--output", default="trace.json", metavar="FILE",
+                       help="trace file to write (default: trace.json)")
+
+    stats = sub.add_parser(
+        "stats", help="simulate with metrics enabled and dump the registry")
+    _add_pair_arguments(stats)
+    fmt = stats.add_mutually_exclusive_group()
+    fmt.add_argument("--json", action="store_true",
+                     help="full snapshot (histograms included) as JSON")
+    fmt.add_argument("--csv", action="store_true",
+                     help="flattened metric,value rows as CSV")
 
     uprog = sub.add_parser("uprog", help="show a macro-op micro-program")
     uprog.add_argument("macro")
@@ -206,6 +367,8 @@ _COMMANDS = {
     "workloads": _cmd_workloads,
     "run": _cmd_run,
     "compare": _cmd_compare,
+    "trace": _cmd_trace,
+    "stats": _cmd_stats,
     "uprog": _cmd_uprog,
     "lint": _cmd_lint,
     "figure": _cmd_figure,

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..config import SystemConfig
 from ..errors import SimulationError
@@ -25,6 +25,8 @@ from ..isa.opcodes import Category
 from ..isa.trace import Trace
 from ..mem.hierarchy import MemorySystem
 from ..mem.reconfig import spawn_cost
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import SpanTracer
 from ..sram.layout import RegisterLayout
 from ..uops.rom import MacroOpRom
 from ..cores.result import SimResult, StallBreakdown
@@ -51,10 +53,12 @@ class EveMachine(VectorMachineBase):
     #: VSU cycles to decode + hand a macro-op to the VMU / VRU.
     VSU_DISPATCH = 2.0
 
-    def __init__(self, config: SystemConfig) -> None:
+    def __init__(self, config: SystemConfig,
+                 tracer: Optional[SpanTracer] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if config.vector is None or config.vector.kind != "eve":
             raise SimulationError("EveMachine needs an 'eve' config")
-        super().__init__(config)
+        super().__init__(config, tracer=tracer, metrics=metrics)
         sram = config.eve_sram
         self.factor = config.vector.factor
         self.layout = RegisterLayout(
@@ -101,16 +105,30 @@ class EveMachine(VectorMachineBase):
     # -- main loop -----------------------------------------------------------------
 
     def run(self, trace: Trace) -> SimResult:
-        self.mem = MemorySystem(self.config)
+        tracer = self.tracer
+        self.mem = MemorySystem(self.config, tracer=tracer,
+                                metrics=self.metrics)
         self.vmu = VmuModel(self.mem)
         self.dtu = DtuPool(self.num_dtus, self.segments,
-                           bit_parallel=(self.factor == 32))
-        self.vru = VruModel(self.segments, self.vru_ports)
+                           bit_parallel=(self.factor == 32), tracer=tracer)
+        self.vru = VruModel(self.segments, self.vru_ports, tracer=tracer)
         self._regs: Dict[int, _RegInfo] = {}
         breakdown = StallBreakdown()
+        uprog_hist = self.metrics.histogram("eve.uprog.cycles")
+        # Fix the track set up front: an idle unit (e.g. the VRU on a
+        # workload with no reductions) still gets its named track.
+        tracer.declare("Machine", "VSU", "VMU", "DTU", "VRU", "DRAM")
 
         # Ephemeral spawn: walk the carved-out ways (free on a cold L2).
         setup = spawn_cost(self.mem.l2)
+        if tracer.enabled:
+            if setup.is_free:
+                tracer.instant("Reconfig", "spawn", 0.0,
+                               lines_walked=setup.lines_walked)
+            else:
+                tracer.span("Reconfig", "spawn", 0.0, float(setup.cycles),
+                            lines_walked=setup.lines_walked,
+                            dirty_lines=setup.dirty_lines)
         t = float(setup.cycles)        # VSU timeline
         core_time = 0.0                # control-processor timeline
         last_commit = 0.0
@@ -135,6 +153,8 @@ class EveMachine(VectorMachineBase):
             if instr.op == "vmfence":
                 # Drain pending vector stores before scalar memory proceeds.
                 core_time = max(core_time, store_drain)
+                if tracer.enabled:
+                    tracer.instant("VSU", "vmfence", core_time)
                 continue
 
             causes = {"empty_stall": arrival}
@@ -163,12 +183,18 @@ class EveMachine(VectorMachineBase):
                     vmu_last_was_store = True
                 busy += self.VSU_DISPATCH
                 finish = max(finish, done)
+                if tracer.enabled:
+                    tracer.span("VSU", f"dispatch:{instr.op}", dispatch, t,
+                                vl=instr.vl, done=done)
             elif category is Category.XELEM or instr.info.is_reduction:
                 causes["vru_stall"] = max(causes.get("vru_stall", 0.0),
                                           self.vru.free_at)
                 start = self._attribute(breakdown, t, causes)
                 t, done = self._vru_instr(start, instr)
                 busy += t - start
+                if tracer.enabled:
+                    tracer.span("VSU", instr.op, start, t, vl=instr.vl,
+                                done=done)
                 if instr.dest >= 0:
                     self._regs[instr.dest] = _RegInfo(ready=done, kind="vru")
                 if instr.info.writes_scalar or instr.info.is_reduction:
@@ -181,6 +207,12 @@ class EveMachine(VectorMachineBase):
                 cycles = float(self.rom.cycles_for(instr))
                 t = start + cycles
                 busy += cycles
+                uprog_hist.observe(cycles)
+                if tracer.enabled:
+                    # The macro-op's micro-program occupies the single
+                    # execution pipe for its full ROM cycle count.
+                    tracer.span("VSU", f"uprog:{instr.op}", start, t,
+                                vl=instr.vl, rom_cycles=cycles)
                 if instr.dest >= 0:
                     self._regs[instr.dest] = _RegInfo(ready=t, kind="compute")
                 finish = max(finish, t)
@@ -199,13 +231,37 @@ class EveMachine(VectorMachineBase):
             else:
                 breakdown.add("empty_stall", residual)
 
-        return SimResult(
+        if tracer.enabled:
+            tracer.span("Machine", f"execute:{trace.name}", 0.0, total,
+                        system=self.config.name, instructions=instructions)
+        result = SimResult(
             system=self.config.name, workload=trace.name, cycles=total,
             cycle_time_ns=self.config.cycle_time_ns, instructions=instructions,
-            breakdown=breakdown, mem_stats=self.mem.level_stats(),
+            breakdown=breakdown, mem_stats=self.mem.level_stats(total),
             vmu_llc_stall_frac=(self.mem.vector_mshr_stall / total
                                 if total > 0 else 0.0),
         )
+        if self.metrics.enabled:
+            self._populate_metrics(result)
+            result.metrics = self.metrics.snapshot()
+        return result
+
+    def _populate_metrics(self, result: SimResult) -> None:
+        """Publish aggregate unit / breakdown stats into the registry."""
+        metrics = self.metrics
+        metrics.gauge("sim.cycles").set(result.cycles)
+        metrics.counter("sim.instructions").inc(result.instructions)
+        metrics.counter("eve.vsu.busy_cycles").inc(result.breakdown.busy)
+        metrics.counter("eve.vmu.busy_cycles").inc(self.vmu.busy_cycles)
+        metrics.counter("eve.vmu.stall_cycles").inc(self.vmu.stall_cycles)
+        metrics.counter("eve.vmu.streams").inc(self.vmu.streams)
+        metrics.counter("eve.dtu.busy_cycles").inc(self.dtu.busy_cycles)
+        metrics.counter("eve.dtu.lines").inc(self.dtu.lines_processed)
+        metrics.counter("eve.vru.busy_cycles").inc(self.vru.busy_cycles)
+        metrics.counter("eve.vru.operations").inc(self.vru.operations)
+        for bucket, value in result.breakdown.as_dict().items():
+            metrics.counter(f"breakdown.{bucket}").inc(value)
+        self.mem.populate_metrics(result.cycles)
 
     # -- per-class timing ----------------------------------------------------------
 

@@ -13,9 +13,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..isa.instructions import MemAccess
 from ..mem.hierarchy import MemorySystem
+from ..obs.tracer import NULL_TRACER, SpanTracer
 
 
 @dataclass
@@ -37,14 +39,17 @@ class VmuModel:
 
     def __init__(self, mem: MemorySystem) -> None:
         self.mem = mem
+        self.tracer = mem.tracer
         self.free_at = 0.0
         self.busy_cycles = 0.0
         self.stall_cycles = 0.0
+        self.streams = 0
 
     def reset(self) -> None:
         self.free_at = 0.0
         self.busy_cycles = 0.0
         self.stall_cycles = 0.0
+        self.streams = 0
 
     def stream(self, start: float, pattern: MemAccess,
                per_element: bool) -> StreamResult:
@@ -69,6 +74,12 @@ class VmuModel:
         self.free_at = t
         self.busy_cycles += t - start
         self.stall_cycles += stall_total
+        self.streams += 1
+        if self.tracer.enabled:
+            self.tracer.span(
+                "VMU", f"stream:{'st' if pattern.is_store else 'ld'}",
+                start, t, n_lines=len(lines), mshr_stall=stall_total,
+                last_done=last_done)
         return StreamResult(issue_end=t, first_done=first_done,
                             last_done=last_done, mshr_stall=stall_total,
                             n_lines=len(lines))
@@ -77,16 +88,20 @@ class VmuModel:
 class DtuPool:
     """Eight transpose units shared by loads and stores."""
 
-    def __init__(self, num_dtus: int, segments: int, bit_parallel: bool) -> None:
+    def __init__(self, num_dtus: int, segments: int, bit_parallel: bool,
+                 tracer: Optional[SpanTracer] = None) -> None:
         self.num_dtus = num_dtus
         #: Transposing one cache line touches every segment row once.
         self.cycles_per_line = 0.0 if bit_parallel else float(segments)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.free_at = 0.0
         self.busy_cycles = 0.0
+        self.lines_processed = 0
 
     def reset(self) -> None:
         self.free_at = 0.0
         self.busy_cycles = 0.0
+        self.lines_processed = 0
 
     def process(self, data_ready: float, n_lines: int) -> float:
         """Run ``n_lines`` through the pool; returns completion time."""
@@ -96,6 +111,10 @@ class DtuPool:
         duration = n_lines * self.cycles_per_line / self.num_dtus
         self.free_at = start + duration
         self.busy_cycles += duration
+        self.lines_processed += n_lines
+        if self.tracer.enabled:
+            self.tracer.span("DTU", "transpose", start, start + duration,
+                             n_lines=n_lines)
         return start + duration + self.cycles_per_line  # last line's latency
 
 
@@ -105,15 +124,19 @@ class VruModel:
     #: Pipeline latency of the dot-operation tree.
     DOT_LATENCY = 4.0
 
-    def __init__(self, segments: int, ports: int) -> None:
+    def __init__(self, segments: int, ports: int,
+                 tracer: Optional[SpanTracer] = None) -> None:
         self.segments = segments
         self.ports = ports  # E = port bits / n
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.free_at = 0.0
         self.busy_cycles = 0.0
+        self.operations = 0
 
     def reset(self) -> None:
         self.free_at = 0.0
         self.busy_cycles = 0.0
+        self.operations = 0
 
     def reduce(self, start: float, active_arrays: int) -> float:
         """One reduction: stream every array's register, then fold.
@@ -126,6 +149,10 @@ class VruModel:
         duration = stream + self.DOT_LATENCY + self.ports
         self.free_at = begin + duration
         self.busy_cycles += duration
+        self.operations += 1
+        if self.tracer.enabled:
+            self.tracer.span("VRU", "reduce", begin, begin + duration,
+                             arrays=active_arrays)
         return begin + duration
 
     def cross_element(self, start: float, active_arrays: int) -> float:
@@ -134,4 +161,8 @@ class VruModel:
         duration = 2 * active_arrays * self.segments + self.DOT_LATENCY
         self.free_at = begin + duration
         self.busy_cycles += duration
+        self.operations += 1
+        if self.tracer.enabled:
+            self.tracer.span("VRU", "cross_element", begin, begin + duration,
+                             arrays=active_arrays)
         return begin + duration

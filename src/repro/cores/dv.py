@@ -40,10 +40,10 @@ ITERATIVE_RATE = 0.5
 class DecoupledVectorMachine(VectorMachineBase):
     """O3+DV: long vectors, four pipes, chaining, dedicated VMU."""
 
-    def __init__(self, config: SystemConfig) -> None:
+    def __init__(self, config: SystemConfig, tracer=None, metrics=None) -> None:
         if config.vector is None or config.vector.kind != "dv":
             raise SimulationError("DecoupledVectorMachine needs a 'dv' config")
-        super().__init__(config)
+        super().__init__(config, tracer=tracer, metrics=metrics)
         self.vl = config.vector.hardware_vl
         self._pipe_free: Dict[str, float] = {name: 0.0 for name in PIPES}
         #: register -> (chain-ready time, fully-done time)
@@ -53,6 +53,7 @@ class DecoupledVectorMachine(VectorMachineBase):
         self.reset()
         self._pipe_free = {name: 0.0 for name in PIPES}
         self._chain.clear()
+        tracer = self.tracer
         now = 0.0
         finish = 0.0
         instructions = 0
@@ -64,13 +65,25 @@ class DecoupledVectorMachine(VectorMachineBase):
             instr: VectorInstr = event
             instructions += 1
             issue_end, done = self._vector_instr(instr, now)
+            if tracer.enabled and done > now:
+                tracer.span("VSU", instr.op, now, done, vl=instr.vl)
             now = issue_end  # in-order issue
             finish = max(finish, done)
-        return SimResult(
+        total = max(now, finish)
+        if tracer.enabled:
+            tracer.span("Machine", f"execute:{trace.name}", 0.0, total,
+                        system=self.config.name, instructions=instructions)
+        result = SimResult(
             system=self.config.name, workload=trace.name,
-            cycles=max(now, finish), cycle_time_ns=self.config.cycle_time_ns,
-            instructions=instructions, mem_stats=self.mem.level_stats(),
+            cycles=total, cycle_time_ns=self.config.cycle_time_ns,
+            instructions=instructions, mem_stats=self.mem.level_stats(total),
         )
+        if self.metrics.enabled:
+            self.metrics.gauge("sim.cycles").set(result.cycles)
+            self.metrics.counter("sim.instructions").inc(result.instructions)
+            self.mem.populate_metrics(result.cycles)
+            result.metrics = self.metrics.snapshot()
+        return result
 
     # -- dependency helpers (chaining) ------------------------------------------
 

@@ -41,15 +41,16 @@ class IntegratedVectorMachine(VectorMachineBase):
     #: the in-flight load slots the O3 core can dedicate to the unit.
     VECTOR_MLP = 12
 
-    def __init__(self, config: SystemConfig) -> None:
+    def __init__(self, config: SystemConfig, tracer=None, metrics=None) -> None:
         if config.vector is None or config.vector.kind != "iv":
             raise SimulationError("IntegratedVectorMachine needs an 'iv' config")
-        super().__init__(config)
+        super().__init__(config, tracer=tracer, metrics=metrics)
         self.vl = config.vector.hardware_vl
         self._lsq_window = MshrPool(self.VECTOR_MLP, "iv-lsq")
 
     def run(self, trace: Trace) -> SimResult:
         self.reset()
+        tracer = self.tracer
         now = 0.0           # issue timeline of the shared pipes
         finish = 0.0
         instructions = 0
@@ -61,13 +62,29 @@ class IntegratedVectorMachine(VectorMachineBase):
             instr: VectorInstr = event
             instructions += 1
             done = self._vector_instr(instr, now)
+            if tracer.enabled and self._issue_end > now:
+                tracer.span("VSU", instr.op, now, self._issue_end,
+                            vl=instr.vl, done=done)
             now = max(now, self._issue_end)
             finish = max(finish, done)
-        return SimResult(
+        total = max(now, finish)
+        if tracer.enabled:
+            tracer.span("Machine", f"execute:{trace.name}", 0.0, total,
+                        system=self.config.name, instructions=instructions)
+        result = SimResult(
             system=self.config.name, workload=trace.name,
-            cycles=max(now, finish), cycle_time_ns=self.config.cycle_time_ns,
-            instructions=instructions, mem_stats=self.mem.level_stats(),
+            cycles=total, cycle_time_ns=self.config.cycle_time_ns,
+            instructions=instructions, mem_stats=self.mem.level_stats(total),
         )
+        if self.metrics.enabled:
+            self.metrics.gauge("sim.cycles").set(result.cycles)
+            self.metrics.counter("sim.instructions").inc(result.instructions)
+            lsq = self._lsq_window.stats()
+            self.metrics.gauge("lsq.occupancy").set(lsq["occupancy_hwm"])
+            self.metrics.counter("lsq.stall_cycles").inc(lsq["stall_cycles"])
+            self.mem.populate_metrics(result.cycles)
+            result.metrics = self.metrics.snapshot()
+        return result
 
     # -- one vector instruction ----------------------------------------------
 
@@ -128,4 +145,8 @@ class IntegratedVectorMachine(VectorMachineBase):
         n_uops = instr.mem.num_accesses if per_element else max(
             1, math.ceil(instr.vl / self.vl))
         self._issue_end = start + n_uops * interval
+        if self.tracer.enabled:
+            self.tracer.span(
+                "LSQ", f"{'st' if instr.mem.is_store else 'ld'}:{instr.op}",
+                start, t, n_requests=len(lines), done=last_done)
         return last_done

@@ -68,6 +68,9 @@ class SimResult:
     mem_stats: Dict[str, object] = field(default_factory=dict)
     #: Figure 8: fraction of execution time the VMU spent stalled on the LLC.
     vmu_llc_stall_frac: float = 0.0
+    #: Full :class:`~repro.obs.MetricsRegistry` snapshot, when the run was
+    #: instrumented (``None`` otherwise — the common, uninstrumented case).
+    metrics: Optional[Dict[str, object]] = None
 
     @property
     def time_ns(self) -> float:
@@ -77,6 +80,28 @@ class SimResult:
 
     def speedup_over(self, other: "SimResult") -> float:
         return other.time_ns / self.time_ns
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """JSON-serialisable view: scalar fields, the stall breakdown, the
+        memory-system stats, and (if instrumented) the metrics snapshot."""
+        out: Dict[str, object] = {
+            "system": self.system,
+            "workload": self.workload,
+            "cycles": self.cycles,
+            "cycle_time_ns": self.cycle_time_ns,
+            "time_ns": self.time_ns,
+            "instructions": self.instructions,
+            "vmu_llc_stall_frac": self.vmu_llc_stall_frac,
+        }
+        if self.breakdown is not None:
+            out["breakdown"] = self.breakdown.as_dict()
+        if self.mem_stats:
+            out["mem_stats"] = {key: (list(value) if isinstance(value, tuple)
+                                      else value)
+                                for key, value in self.mem_stats.items()}
+        if self.metrics is not None:
+            out["metrics"] = self.metrics
+        return out
 
 
 def merge_fields(result: SimResult) -> Dict[str, object]:

@@ -10,23 +10,33 @@ MSHRs, which the hierarchy's token pools enforce).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..config import SystemConfig
 from ..errors import SimulationError
 from ..isa.instructions import ScalarBlock
 from ..isa.trace import Trace
 from ..mem.hierarchy import MemorySystem
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.tracer import NULL_TRACER, SpanTracer
 from .result import SimResult
 
 
 class ScalarCore:
     """The IO / O3 scalar baselines (selected by ``config.core.kind``)."""
 
-    def __init__(self, config: SystemConfig) -> None:
+    def __init__(self, config: SystemConfig,
+                 tracer: Optional[SpanTracer] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.config = config
-        self.mem = MemorySystem(config)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.mem = MemorySystem(config, tracer=self.tracer,
+                                metrics=self.metrics)
 
     def run(self, trace: Trace) -> SimResult:
         core = self.config.core
+        tracer = self.tracer
         now = 0.0
         instructions = 0
         for event in trace:
@@ -36,15 +46,28 @@ class ScalarCore:
                     "run the workload's scalar_trace instead")
             instructions += event.n_instr
             issue_cycles = event.n_instr * core.base_cpi
+            block_start = now
             if core.kind == "io":
                 now = self._run_block_blocking(now, event, issue_cycles)
             else:
                 now = self._run_block_overlapped(now, event, issue_cycles)
-        return SimResult(
+            if tracer.enabled and now > block_start:
+                tracer.span("Core", "scalar_block", block_start, now,
+                            n_instr=event.n_instr)
+        if tracer.enabled:
+            tracer.span("Machine", f"execute:{trace.name}", 0.0, now,
+                        system=self.config.name, instructions=instructions)
+        result = SimResult(
             system=self.config.name, workload=trace.name, cycles=now,
             cycle_time_ns=self.config.cycle_time_ns, instructions=instructions,
-            mem_stats=self.mem.level_stats(),
+            mem_stats=self.mem.level_stats(now),
         )
+        if self.metrics.enabled:
+            self.metrics.gauge("sim.cycles").set(result.cycles)
+            self.metrics.counter("sim.instructions").inc(result.instructions)
+            self.mem.populate_metrics(result.cycles)
+            result.metrics = self.metrics.snapshot()
+        return result
 
     def _run_block_blocking(self, now: float, block: ScalarBlock,
                             issue_cycles: float) -> float:

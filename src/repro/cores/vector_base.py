@@ -9,21 +9,28 @@ timed.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..config import SystemConfig
 from ..isa.instructions import MemAccess, ScalarBlock, VectorInstr
 from ..mem.hierarchy import MemorySystem
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.tracer import NULL_TRACER, SpanTracer
 
 
 class VectorMachineBase:
     """Common state: memory system, register scoreboard, scalar blocks."""
 
-    def __init__(self, config: SystemConfig) -> None:
+    def __init__(self, config: SystemConfig,
+                 tracer: Optional[SpanTracer] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.config = config
-        self.mem = MemorySystem(config)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.mem = MemorySystem(config, tracer=self.tracer,
+                                metrics=self.metrics)
         #: vector register -> time its value is ready
         self.reg_ready: Dict[int, float] = {}
 
@@ -54,6 +61,9 @@ class VectorMachineBase:
                 exposed = (completion.done - t) * (1.0 - core.miss_overlap)
                 end = max(end, t + exposed)
                 t += 1.0
+        if self.tracer.enabled and end > now:
+            self.tracer.span("Core", "scalar_block", now, end,
+                             n_instr=block.n_instr)
         return end
 
     # -- memory streams ---------------------------------------------------------
@@ -87,4 +97,8 @@ class VectorMachineBase:
             stall_total += completion.mshr_stall
             # The next request leaves once this one was accepted.
             t = max(t + issue_interval, completion.grant + issue_interval)
+        if self.tracer.enabled:
+            self.tracer.span(
+                "VMU", f"stream:{'st' if pattern.is_store else 'ld'}",
+                start, t, n_requests=len(lines), mshr_stall=stall_total)
         return float(first_done), float(last_done), stall_total

@@ -3,6 +3,13 @@
 Traces depend only on (workload, vlmax), so EVE-1/2/4 — all with a 2048
 hardware vector length — share one trace, and the IV/DV machines share the
 VL=64 trace.  Scalar systems run the workload's scalar trace.
+
+The runner also carries the observability plumbing: a
+:class:`~repro.obs.SelfProfiler` attributes the simulator's own host
+wall-clock time to ``trace_build`` / ``sim:<system>`` phases, and
+:meth:`run` accepts a tracer and/or metrics registry to instrument a
+single simulation (instrumented runs bypass the result cache so the
+instruments observe a real execution).
 """
 
 from __future__ import annotations
@@ -11,6 +18,9 @@ from typing import Dict, Optional, Tuple
 
 from ..cores.result import SimResult
 from ..isa.trace import Trace
+from ..obs.metrics import MetricsRegistry
+from ..obs.selfprof import SelfProfiler
+from ..obs.tracer import SpanTracer
 from ..workloads import get_workload
 from .systems import build_machine, trace_vlmax
 
@@ -19,10 +29,12 @@ class ExperimentRunner:
     """Runs (system, workload) pairs, caching traces and results."""
 
     def __init__(self, params_override: Optional[Dict[str, dict]] = None,
-                 verify: bool = True) -> None:
+                 verify: bool = True,
+                 profiler: Optional[SelfProfiler] = None) -> None:
         #: workload name -> params override (benchmarks use smaller inputs).
         self.params_override = params_override or {}
         self.verify = verify
+        self.profiler = profiler or SelfProfiler()
         self._traces: Dict[Tuple[str, int], Trace] = {}
         self._results: Dict[Tuple[str, str], SimResult] = {}
 
@@ -31,21 +43,29 @@ class ExperimentRunner:
         if key not in self._traces:
             workload = get_workload(workload_name)
             params = self.params_override.get(workload_name)
-            if vlmax == 0:
-                self._traces[key] = workload.scalar_trace(params)
-            else:
-                self._traces[key] = workload.vector_trace(
-                    vlmax, params, verify=self.verify)
+            with self.profiler.phase("trace_build"):
+                if vlmax == 0:
+                    self._traces[key] = workload.scalar_trace(params)
+                else:
+                    self._traces[key] = workload.vector_trace(
+                        vlmax, params, verify=self.verify)
         return self._traces[key]
 
-    def run(self, system_name: str, workload_name: str) -> SimResult:
+    def run(self, system_name: str, workload_name: str,
+            tracer: Optional[SpanTracer] = None,
+            metrics: Optional[MetricsRegistry] = None) -> SimResult:
+        instrumented = tracer is not None or metrics is not None
         key = (system_name, workload_name)
-        if key not in self._results:
-            machine = build_machine(system_name)
-            vlmax = trace_vlmax(machine.config)
-            trace = self._trace(workload_name, vlmax)
-            self._results[key] = machine.run(trace)
-        return self._results[key]
+        if not instrumented and key in self._results:
+            return self._results[key]
+        machine = build_machine(system_name, tracer=tracer, metrics=metrics)
+        vlmax = trace_vlmax(machine.config)
+        trace = self._trace(workload_name, vlmax)
+        with self.profiler.phase(f"sim:{system_name}"):
+            result = machine.run(trace)
+        if not instrumented:
+            self._results[key] = result
+        return result
 
     def speedup(self, system_name: str, workload_name: str,
                 baseline: str = "IO") -> float:

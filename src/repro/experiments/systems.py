@@ -14,18 +14,23 @@ from ..errors import ConfigError
 BASE_TRACE_VL = 64
 
 
-def build_machine(name: str):
-    """Build the simulator for one Table III system name."""
+def build_machine(name: str, tracer=None, metrics=None):
+    """Build the simulator for one Table III system name.
+
+    ``tracer`` / ``metrics`` (a :class:`~repro.obs.SpanTracer` /
+    :class:`~repro.obs.MetricsRegistry`) instrument the run; both default
+    to the zero-cost null implementations.
+    """
     config = make_system(name)
     if config.vector is None:
-        return ScalarCore(config)
+        return ScalarCore(config, tracer=tracer, metrics=metrics)
     kind = config.vector.kind
     if kind == "iv":
-        return IntegratedVectorMachine(config)
+        return IntegratedVectorMachine(config, tracer=tracer, metrics=metrics)
     if kind == "dv":
-        return DecoupledVectorMachine(config)
+        return DecoupledVectorMachine(config, tracer=tracer, metrics=metrics)
     if kind == "eve":
-        return EveMachine(config)
+        return EveMachine(config, tracer=tracer, metrics=metrics)
     raise ConfigError(f"unknown vector engine kind {kind!r}")
 
 

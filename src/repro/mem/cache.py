@@ -125,6 +125,16 @@ class CacheArray:
     def warm_fraction(self) -> float:
         return float(self._valid.mean())
 
+    # -- statistics -------------------------------------------------------------
+
+    def stats(self) -> dict:
+        accesses = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "miss_rate": self.misses / accesses if accesses else 0.0,
+        }
+
     def reset_stats(self) -> None:
         self.hits = 0
         self.misses = 0

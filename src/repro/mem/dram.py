@@ -8,19 +8,23 @@ memory-bound plateau of vvadd and friends comes from here.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 from ..config import DramConfig
+from ..obs.tracer import NULL_TRACER, SpanTracer
 
 
 class DramChannel:
     """A bandwidth-limited, fixed-latency memory channel."""
 
-    def __init__(self, config: DramConfig, line_bytes: int = 64) -> None:
+    def __init__(self, config: DramConfig, line_bytes: int = 64,
+                 tracer: Optional[SpanTracer] = None) -> None:
         self.config = config
         self.line_bytes = line_bytes
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._next_free = 0.0
         self.requests = 0
+        self.writebacks = 0
         self.busy_cycles = 0.0
 
     @property
@@ -39,6 +43,9 @@ class DramChannel:
         done = start + self.config.access_latency
         self.requests += 1
         self.busy_cycles += self.transfer_cycles
+        if self.tracer.enabled:
+            self.tracer.span("DRAM", "service", start,
+                             start + self.transfer_cycles, queued=start - now)
         return start, done
 
     def writeback(self, now: float) -> float:
@@ -46,13 +53,27 @@ class DramChannel:
         start = max(now, self._next_free)
         self._next_free = start + self.transfer_cycles
         self.requests += 1
+        self.writebacks += 1
         self.busy_cycles += self.transfer_cycles
+        if self.tracer.enabled:
+            self.tracer.span("DRAM", "writeback", start,
+                             start + self.transfer_cycles)
         return start + self.transfer_cycles
 
     def utilisation(self, elapsed: float) -> float:
         return self.busy_cycles / elapsed if elapsed > 0 else 0.0
 
+    def stats(self, elapsed: float = 0.0) -> dict:
+        """Channel accounting (utilisation needs the run's total cycles)."""
+        return {
+            "requests": self.requests,
+            "writebacks": self.writebacks,
+            "busy_cycles": self.busy_cycles,
+            "utilisation": self.utilisation(elapsed),
+        }
+
     def reset_stats(self) -> None:
         self.requests = 0
+        self.writebacks = 0
         self.busy_cycles = 0.0
         self._next_free = 0.0

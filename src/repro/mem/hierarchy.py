@@ -16,16 +16,22 @@ full pool stalls the requester (Figure 8's metric for the EVE VMU).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from ..config import SystemConfig
 from ..errors import MemoryModelError
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.tracer import NULL_TRACER, SpanTracer
 from .cache import CacheArray
 from .dram import DramChannel
 from .mshr import MshrPool
 
 PORTS = ("l1", "l2", "llc")
+
+#: Trace track carrying each port's access → completion spans.
+_PORT_TRACK = {"l1": "L1D", "l2": "L2", "llc": "LLC"}
 
 
 @dataclass(frozen=True)
@@ -41,20 +47,29 @@ class Completion:
 class MemorySystem:
     """Timeline-based cycle-approximate model of Table III's hierarchy."""
 
-    def __init__(self, config: SystemConfig) -> None:
+    def __init__(self, config: SystemConfig,
+                 tracer: Optional[SpanTracer] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.config = config
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.l1d = CacheArray(config.l1d)
         self.l2 = CacheArray(config.l2)
         self.llc = CacheArray(config.llc)
         self.l1d_mshrs = MshrPool(config.l1d.mshrs, "l1d")
         self.l2_mshrs = MshrPool(config.l2.mshrs, "l2")
         self.llc_mshrs = MshrPool(config.llc.mshrs, "llc")
-        self.dram = DramChannel(config.dram, config.llc.line_bytes)
+        self.dram = DramChannel(config.dram, config.llc.line_bytes,
+                                tracer=self.tracer)
         self._l2_bank_free = np.zeros(config.l2.banks)
         #: Figure 8 accounting for the vector (LLC) port.
         self.vector_mshr_stall = 0.0
         self.vector_requests = 0
         self.vector_stalled_requests = 0
+        #: Pre-bound per-port latency histograms (no-ops when disabled).
+        self._latency_hist = {
+            port: self.metrics.histogram(f"mem.{port}.latency")
+            for port in PORTS}
 
     # -- internal level chain ------------------------------------------------
 
@@ -120,26 +135,78 @@ class MemorySystem:
                port: str = "l1") -> Completion:
         """Issue one cache-line request on the given port."""
         if port == "l1":
-            return self._from_l1(now, line_addr, is_store)
-        if port == "l2":
-            return self._from_l2(now, line_addr, is_store)
-        if port == "llc":
+            completion = self._from_l1(now, line_addr, is_store)
+        elif port == "l2":
+            completion = self._from_l2(now, line_addr, is_store)
+        elif port == "llc":
             completion = self._from_llc(now, line_addr, is_store)
             self.vector_requests += 1
             self.vector_mshr_stall += completion.mshr_stall
             if completion.mshr_stall > 0:
                 self.vector_stalled_requests += 1
-            return completion
-        raise MemoryModelError(f"unknown port {port!r} (expected one of {PORTS})")
+        else:
+            raise MemoryModelError(
+                f"unknown port {port!r} (expected one of {PORTS})")
+        if self.tracer.enabled:
+            self.tracer.span(
+                _PORT_TRACK[port],
+                f"{'st' if is_store else 'ld'}:{completion.level}",
+                now, completion.done, line=line_addr,
+                mshr_stall=completion.mshr_stall)
+            if port == "llc":
+                self.tracer.sample("MSHR", "llc_mshr_occupancy",
+                                   completion.grant,
+                                   self.llc_mshrs.outstanding)
+        if self.metrics.enabled:
+            self._latency_hist[port].observe(completion.done - now)
+        return completion
 
     # -- statistics -------------------------------------------------------------
 
-    def level_stats(self) -> dict:
-        return {
+    def level_stats(self, elapsed: float = 0.0) -> dict:
+        """Hit/miss pairs per level, plus MSHR occupancy / stall accounting
+        and DRAM channel utilisation (``elapsed`` is the run's total
+        cycles; utilisation reads 0 when it is not supplied)."""
+        stats = {
             "l1d": (self.l1d.hits, self.l1d.misses),
             "l2": (self.l2.hits, self.l2.misses),
             "llc": (self.llc.hits, self.llc.misses),
+            "dram": self.dram.stats(elapsed),
         }
+        for pool in (self.l1d_mshrs, self.l2_mshrs, self.llc_mshrs):
+            stats[f"{pool.name}_mshr"] = pool.stats()
+        return stats
+
+    def populate_metrics(self, elapsed: float = 0.0) -> None:
+        """Publish the hierarchy's aggregate stats into the registry
+        (called once at end of run — keeps the hot path lean)."""
+        metrics = self.metrics
+        if not metrics.enabled:
+            return
+        for name, cache in (("l1d", self.l1d), ("l2", self.l2),
+                            ("llc", self.llc)):
+            for key, value in cache.stats().items():
+                if key != "miss_rate":
+                    metrics.counter(f"mem.{name}.{key}").inc(value)
+        for pool in (self.l1d_mshrs, self.l2_mshrs, self.llc_mshrs):
+            prefix = f"mshr.{pool.name}"
+            occupancy = metrics.gauge(f"{prefix}.occupancy")
+            occupancy.set(pool.occupancy_hwm)
+            occupancy.set(pool.outstanding)
+            metrics.counter(f"{prefix}.stall_cycles").inc(pool.stall_cycles)
+            metrics.counter(f"{prefix}.acquires").inc(pool.acquires)
+            metrics.counter(f"{prefix}.stalled_acquires").inc(
+                pool.stalled_acquires)
+        dram = self.dram.stats(elapsed)
+        metrics.counter("dram.requests").inc(dram["requests"])
+        metrics.counter("dram.writebacks").inc(dram["writebacks"])
+        metrics.counter("dram.busy_cycles").inc(dram["busy_cycles"])
+        metrics.gauge("dram.utilisation").set(dram["utilisation"])
+        metrics.counter("mem.vector.requests").inc(self.vector_requests)
+        metrics.counter("mem.vector.stalled_requests").inc(
+            self.vector_stalled_requests)
+        metrics.counter("mem.vector.mshr_stall_cycles").inc(
+            self.vector_mshr_stall)
 
     def reset_stats(self) -> None:
         for cache in (self.l1d, self.l2, self.llc):

@@ -25,6 +25,9 @@ class MshrPool:
         self._busy: List[float] = []  # heap of release times
         self.acquires = 0
         self.stall_cycles = 0.0
+        self.stalled_acquires = 0
+        #: Peak simultaneously-held entries (the Figure 8 occupancy limit).
+        self.occupancy_hwm = 0
 
     def acquire(self, now: float) -> Tuple[float, float]:
         """Reserve an entry at or after ``now``.
@@ -37,6 +40,7 @@ class MshrPool:
             heapq.heappop(self._busy)
         if len(self._busy) < self.size:
             self.acquires += 1
+            self._note_occupancy()
             return now, 0.0
         grant = self._busy[0]
         # Every release at or before the grant time frees an entry.
@@ -44,8 +48,18 @@ class MshrPool:
             heapq.heappop(self._busy)
         stall = grant - now
         self.stall_cycles += stall
+        self.stalled_acquires += 1
         self.acquires += 1
+        self._note_occupancy()
         return grant, stall
+
+    def _note_occupancy(self) -> None:
+        # The heap holds only entries still busy past the grant time, and
+        # each acquire is released before the pool's next acquire, so the
+        # granted entry plus the heap is the exact occupancy right now.
+        occupancy = len(self._busy) + 1
+        if occupancy > self.occupancy_hwm:
+            self.occupancy_hwm = occupancy
 
     def release(self, at: float) -> None:
         """Mark one acquired entry busy until ``at``."""
@@ -55,6 +69,18 @@ class MshrPool:
     def outstanding(self) -> int:
         return len(self._busy)
 
+    def stats(self) -> dict:
+        """Occupancy / stall accounting for ``level_stats`` and metrics."""
+        return {
+            "size": self.size,
+            "acquires": self.acquires,
+            "stalled_acquires": self.stalled_acquires,
+            "stall_cycles": self.stall_cycles,
+            "occupancy_hwm": self.occupancy_hwm,
+        }
+
     def reset_stats(self) -> None:
         self.acquires = 0
         self.stall_cycles = 0.0
+        self.stalled_acquires = 0
+        self.occupancy_hwm = 0

@@ -1,0 +1,34 @@
+"""Unified instrumentation layer: metrics, timeline tracing, self-profiling.
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of hierarchically
+  named counters, high-water-mark gauges, and log2 histograms.
+* :mod:`repro.obs.tracer` — :class:`SpanTracer` recording begin/end spans
+  and instant events on the simulated timeline, exported as Chrome
+  trace-event JSON (Perfetto-loadable), one track per unit/structure.
+* :mod:`repro.obs.selfprof` — :class:`SelfProfiler` attributing the
+  simulator's own host wall-clock time per phase.
+
+Everything is zero-cost when disabled: machine models hold the
+:data:`NULL_TRACER` / :data:`NULL_METRICS` singletons by default and guard
+hot hook sites with their ``enabled`` flags.
+"""
+
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      NULL_METRICS, NullMetricsRegistry, bucket_index)
+from .selfprof import SelfProfiler
+from .tracer import CANONICAL_TRACKS, NULL_TRACER, NullTracer, SpanTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "bucket_index",
+    "SelfProfiler",
+    "SpanTracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "CANONICAL_TRACKS",
+]

@@ -1,0 +1,59 @@
+"""Wall-clock self-profiler: where does the *simulator's* host time go?
+
+ROADMAP's north star is simulator speed, so the toolkit watches its own
+perf trajectory: the :class:`SelfProfiler` attributes host wall-clock
+seconds to named phases (``trace_build``, ``sim:<system>``, ``report``)
+via nestable context managers.  ``benchmarks/bench_smoke.py`` persists
+these numbers as ``BENCH_*.json`` so CI records the trend.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, List
+
+
+class SelfProfiler:
+    """Accumulates host wall-clock time per named phase."""
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+        self._stack: List[str] = []
+
+    @contextmanager
+    def phase(self, name: str):
+        """Time a phase; nested phases accumulate independently."""
+        self._stack.append(name)
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - start
+            self._stack.pop()
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+            self.calls[name] = self.calls.get(name, 0) + 1
+
+    @property
+    def current_phase(self) -> str:
+        return self._stack[-1] if self._stack else ""
+
+    def total(self) -> float:
+        """Seconds in top-level phases (nested time is not double-counted
+        because only phases are accumulated, and callers nest sparingly)."""
+        return sum(self.seconds.values())
+
+    def as_dict(self) -> Dict[str, object]:
+        return {name: {"seconds": self.seconds[name],
+                       "calls": self.calls[name]}
+                for name in sorted(self.seconds)}
+
+    def merged(self, prefix_sep: str = ":") -> Dict[str, float]:
+        """Phase seconds with per-instance suffixes collapsed
+        (``sim:O3+EVE-4`` and ``sim:IO`` merge into ``sim``)."""
+        out: Dict[str, float] = {}
+        for name, secs in self.seconds.items():
+            key = name.split(prefix_sep, 1)[0]
+            out[key] = out.get(key, 0.0) + secs
+        return out

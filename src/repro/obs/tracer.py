@@ -1,0 +1,232 @@
+"""Timeline span tracing with Chrome trace-event (Perfetto) export.
+
+The tracer records what each simulated unit/structure was doing *when* on
+the simulated-cycle timeline: begin/end spans (VSU dispatch, VMU streams,
+DTU transposes, VRU reductions, cache access → completion, DRAM channel
+occupancy, micro-program execution), instant events (reconfiguration
+spawn, fences), and counter samples (MSHR occupancy).
+
+Export produces the Chrome trace-event JSON format — ``chrome://tracing``
+and https://ui.perfetto.dev both load it directly.  One process per
+simulation, one named thread ("track") per unit/structure; timestamps are
+simulated cycles, rendered as microseconds (1 cycle == 1 µs on screen).
+
+``ts`` ordering and B/E balance are guaranteed by construction: spans are
+stored complete (begin, end) and serialised as a globally sorted event
+list where, at equal timestamps, inner spans close before outer spans
+open.  Zero-length spans are emitted as instant events so no B/E pair can
+invert.
+
+The :data:`NULL_TRACER` singleton is the disabled-mode stand-in: every
+hook is a no-op and ``enabled`` is ``False`` so the machine models can
+skip argument marshalling entirely — tracing off costs one attribute
+check per hook site.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+#: Canonical track order: these units always get the same tid (1-based),
+#: whether or not earlier tracks appear in a given run.  Tracks outside
+#: this table are numbered from 100 in order of first appearance.
+CANONICAL_TRACKS = (
+    "Machine", "VSU", "VMU", "DTU", "VRU", "DRAM",
+    "L1D", "L2", "LLC", "MSHR", "Core", "LSQ", "uProg", "Reconfig",
+)
+
+_CANONICAL_TID = {name: i + 1 for i, name in enumerate(CANONICAL_TRACKS)}
+_DYNAMIC_TID_BASE = 100
+
+
+class SpanTracer:
+    """Records spans / instants / counter samples on the simulated timeline."""
+
+    enabled = True
+
+    def __init__(self, process: str = "repro") -> None:
+        self.process = process
+        #: (track, name, begin, end, args)
+        self._spans: List[Tuple[str, str, float, float, Optional[dict]]] = []
+        #: (track, name, ts, args)
+        self._instants: List[Tuple[str, str, float, Optional[dict]]] = []
+        #: (track, series, ts, value)
+        self._samples: List[Tuple[str, str, float, float]] = []
+        #: track -> stack of (name, begin, args) for the begin/end API
+        self._open: Dict[str, List[Tuple[str, float, Optional[dict]]]] = {}
+        self._tracks: List[str] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def _touch(self, track: str) -> None:
+        if track not in self._tracks:
+            self._tracks.append(track)
+
+    def declare(self, *tracks: str) -> None:
+        """Pre-register tracks so idle units still get a named track
+        (a unit with no spans is itself a finding worth seeing)."""
+        for track in tracks:
+            self._touch(track)
+
+    def span(self, track: str, name: str, begin: float, end: float,
+             **args) -> None:
+        """Record a complete span on ``track`` (the common fast path)."""
+        self._touch(track)
+        self._spans.append((track, name, begin, max(begin, end), args or None))
+
+    def begin(self, track: str, name: str, ts: float, **args) -> None:
+        """Open a span; close it with :meth:`end` (LIFO per track)."""
+        self._touch(track)
+        self._open.setdefault(track, []).append((name, ts, args or None))
+
+    def end(self, track: str, ts: float) -> None:
+        stack = self._open.get(track)
+        if not stack:
+            raise ValueError(f"end() on track {track!r} with no open span")
+        name, begin, args = stack.pop()
+        self._spans.append((track, name, begin, max(begin, ts),
+                            args if args else None))
+
+    def instant(self, track: str, name: str, ts: float, **args) -> None:
+        self._touch(track)
+        self._instants.append((track, name, ts, args or None))
+
+    def sample(self, track: str, series: str, ts: float,
+               value: float) -> None:
+        """Record one point of a counter track (Perfetto renders a graph)."""
+        self._touch(track)
+        self._samples.append((track, series, ts, value))
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def num_events(self) -> int:
+        return len(self._spans) + len(self._instants) + len(self._samples)
+
+    def track_names(self) -> List[str]:
+        return list(self._tracks)
+
+    def spans_on(self, track: str) -> List[Tuple[str, float, float]]:
+        """(name, begin, end) of every complete span on ``track``."""
+        return [(name, begin, end)
+                for trk, name, begin, end, _ in self._spans if trk == track]
+
+    def track_busy(self, track: str) -> float:
+        """Total span-covered cycles on ``track`` (overlap not collapsed)."""
+        return sum(end - begin for _, begin, end in self.spans_on(track))
+
+    # -- export -----------------------------------------------------------
+
+    def _tid_map(self) -> Dict[str, int]:
+        tids: Dict[str, int] = {}
+        dynamic = _DYNAMIC_TID_BASE
+        for track in self._tracks:
+            fixed = _CANONICAL_TID.get(track)
+            if fixed is not None:
+                tids[track] = fixed
+            else:
+                tids[track] = dynamic
+                dynamic += 1
+        return tids
+
+    def to_dict(self) -> dict:
+        """Serialise as a Chrome trace-event document.
+
+        Spans still open via :meth:`begin` are closed at the latest
+        timestamp seen, so the output is always balanced.
+        """
+        for track, stack in list(self._open.items()):
+            if stack:
+                horizon = max(
+                    [b for _, _, b, _, _ in self._spans]
+                    + [e for _, _, _, e, _ in self._spans]
+                    + [begin for _, begin, _ in stack])
+                while stack:
+                    self.end(track, horizon)
+        tids = self._tid_map()
+        pid = 1
+        meta = [{"ph": "M", "pid": pid, "name": "process_name",
+                 "args": {"name": self.process}}]
+        for track in sorted(self._tracks, key=lambda t: tids[t]):
+            meta.append({"ph": "M", "pid": pid, "tid": tids[track],
+                         "name": "thread_name", "args": {"name": track}})
+            meta.append({"ph": "M", "pid": pid, "tid": tids[track],
+                         "name": "thread_sort_index",
+                         "args": {"sort_index": tids[track]}})
+
+        # Sortable body events: key = (ts, rank, tiebreak).  At one
+        # timestamp: close inner-then-outer (rank 0, later begin first),
+        # then open outer-then-inner (rank 1, later end first), then
+        # instants and counter samples (rank 2).
+        body: List[Tuple[Tuple[float, int, float], dict]] = []
+        for track, name, begin, end, args in self._spans:
+            tid = tids[track]
+            if end <= begin:
+                event = {"ph": "i", "pid": pid, "tid": tid, "ts": begin,
+                         "name": name, "s": "t"}
+                if args:
+                    event["args"] = args
+                body.append(((begin, 2, 0.0), event))
+                continue
+            b_event = {"ph": "B", "pid": pid, "tid": tid, "ts": begin,
+                       "name": name}
+            if args:
+                b_event["args"] = args
+            body.append(((begin, 1, -end), b_event))
+            body.append(((end, 0, -begin),
+                         {"ph": "E", "pid": pid, "tid": tid, "ts": end,
+                          "name": name}))
+        for track, name, ts, args in self._instants:
+            event = {"ph": "i", "pid": pid, "tid": tids[track], "ts": ts,
+                     "name": name, "s": "t"}
+            if args:
+                event["args"] = args
+            body.append(((ts, 2, 0.0), event))
+        for track, series, ts, value in self._samples:
+            body.append(((ts, 2, 0.0),
+                         {"ph": "C", "pid": pid, "tid": tids[track],
+                          "ts": ts, "name": series,
+                          "args": {series: value}}))
+        body.sort(key=lambda item: item[0])
+        return {
+            "traceEvents": meta + [event for _, event in body],
+            "displayTimeUnit": "ns",
+            "otherData": {"timestamp_unit": "simulated cycles"},
+        }
+
+    def export(self, path: str) -> None:
+        """Write the Chrome trace-event JSON to ``path``."""
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle)
+
+
+class NullTracer(SpanTracer):
+    """Disabled-mode tracer: every hook is a no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(process="null")
+
+    def span(self, track, name, begin, end, **args) -> None:
+        pass
+
+    def declare(self, *tracks) -> None:
+        pass
+
+    def begin(self, track, name, ts, **args) -> None:
+        pass
+
+    def end(self, track, ts) -> None:
+        pass
+
+    def instant(self, track, name, ts, **args) -> None:
+        pass
+
+    def sample(self, track, series, ts, value) -> None:
+        pass
+
+
+#: Process-wide disabled tracer; safe to share (it records nothing).
+NULL_TRACER = NullTracer()

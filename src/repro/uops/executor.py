@@ -16,6 +16,8 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..errors import MicroExecutionError
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.tracer import NULL_TRACER, SpanTracer
 from ..sram.eve_sram import EveSram
 from ..sram.layout import RegisterLayout
 from .counters import CounterFile
@@ -50,11 +52,18 @@ class MicroEngine:
     """
 
     def __init__(self, counters: Optional[CounterFile] = None,
-                 max_cycles: int = MAX_CYCLES) -> None:
+                 max_cycles: int = MAX_CYCLES,
+                 tracer: Optional[SpanTracer] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if max_cycles <= 0:
             raise MicroExecutionError("watchdog limit must be positive")
         self.counters = counters or CounterFile()
         self.max_cycles = max_cycles
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        #: Cumulative cycles across invocations — the engine's own
+        #: timeline, which the tracer's "uProg" track is plotted on.
+        self.total_cycles = 0
 
     # -- resolution helpers ----------------------------------------------
 
@@ -198,6 +207,14 @@ class MicroEngine:
             if tup.control is not None:
                 next_upc, returned = self._apply_control(tup.control, program, next_upc)
                 if returned:
-                    return cycles
+                    break
             upc = next_upc
+        begin = self.total_cycles
+        self.total_cycles += cycles
+        if self.tracer.enabled:
+            self.tracer.span("uProg", program.name, begin, self.total_cycles,
+                             cycles=cycles)
+        if self.metrics.enabled:
+            self.metrics.counter("uprog.invocations").inc()
+            self.metrics.histogram("uprog.cycles").observe(cycles)
         return cycles

@@ -100,3 +100,63 @@ class TestLintCommand:
     def test_missing_asm_file_is_usage_error(self, capsys, tmp_path):
         assert main(["lint", "--asm", str(tmp_path / "nope.uasm")]) == 2
         assert "cannot read" in capsys.readouterr().err
+
+
+class TestObservabilityCommands:
+    def test_case_insensitive_system_name(self):
+        args = build_parser().parse_args(["run", "o3+eve-4", "vvadd"])
+        assert args.system == "O3+EVE-4"
+
+    def test_case_insensitive_workload_name(self):
+        args = build_parser().parse_args(["run", "IO", "VVADD"])
+        assert args.workload == "vvadd"
+
+    def test_trace_writes_valid_chrome_json(self, capsys, tmp_path):
+        import json
+        out_file = tmp_path / "trace.json"
+        assert main(["trace", "o3+eve-4", "vvadd", "--tiny",
+                     "-o", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "tracks" in out
+        doc = json.loads(out_file.read_text())
+        names = {e["args"]["name"] for e in doc["traceEvents"]
+                 if e.get("ph") == "M" and e["name"] == "thread_name"}
+        assert {"VSU", "VMU", "DTU", "VRU", "DRAM"} <= names
+
+    def test_stats_table(self, capsys):
+        assert main(["stats", "O3+EVE-4", "vvadd", "--tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "eve.vmu.busy_cycles" in out
+        assert "host phase" in out
+
+    def test_stats_json(self, capsys):
+        import json
+        assert main(["stats", "O3+EVE-4", "vvadd", "--tiny", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["system"] == "O3+EVE-4"
+        assert "metrics" in payload and "self_profile" in payload
+
+    def test_stats_csv(self, capsys):
+        assert main(["stats", "O3+EVE-4", "vvadd", "--tiny", "--csv"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0] == "metric,value"
+        assert any(line.startswith("sim.cycles") for line in lines)
+
+    def test_compare_json(self, capsys):
+        import json
+        assert main(["compare", "vvadd", "--tiny", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["baseline"] == "IO"
+        assert "O3+EVE-4" in payload["systems"]
+        entry = payload["systems"]["O3+EVE-4"]
+        assert entry["speedup_vs_IO"] > 1.0
+        assert "breakdown" in entry
+
+    def test_run_metrics_out(self, capsys, tmp_path):
+        import json
+        out_file = tmp_path / "metrics.json"
+        assert main(["run", "o3+eve-4", "vvadd", "--tiny",
+                     "--metrics-out", str(out_file)]) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["system"] == "O3+EVE-4"
+        assert "sim.cycles" in payload["metrics"]

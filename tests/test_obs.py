@@ -1,0 +1,354 @@
+"""Tests for the observability layer: metrics, tracer, self-profiler.
+
+The trace-export tests are golden-property tests: a tiny vvadd run must
+produce a valid Chrome trace-event document (sorted ``ts``, balanced B/E
+per track, stable pid/tid naming) whose Machine span reconciles with the
+reported cycle count.
+"""
+
+import collections
+import json
+
+import pytest
+
+from repro.config import make_system
+from repro.experiments import ExperimentRunner
+from repro.experiments.systems import build_machine
+from repro.mem.mshr import MshrPool
+from repro.obs import (
+    CANONICAL_TRACKS,
+    NULL_METRICS,
+    NULL_TRACER,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SelfProfiler,
+    SpanTracer,
+    bucket_index,
+)
+from tests.conftest import TINY_PARAMS
+
+
+# -- metrics registry ------------------------------------------------------
+
+class TestBucketing:
+    def test_values_below_one_land_in_bucket_zero(self):
+        assert bucket_index(0.0) == 0
+        assert bucket_index(0.5) == 0
+        assert bucket_index(0.999) == 0
+
+    def test_power_of_two_boundaries(self):
+        # Bucket i covers [2**(i-1), 2**i): 1 starts bucket 1, 2 bucket 2...
+        assert bucket_index(1.0) == 1
+        assert bucket_index(1.999) == 1
+        assert bucket_index(2.0) == 2
+        assert bucket_index(4.0) == 3
+        assert bucket_index(1024.0) == 11
+
+    def test_huge_values_clamp_to_last_bucket(self):
+        assert bucket_index(2.0 ** 200) == 47
+
+    def test_histogram_observe_and_quantile(self):
+        h = Histogram("lat")
+        for v in (1, 2, 3, 100):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == 106
+        assert h.max == 100
+        assert h.mean == pytest.approx(26.5)
+        # p50 falls in the bucket holding the 2nd observation.
+        assert h.quantile(0.5) <= h.quantile(0.99)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert sum(snap["buckets"].values()) == 4
+
+
+class TestGaugeHwm:
+    def test_hwm_tracks_peak_not_current(self):
+        g = Gauge("occ")
+        g.set(3)
+        g.set(10)
+        g.set(2)
+        assert g.value == 2
+        assert g.hwm == 10
+
+    def test_add_updates_hwm(self):
+        g = Gauge("occ")
+        g.add(4)
+        g.add(-3)
+        g.add(2)
+        assert g.value == 3
+        assert g.hwm == 4
+
+
+class TestRegistry:
+    def test_get_or_create_and_kind_mismatch(self):
+        m = MetricsRegistry()
+        c = m.counter("a.b")
+        assert m.counter("a.b") is c
+        with pytest.raises(TypeError):
+            m.gauge("a.b")
+
+    def test_empty_registry_is_falsy_but_not_replaced(self):
+        # Regression guard: constructors must use `is not None`, not `or`,
+        # because an empty registry is falsy (it defines __len__).
+        m = MetricsRegistry()
+        assert len(m) == 0
+        machine = build_machine("O3+EVE-4", metrics=m)
+        assert machine.metrics is m
+
+    def test_null_registry_is_inert(self):
+        NULL_METRICS.counter("x").inc(5)
+        NULL_METRICS.gauge("y").set(3)
+        NULL_METRICS.histogram("z").observe(1)
+        assert not NULL_METRICS.enabled
+        assert len(NULL_METRICS) == 0
+
+    def test_flat_view(self):
+        m = MetricsRegistry()
+        m.counter("c").inc(2)
+        m.gauge("g").set(7)
+        m.histogram("h").observe(4)
+        flat = m.flat()
+        assert flat["c"] == 2
+        assert flat["g.value"] == 7
+        assert flat["g.hwm"] == 7
+        assert flat["h.count"] == 1
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+
+# -- span tracer -----------------------------------------------------------
+
+class TestSpanTracer:
+    def test_begin_end_lifo_and_balance(self):
+        t = SpanTracer()
+        t.begin("VSU", "outer", 0.0)
+        t.begin("VSU", "inner", 1.0)
+        t.end("VSU", 2.0)
+        t.end("VSU", 3.0)
+        assert t.spans_on("VSU") == [("inner", 1.0, 2.0), ("outer", 0.0, 3.0)]
+
+    def test_end_without_begin_raises(self):
+        with pytest.raises(ValueError):
+            SpanTracer().end("VSU", 1.0)
+
+    def test_zero_length_span_becomes_instant(self):
+        t = SpanTracer()
+        t.span("VMU", "blip", 5.0, 5.0)
+        phases = [e["ph"] for e in t.to_dict()["traceEvents"]
+                  if e["ph"] != "M"]
+        assert phases == ["i"]
+
+    def test_declared_tracks_appear_even_when_idle(self):
+        t = SpanTracer()
+        t.declare("VRU", "DTU")
+        assert t.track_names() == ["VRU", "DTU"]
+
+    def test_canonical_tids_are_stable(self):
+        # Same unit -> same tid regardless of touch order.
+        t1 = SpanTracer()
+        t1.span("VMU", "x", 0, 1)
+        t1.span("VSU", "y", 0, 1)
+        t2 = SpanTracer()
+        t2.span("VSU", "y", 0, 1)
+        t2.span("VMU", "x", 0, 1)
+
+        def tid_of(tracer, track):
+            for e in tracer.to_dict()["traceEvents"]:
+                if (e.get("ph") == "M" and e["name"] == "thread_name"
+                        and e["args"]["name"] == track):
+                    return e["tid"]
+            raise AssertionError(track)
+
+        assert tid_of(t1, "VMU") == tid_of(t2, "VMU")
+        assert tid_of(t1, "VSU") == tid_of(t2, "VSU")
+        assert tid_of(t1, "VSU") == CANONICAL_TRACKS.index("VSU") + 1
+
+    def test_null_tracer_records_nothing(self):
+        NULL_TRACER.span("VSU", "x", 0, 1)
+        NULL_TRACER.begin("VSU", "y", 0)
+        NULL_TRACER.end("VSU", 1)
+        NULL_TRACER.instant("VSU", "z", 0)
+        NULL_TRACER.sample("MSHR", "occ", 0, 1)
+        assert not NULL_TRACER.enabled
+        assert NULL_TRACER.num_events == 0
+
+
+def _validate_chrome_trace(doc):
+    """Golden properties every exported trace must satisfy."""
+    events = doc["traceEvents"]
+    body = [e for e in events if e.get("ph") != "M"]
+    ts = [e["ts"] for e in body]
+    assert ts == sorted(ts), "timestamps not monotonically sorted"
+    depth = collections.Counter()
+    for e in body:
+        if e["ph"] == "B":
+            depth[e["tid"]] += 1
+        elif e["ph"] == "E":
+            depth[e["tid"]] -= 1
+            assert depth[e["tid"]] >= 0, "E before matching B"
+    assert all(v == 0 for v in depth.values()), "unbalanced B/E"
+    names = {e["tid"]: e["args"]["name"] for e in events
+             if e.get("ph") == "M" and e["name"] == "thread_name"}
+    return names
+
+
+class TestTraceExportGolden:
+    @pytest.fixture(scope="class")
+    def traced_run(self):
+        runner = ExperimentRunner(params_override=TINY_PARAMS)
+        tracer = SpanTracer(process="test")
+        result = runner.run("O3+EVE-4", "vvadd", tracer=tracer)
+        return tracer, result
+
+    def test_export_is_valid_chrome_trace(self, traced_run, tmp_path):
+        tracer, _ = traced_run
+        path = tmp_path / "trace.json"
+        tracer.export(str(path))
+        doc = json.loads(path.read_text())
+        names = _validate_chrome_trace(doc)
+        # The EVE unit tracks must all be present and named.
+        assert {"Machine", "VSU", "VMU", "DTU", "VRU", "DRAM"} <= set(
+            names.values())
+
+    def test_machine_span_reconciles_with_cycles(self, traced_run):
+        tracer, result = traced_run
+        spans = tracer.spans_on("Machine")
+        assert len(spans) == 1
+        _, begin, end = spans[0]
+        assert (end - begin) == pytest.approx(result.cycles, rel=0.01)
+
+    def test_unit_busy_does_not_exceed_total(self, traced_run):
+        tracer, result = traced_run
+        for track in ("VMU", "DTU"):
+            assert 0.0 < tracer.track_busy(track) <= result.cycles * 4
+
+    def test_instrumented_run_matches_uninstrumented(self, tiny_runner):
+        plain = tiny_runner.run("O3+EVE-4", "vvadd")
+        traced = ExperimentRunner(params_override=TINY_PARAMS).run(
+            "O3+EVE-4", "vvadd", tracer=SpanTracer())
+        assert traced.cycles == pytest.approx(plain.cycles)
+
+
+# -- mshr occupancy satellite ----------------------------------------------
+
+class TestMshrStats:
+    def test_occupancy_hwm_counts_concurrent_holders(self):
+        pool = MshrPool(4, "l1")
+        for i in range(3):
+            grant, _ = pool.acquire(float(i))
+            pool.release(grant + 100.0)
+        stats = pool.stats()
+        assert stats["occupancy_hwm"] == 3
+        assert stats["stalled_acquires"] == 0
+
+    def test_stalled_acquires_counted(self):
+        pool = MshrPool(1, "l1")
+        grant, _ = pool.acquire(0.0)
+        pool.release(grant + 10.0)
+        grant, stall = pool.acquire(1.0)
+        pool.release(grant + 10.0)
+        assert stall > 0
+        stats = pool.stats()
+        assert stats["stalled_acquires"] == 1
+        assert stats["stall_cycles"] == pytest.approx(stall)
+        assert stats["occupancy_hwm"] == 1
+
+    def test_level_stats_exposes_mshr_and_dram(self, tiny_runner):
+        result = ExperimentRunner(params_override=TINY_PARAMS).run(
+            "O3+EVE-4", "vvadd", metrics=MetricsRegistry())
+        for key in ("l1d_mshr", "l2_mshr", "llc_mshr", "dram"):
+            assert key in result.mem_stats
+        assert result.mem_stats["llc_mshr"]["occupancy_hwm"] >= 1
+        assert "utilisation" in result.mem_stats["dram"]
+
+
+# -- metrics wired through a run -------------------------------------------
+
+class TestInstrumentedRun:
+    def test_metrics_populated_for_eve(self):
+        metrics = MetricsRegistry()
+        result = ExperimentRunner(params_override=TINY_PARAMS).run(
+            "O3+EVE-4", "vvadd", metrics=metrics)
+        flat = metrics.flat()
+        assert flat["sim.cycles.value"] == pytest.approx(result.cycles)
+        assert flat["eve.vmu.busy_cycles"] > 0
+        assert "mshr.llc.occupancy.hwm" in flat
+        assert result.metrics is not None
+
+    def test_metrics_populated_for_scalar(self):
+        metrics = MetricsRegistry()
+        result = ExperimentRunner(params_override=TINY_PARAMS).run(
+            "O3", "vvadd", metrics=metrics)
+        assert metrics.flat()["sim.cycles.value"] == pytest.approx(
+            result.cycles)
+
+    def test_result_to_json_dict_round_trips(self):
+        result = ExperimentRunner(params_override=TINY_PARAMS).run(
+            "O3+EVE-4", "vvadd", metrics=MetricsRegistry())
+        payload = json.loads(json.dumps(result.to_json_dict()))
+        assert payload["system"] == "O3+EVE-4"
+        assert payload["breakdown"]["busy"] >= 0
+        assert "metrics" in payload
+
+    def test_disabled_instrumentation_attaches_nothing(self, tiny_runner):
+        result = tiny_runner.run("O3+EVE-4", "vvadd")
+        assert result.metrics is None
+
+
+# -- self profiler ---------------------------------------------------------
+
+class TestSelfProfiler:
+    def test_phases_accumulate(self):
+        prof = SelfProfiler()
+        with prof.phase("a"):
+            pass
+        with prof.phase("a"):
+            pass
+        with prof.phase("b"):
+            pass
+        d = prof.as_dict()
+        assert d["a"]["calls"] == 2
+        assert d["b"]["calls"] == 1
+        assert prof.total() >= 0.0
+
+    def test_merged_collapses_prefixes(self):
+        prof = SelfProfiler()
+        with prof.phase("sim:O3"):
+            pass
+        with prof.phase("sim:IO"):
+            pass
+        merged = prof.merged()
+        assert set(merged) == {"sim"}
+
+    def test_runner_records_phases(self):
+        runner = ExperimentRunner(params_override=TINY_PARAMS)
+        runner.run("IO", "vvadd")
+        phases = runner.profiler.as_dict()
+        assert "trace_build" in phases
+        assert "sim:IO" in phases
+
+
+# -- machine construction with instrumentation ------------------------------
+
+class TestBuildMachine:
+    @pytest.mark.parametrize("system", ["IO", "O3", "O3+IV", "O3+DV",
+                                        "O3+EVE-4"])
+    def test_tracer_and_metrics_thread_through(self, system):
+        tracer = SpanTracer()
+        metrics = MetricsRegistry()
+        machine = build_machine(system, tracer=tracer, metrics=metrics)
+        assert machine.tracer is tracer
+        assert machine.metrics is metrics
+        assert machine.mem.tracer is tracer
+
+    def test_default_is_null_instrumentation(self):
+        machine = build_machine("O3+EVE-4")
+        assert machine.tracer is NULL_TRACER
+        assert machine.metrics is NULL_METRICS
+        cfg = make_system("O3+EVE-4")
+        assert cfg is not None
