@@ -3,45 +3,58 @@
 
 Runs every workload on a representative system pair (IO baseline and
 O3+EVE-4) at tiny problem sizes by default, timing the host-side cost of
-trace building and simulation via the runner's self-profiler, and writes
-one ``BENCH_<label>.json`` file with per-workload wall-clock seconds.
+trace building and simulation via the runner's self-profiler, and appends
+one ``bench``-kind record to the run store (``.eve-runs/`` by default) —
+the same longitudinal history ``repro run --record`` writes, so
+``repro history`` and ``repro diff`` read bench results too.
+
+The record carries two ingredient families with different diff policies:
+the deterministic per-(system, workload) cycle counts and EVE-4-vs-IO
+speedups (gated exactly / direction-aware by ``repro diff``), and the
+host wall-clock per workload (noisy, advisory).  ``--golden-out`` also
+writes the record to a standalone JSON file suitable for committing as a
+golden baseline (see ``benchmarks/golden/``).
 
 This is a *simulator-performance* benchmark, not a paper-results one: CI
-runs it to catch host-time regressions in the hot paths (the paper's
-figures live in the ``test_*`` drivers next to this file).
+runs it to catch host-time and determinism regressions in the hot paths
+(the paper's figures live in the ``test_*`` drivers next to this file).
 
 Usage::
 
-    python benchmarks/bench_smoke.py                # tiny inputs
-    python benchmarks/bench_smoke.py --full         # paper-scaled inputs
-    python benchmarks/bench_smoke.py -o out/        # where to write
+    python benchmarks/bench_smoke.py                   # tiny inputs
+    python benchmarks/bench_smoke.py --full            # paper-scaled inputs
+    python benchmarks/bench_smoke.py --store .eve-runs # where to append
+    python benchmarks/bench_smoke.py --golden-out benchmarks/golden/baseline-tiny.json
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
 import time
-from pathlib import Path
 
-from repro import __version__
 from repro.experiments import ExperimentRunner
+from repro.obs.runstore import DEFAULT_ROOT, RunStore, make_record
 from repro.workloads import REGISTRY
 
 SYSTEMS = ("IO", "O3+EVE-4")
 
 
-def run_benchmark(full: bool) -> dict:
+def run_benchmark(full: bool):
+    """Returns a ``bench``-kind RunRecord for every workload on SYSTEMS."""
     override = None if full else {
         name: dict(wl.tiny_params) for name, wl in REGISTRY.items()}
+    record = make_record(
+        "bench", label="full" if full else "tiny", tiny=not full,
+        command=" ".join(sys.argv),
+        fingerprint_extra=None if full else {"params": "tiny"})
+    record.speedup_baseline = "IO"
     per_workload = {}
     for workload in sorted(REGISTRY):
         runner = ExperimentRunner(params_override=override)
         start = time.perf_counter()
-        for system in SYSTEMS:
-            runner.run(system, workload)
+        results = {system: runner.run(system, workload) for system in SYSTEMS}
         elapsed = time.perf_counter() - start
         profile = runner.profiler.merged()
         per_workload[workload] = {
@@ -49,37 +62,51 @@ def run_benchmark(full: bool) -> dict:
             "trace_build_seconds": profile.get("trace_build", 0.0),
             "sim_seconds": profile.get("sim", 0.0),
         }
-    return per_workload
+        for system, result in results.items():
+            record.add_result(system, workload, cycles=result.cycles,
+                              time_ns=result.time_ns,
+                              instructions=result.instructions)
+        record.speedups[workload] = {
+            "O3+EVE-4": results["IO"].cycles / results["O3+EVE-4"].cycles}
+    record.extra["bench_workloads"] = per_workload
+    record.extra["bench_total_seconds"] = sum(
+        r["seconds"] for r in per_workload.values())
+    record.extra["bench_systems"] = list(SYSTEMS)
+    return record
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--full", action="store_true",
                         help="paper-scaled inputs (slow) instead of tiny")
-    parser.add_argument("-o", "--output-dir", default=".",
-                        help="directory for the BENCH_*.json file")
+    parser.add_argument("--store", default=DEFAULT_ROOT, metavar="DIR",
+                        help=f"run-store directory to append to "
+                             f"(default: {DEFAULT_ROOT})")
+    parser.add_argument("--no-store", action="store_true",
+                        help="skip the run-store append (print only)")
+    parser.add_argument("--golden-out", default=None, metavar="FILE",
+                        help="also write the record to FILE as a "
+                             "standalone golden-baseline JSON")
     args = parser.parse_args(argv)
 
-    label = "full" if args.full else "tiny"
-    results = run_benchmark(args.full)
-    payload = {
-        "label": label,
-        "systems": list(SYSTEMS),
-        "repro_version": __version__,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "workloads": results,
-        "total_seconds": sum(r["seconds"] for r in results.values()),
-    }
-    out = Path(args.output_dir) / f"BENCH_{label}.json"
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(payload, indent=2) + "\n")
-
-    width = max(len(name) for name in results)
-    for name, row in sorted(results.items()):
+    record = run_benchmark(args.full)
+    bench = record.extra["bench_workloads"]
+    width = max(len(name) for name in bench)
+    for name, row in sorted(bench.items()):
         print(f"{name:<{width}}  {row['seconds'] * 1e3:9.1f} ms")
-    print(f"{'total':<{width}}  {payload['total_seconds'] * 1e3:9.1f} ms")
-    print(f"wrote {out}")
+    total = record.extra["bench_total_seconds"]
+    print(f"{'total':<{width}}  {total * 1e3:9.1f} ms")
+
+    if args.golden_out:
+        with open(args.golden_out, "w") as handle:
+            json.dump(record.to_json_dict(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"wrote golden baseline {args.golden_out}")
+    if not args.no_store:
+        store = RunStore(args.store)
+        record_id = store.append(record)
+        print(f"recorded {record_id} -> {store.runs_path}")
     return 0
 
 

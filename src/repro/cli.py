@@ -32,26 +32,39 @@ Commands
     listing via ``--asm``.  Exits non-zero when errors are found.
 ``figure NAME``
     Regenerate a figure/table (fig1, fig2, table3, area).
+``history``
+    List the run records archived in the run store (``.eve-runs/``).
+``diff BASELINE [CURRENT]``
+    Compare two run records under per-metric tolerance policies (exact
+    for cycle counts, relative-epsilon for wall-clock, direction-aware
+    for speedups); exits non-zero on a gated regression.
+``scorecard``
+    Run the Figure 6 / Table IV / Figure 7 / Figure 8 harnesses and
+    grade every datapoint against the paper's published values.
 
 System and workload names are matched case-insensitively (``o3+eve-4``
 works), and ``run`` / ``trace`` / ``stats`` accept ``--tiny`` to use the
-test-sized problem inputs.
+test-sized problem inputs.  ``run`` / ``compare`` / ``stats`` accept
+``--record`` (archive the run into the run store) and ``--baseline REF``
+(diff the fresh run against a stored record or golden-baseline file).
 """
 
 from __future__ import annotations
 
 import argparse
-import csv
-import json
 import sys
 from typing import List, Optional
 
 from . import __version__
 from .config import all_system_names
-from .errors import MicroProgramError
+from .errors import MicroProgramError, RunStoreError
 from .experiments import ExperimentRunner, format_table
-from .experiments.figures import area_table, figure2, table3
+from .experiments.figures import ALL_APPS, area_table, figure2, table3
 from .obs import MetricsRegistry, SpanTracer
+from .obs.diff import DEFAULT_SPEEDUP_BUDGET, diff_records
+from .obs.render import emit_csv, emit_json, write_json
+from .obs.runstore import DEFAULT_ROOT, RunRecord, RunStore, make_record
+from .obs.scorecard import FIGURES, build_scorecard
 from .uops import MacroOpRom, assemble, disassemble, lint_program, lint_rom
 from .workloads import REGISTRY
 
@@ -76,13 +89,54 @@ def _make_runner(args) -> ExperimentRunner:
     return ExperimentRunner(params_override=override)
 
 
-def _write_json(path: str, payload: dict) -> None:
-    if path == "-":
-        json.dump(payload, sys.stdout, indent=2)
-        print()
-    else:
-        with open(path, "w") as handle:
-            json.dump(payload, handle, indent=2)
+def _recording(args) -> bool:
+    return bool(getattr(args, "record", False)
+                or getattr(args, "baseline", None))
+
+
+def _finish_record(args, record: Optional[RunRecord]) -> int:
+    """Archive and/or baseline-diff a freshly built record.
+
+    Shared tail of ``run`` / ``compare`` / ``stats``: append to the run
+    store when ``--record`` was given, and when ``--baseline REF`` was
+    given diff the fresh record against the resolved baseline, print the
+    regression report, and propagate the differ's exit code.
+    """
+    if record is None:
+        return 0
+    store = RunStore(args.store)
+    baseline = None
+    if args.baseline:
+        # Resolve before appending so ``--baseline latest`` means "the
+        # previous record", not the one this invocation just archived.
+        try:
+            baseline = store.resolve(args.baseline)
+        except RunStoreError as exc:
+            print(f"baseline: {exc}", file=sys.stderr)
+            return 2
+    if args.record:
+        record_id = store.append(record)
+        print(f"recorded {record_id} -> {store.runs_path}", file=sys.stderr)
+    if baseline is None:
+        return 0
+    diff = diff_records(baseline, record)
+    _print_diff(diff)
+    return diff.exit_code()
+
+
+def _print_diff(diff) -> None:
+    rows = diff.table_rows()
+    if rows:
+        print(format_table(
+            ["metric", "baseline", "current", "rel", "status"], rows))
+    counts = diff.counts()
+    regressions = diff.regressions()
+    summary = ", ".join(f"{n} {status}" for status, n in counts.items() if n)
+    print(f"diff vs {diff.baseline.record_id or diff.baseline.label or 'baseline'}: "
+          f"{summary or 'identical'}")
+    if regressions:
+        print(f"REGRESSION: {len(regressions)} gated metric(s) regressed "
+              f"beyond budget", file=sys.stderr)
 
 
 def _cmd_systems(_args) -> int:
@@ -100,9 +154,26 @@ def _cmd_workloads(_args) -> int:
     return 0
 
 
+def _single_run_record(kind: str, args, runner: ExperimentRunner, result,
+                       metrics: Optional[MetricsRegistry]) -> RunRecord:
+    record = make_record(
+        kind, label=f"{result.system}:{result.workload}",
+        tiny=getattr(args, "tiny", False),
+        command=f"repro {kind} {result.system} {result.workload}",
+        fingerprint_extra=runner.params_override or None)
+    record.add_result(result.system, result.workload, cycles=result.cycles,
+                      time_ns=result.time_ns,
+                      instructions=result.instructions)
+    if metrics is not None:
+        record.metrics = metrics.flat()
+    record.self_profile = runner.profiler.as_dict()
+    return record
+
+
 def _cmd_run(args) -> int:
     runner = _make_runner(args)
-    metrics = MetricsRegistry() if args.metrics_out else None
+    metrics = (MetricsRegistry()
+               if args.metrics_out or _recording(args) else None)
     result = runner.run(args.system, args.workload, metrics=metrics)
     print(f"system    : {result.system}")
     print(f"workload  : {result.workload}")
@@ -114,50 +185,70 @@ def _cmd_run(args) -> int:
                 if value > 0]
         print(format_table(["bucket", "cycles", "fraction"], rows))
     if args.metrics_out:
-        _write_json(args.metrics_out, {
+        write_json(args.metrics_out, {
             "system": result.system,
             "workload": result.workload,
             "metrics": metrics.snapshot(),
             "self_profile": runner.profiler.as_dict(),
         })
-    return 0
+    record = (_single_run_record("run", args, runner, result, metrics)
+              if _recording(args) else None)
+    return _finish_record(args, record)
 
 
 def _cmd_compare(args) -> int:
     runner = _make_runner(args)
+    want_metrics = bool(args.metrics_out) or _recording(args)
     base = runner.run("IO", args.workload)
     per_system = {}
     metrics_out = {}
+    metrics_flat = {}
     rows = []
+    record = None
+    if _recording(args):
+        record = make_record(
+            "compare", label=args.workload, tiny=args.tiny,
+            command=f"repro compare {args.workload}",
+            fingerprint_extra=runner.params_override or None)
+        record.speedup_baseline = "IO"
     for system in all_system_names():
-        metrics = MetricsRegistry() if args.metrics_out else None
+        metrics = MetricsRegistry() if want_metrics else None
         result = runner.run(system, args.workload, metrics=metrics)
-        rows.append([system, result.cycles, result.time_ns / 1e3,
-                     base.time_ns / result.time_ns])
+        speedup = base.time_ns / result.time_ns
+        rows.append([system, result.cycles, result.time_ns / 1e3, speedup])
         entry = result.to_json_dict()
         entry.pop("metrics", None)
-        entry["speedup_vs_IO"] = base.time_ns / result.time_ns
+        entry["speedup_vs_IO"] = speedup
         per_system[system] = entry
         if metrics is not None:
             metrics_out[system] = metrics.snapshot()
+            for name, value in metrics.flat().items():
+                metrics_flat[f"{system}.{name}"] = value
+        if record is not None:
+            record.add_result(system, args.workload, cycles=result.cycles,
+                              time_ns=result.time_ns,
+                              instructions=result.instructions)
+            record.speedups.setdefault(args.workload, {})[system] = speedup
     if args.json:
-        json.dump({
+        emit_json({
             "workload": args.workload,
             "baseline": "IO",
             "systems": per_system,
             "self_profile": runner.profiler.as_dict(),
-        }, sys.stdout, indent=2)
-        print()
+        })
     else:
         print(format_table(
             ["system", "cycles", "time_us", "speedup_vs_IO"], rows))
     if args.metrics_out:
-        _write_json(args.metrics_out, {
+        write_json(args.metrics_out, {
             "workload": args.workload,
             "metrics": metrics_out,
             "self_profile": runner.profiler.as_dict(),
         })
-    return 0
+    if record is not None:
+        record.metrics = metrics_flat
+        record.self_profile = runner.profiler.as_dict()
+    return _finish_record(args, record)
 
 
 def _cmd_trace(args) -> int:
@@ -180,19 +271,17 @@ def _cmd_stats(args) -> int:
     runner = _make_runner(args)
     metrics = MetricsRegistry()
     result = runner.run(args.system, args.workload, metrics=metrics)
+    metrics.assert_schema()
     payload = result.to_json_dict()
     payload["metrics"] = metrics.snapshot()
     payload["self_profile"] = runner.profiler.as_dict()
     if args.json:
-        json.dump(payload, sys.stdout, indent=2)
-        print()
+        emit_json(payload)
     elif args.csv:
-        writer = csv.writer(sys.stdout)
-        writer.writerow(["metric", "value"])
-        writer.writerow(["sim.system", result.system])
-        writer.writerow(["sim.workload", result.workload])
-        for name, value in metrics.flat().items():
-            writer.writerow([name, value])
+        emit_csv(["metric", "value"],
+                 [["sim.system", result.system],
+                  ["sim.workload", result.workload],
+                  *metrics.flat().items()])
     else:
         print(f"system    : {result.system}")
         print(f"workload  : {result.workload}")
@@ -205,7 +294,96 @@ def _cmd_stats(args) -> int:
                      for phase, seconds in sorted(prof.items())]
         print()
         print(format_table(["host phase", "wall-clock"], prof_rows))
+    record = (_single_run_record("stats", args, runner, result, metrics)
+              if _recording(args) else None)
+    return _finish_record(args, record)
+
+
+def _cmd_history(args) -> int:
+    store = RunStore(args.store)
+    rows_data = store.history(limit=args.limit, kind=args.kind)
+    if args.json:
+        emit_json(rows_data)
+        return 0
+    if not rows_data:
+        print(f"run store {store.root} is empty "
+              f"(record one with: repro run SYSTEM WORKLOAD --record)")
+        return 0
+    rows = [[r["record_id"], r["kind"], r["label"] or "-", r["created"],
+             r["git_sha"] + ("*" if r.get("dirty") else ""),
+             "tiny" if r.get("tiny") else "full", r.get("fingerprint", "")]
+            for r in rows_data]
+    print(format_table(
+        ["record", "kind", "label", "created", "git", "inputs", "config"],
+        rows))
     return 0
+
+
+def _cmd_diff(args) -> int:
+    store = RunStore(args.store)
+    try:
+        baseline = store.resolve(args.baseline_ref)
+        current = store.resolve(args.current_ref)
+    except RunStoreError as exc:
+        print(f"diff: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_records(baseline, current, speedup_budget=args.budget)
+    payload = diff.to_json_dict()
+    if args.json:
+        emit_json(payload)
+    else:
+        _print_diff(diff)
+    if args.json_out:
+        write_json(args.json_out, payload)
+    return diff.exit_code(strict=args.strict)
+
+
+def _cmd_scorecard(args) -> int:
+    runner = _make_runner(args)
+    card = build_scorecard(runner=runner, figures=args.figures or FIGURES,
+                           apps=args.apps or ALL_APPS, tiny=args.tiny)
+    payload = card.to_json_dict()
+    if args.json:
+        emit_json(payload)
+    else:
+        rows = [[e.figure, e.kernel, e.metric, e.paper, e.measured,
+                 "inf" if e.error == float("inf") else f"{e.error:.2f}x",
+                 e.grade + ("(dev)" if e.known_deviation else "")]
+                for e in card.entries]
+        print(format_table(
+            ["figure", "kernel", "metric", "paper", "ours", "error",
+             "grade"], rows))
+        print()
+        check_rows = [[c.figure, c.name,
+                       "ok" if c.ok
+                       else ("FAIL" if c.gate else "FAIL(dev)"), c.detail]
+                      for c in card.checks]
+        print(format_table(["figure", "shape claim", "verdict", "detail"],
+                           check_rows))
+        print()
+        counts = card.grade_counts()
+        grades = "  ".join(f"{g}:{counts[g]}" for g in "ABCF")
+        print(f"grades          : {grades}   ((dev) = known deviation, "
+              f"not gated)")
+        print(f"geomean error   : {card.geomean_error():.2f}x all, "
+              f"{card.geomean_error(core_only=True):.2f}x core "
+              f"(budget {payload['geomean_error_budget']:.2f}x)")
+        print(f"fidelity verdict: {'PASS' if card.passed else 'FAIL'}"
+              + (" [tiny inputs - grades not meaningful vs the paper]"
+                 if args.tiny else ""))
+    if args.record:
+        record = make_record(
+            "scorecard", label=",".join(card.figures), tiny=args.tiny,
+            command="repro scorecard",
+            fingerprint_extra=runner.params_override or None)
+        record.self_profile = runner.profiler.as_dict()
+        record.extra = {"scorecard": payload}
+        store = RunStore(args.store)
+        record_id = store.append(record)
+        print(f"recorded {record_id} -> {store.runs_path}", file=sys.stderr)
+    if args.json_out:
+        write_json(args.json_out, payload)
+    return (0 if card.passed else 1) if args.gate else 0
 
 
 def _cmd_uprog(args) -> int:
@@ -288,6 +466,17 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _add_record_arguments(sub) -> None:
+    sub.add_argument("--record", action="store_true",
+                     help="archive this run into the run store")
+    sub.add_argument("--baseline", default=None, metavar="REF",
+                     help="diff this run against REF (a record id, "
+                          "'latest', 'latest~N', or a record JSON file); "
+                          "exits non-zero on regression")
+    sub.add_argument("--store", default=DEFAULT_ROOT, metavar="DIR",
+                     help=f"run-store directory (default: {DEFAULT_ROOT})")
+
+
 def _add_pair_arguments(sub, tiny_help: bool = True) -> None:
     sub.add_argument("system", type=_canonical_system,
                      choices=all_system_names())
@@ -313,6 +502,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--metrics-out", default=None, metavar="FILE",
                      help="write the metrics-registry snapshot as JSON "
                           "('-' for stdout)")
+    _add_record_arguments(run)
 
     compare = sub.add_parser("compare", help="one workload on every system")
     compare.add_argument("workload", type=_canonical_workload,
@@ -324,6 +514,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "fields + stall breakdown)")
     compare.add_argument("--metrics-out", default=None, metavar="FILE",
                          help="write per-system metrics snapshots as JSON")
+    _add_record_arguments(compare)
 
     trace = sub.add_parser(
         "trace", help="export a Perfetto/Chrome timeline trace of one run")
@@ -339,6 +530,69 @@ def build_parser() -> argparse.ArgumentParser:
                      help="full snapshot (histograms included) as JSON")
     fmt.add_argument("--csv", action="store_true",
                      help="flattened metric,value rows as CSV")
+    _add_record_arguments(stats)
+
+    history = sub.add_parser(
+        "history", help="list the archived run records")
+    history.add_argument("-n", "--limit", type=int, default=None,
+                         help="show only the N most recent records")
+    history.add_argument("--kind", default=None,
+                         help="restrict to one record kind "
+                              "(run/compare/stats/bench/scorecard)")
+    history.add_argument("--json", action="store_true",
+                         help="machine-readable record summaries")
+    history.add_argument("--store", default=DEFAULT_ROOT, metavar="DIR",
+                         help=f"run-store directory (default: {DEFAULT_ROOT})")
+
+    diff = sub.add_parser(
+        "diff", help="compare two run records (exits non-zero on a gated "
+                     "regression)")
+    diff.add_argument("baseline_ref", metavar="BASELINE",
+                      help="record id, 'latest', 'latest~N', or a record "
+                           "JSON file (e.g. the committed golden baseline)")
+    diff.add_argument("current_ref", metavar="CURRENT", nargs="?",
+                      default="latest", help="record to compare against "
+                                             "BASELINE (default: latest)")
+    diff.add_argument("--budget", type=float,
+                      default=DEFAULT_SPEEDUP_BUDGET, metavar="FRAC",
+                      help="relative speedup loss tolerated before the "
+                           "direction-aware gate calls a regression "
+                           f"(default: {DEFAULT_SPEEDUP_BUDGET})")
+    diff.add_argument("--strict", action="store_true",
+                      help="fail on ANY gated change (golden-file "
+                           "discipline), not just regressions")
+    diff.add_argument("--json", action="store_true",
+                      help="machine-readable diff report")
+    diff.add_argument("--json-out", default=None, metavar="FILE",
+                      help="also write the JSON report to FILE")
+    diff.add_argument("--store", default=DEFAULT_ROOT, metavar="DIR",
+                      help=f"run-store directory (default: {DEFAULT_ROOT})")
+
+    scorecard = sub.add_parser(
+        "scorecard", help="grade the reproduction against the paper's "
+                          "published numbers")
+    scorecard.add_argument("--tiny", action="store_true",
+                           help="use the test-sized problem inputs (fast "
+                                "smoke; grades are not paper-meaningful)")
+    scorecard.add_argument("--figures", nargs="+", choices=list(FIGURES),
+                           default=None, metavar="FIG",
+                           help=f"restrict to some of {', '.join(FIGURES)}")
+    scorecard.add_argument("--apps", nargs="+", default=None,
+                           type=_canonical_workload,
+                           choices=sorted(ALL_APPS), metavar="APP",
+                           help="restrict to some Table IV kernels")
+    scorecard.add_argument("--json", action="store_true",
+                           help="machine-readable scorecard")
+    scorecard.add_argument("--json-out", default=None, metavar="FILE",
+                           help="also write the JSON scorecard to FILE")
+    scorecard.add_argument("--record", action="store_true",
+                           help="archive the scorecard into the run store")
+    scorecard.add_argument("--gate", action="store_true",
+                           help="exit non-zero when the fidelity verdict "
+                                "is FAIL")
+    scorecard.add_argument("--store", default=DEFAULT_ROOT, metavar="DIR",
+                           help=f"run-store directory "
+                                f"(default: {DEFAULT_ROOT})")
 
     uprog = sub.add_parser("uprog", help="show a macro-op micro-program")
     uprog.add_argument("macro")
@@ -369,6 +623,9 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "trace": _cmd_trace,
     "stats": _cmd_stats,
+    "history": _cmd_history,
+    "diff": _cmd_diff,
+    "scorecard": _cmd_scorecard,
     "uprog": _cmd_uprog,
     "lint": _cmd_lint,
     "figure": _cmd_figure,

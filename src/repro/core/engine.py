@@ -59,6 +59,7 @@ class EveMachine(VectorMachineBase):
         if config.vector is None or config.vector.kind != "eve":
             raise SimulationError("EveMachine needs an 'eve' config")
         super().__init__(config, tracer=tracer, metrics=metrics)
+        self.metrics.reserve("eve", "EveMachine")
         sram = config.eve_sram
         self.factor = config.vector.factor
         self.layout = RegisterLayout(

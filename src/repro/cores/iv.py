@@ -45,6 +45,7 @@ class IntegratedVectorMachine(VectorMachineBase):
         if config.vector is None or config.vector.kind != "iv":
             raise SimulationError("IntegratedVectorMachine needs an 'iv' config")
         super().__init__(config, tracer=tracer, metrics=metrics)
+        self.metrics.reserve("lsq", "IntegratedVectorMachine")
         self.vl = config.vector.hardware_vl
         self._lsq_window = MshrPool(self.VECTOR_MLP, "iv-lsq")
 

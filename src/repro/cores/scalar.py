@@ -31,6 +31,7 @@ class ScalarCore:
         self.config = config
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.metrics.reserve("sim", "ScalarCore")
         self.mem = MemorySystem(config, tracer=self.tracer,
                                 metrics=self.metrics)
 

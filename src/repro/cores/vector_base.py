@@ -29,6 +29,11 @@ class VectorMachineBase:
         self.config = config
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        # Claim the machine-level metric namespaces up front so another
+        # unit sharing this registry cannot silently collide with them.
+        owner = type(self).__name__
+        self.metrics.reserve("sim", owner)
+        self.metrics.reserve("breakdown", owner)
         self.mem = MemorySystem(config, tracer=self.tracer,
                                 metrics=self.metrics)
         #: vector register -> time its value is ready

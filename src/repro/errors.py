@@ -55,3 +55,12 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload was given invalid parameters."""
+
+
+class RunStoreError(ReproError):
+    """A run record is malformed or the run store cannot satisfy a lookup."""
+
+
+class MetricsSchemaError(ReproError):
+    """The metrics registry's naming schema is violated (colliding names
+    or conflicting reserved prefixes)."""

@@ -1,0 +1,109 @@
+"""The paper's published evaluation numbers, encoded as data.
+
+Single source of truth for the fidelity scorecard
+(:mod:`repro.obs.scorecard`): every datapoint the paper publishes that
+our harnesses regenerate, with per-figure error budgets and the list of
+known deviations (EXPERIMENTS.md "Known deviations" — kernels whose
+absolute numbers are compressed by our scaled-down inputs).
+
+Values transcribed from the paper's Table IV / Figure 6 / Figure 8 (see
+EXPERIMENTS.md for the side-by-side).  Entries marked *derived* are
+arithmetic consequences of published numbers (e.g. the Figure 6 O3+IV
+geomean from the 25.6x-vs-IO and 4.59x-vs-IV headline pair), kept so the
+scorecard can grade Figure 6's absolute axis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Table IV speedups vs O3+IV — the paper's published columns.  The paper
+#: prints every EVE factor; EXPERIMENTS.md transcribes DV, E-1, E-8 and
+#: E-32 (endpoints + the headline factor), so those are what we grade.
+TABLE4_SPEEDUP_VS_IV: Dict[str, Dict[str, float]] = {
+    "vvadd":      {"DV": 3.64, "E-1": 3.19, "E-8": 3.28,  "E-32": 3.38},
+    "mmult":      {"DV": 4.42, "E-1": 0.93, "E-8": 5.34,  "E-32": 4.60},
+    "k-means":    {"DV": 2.28, "E-1": 1.22, "E-8": 1.86,  "E-32": 1.51},
+    "pathfinder": {"DV": 8.11, "E-1": 5.37, "E-8": 6.30,  "E-32": 6.20},
+    "jacobi-2d":  {"DV": 6.36, "E-1": 6.18, "E-8": 13.49, "E-32": 12.69},
+    "backprop":   {"DV": 2.14, "E-1": 2.01, "E-8": 2.07,  "E-32": 2.06},
+    "sw":         {"DV": 3.44, "E-1": 2.43, "E-8": 6.21,  "E-32": 5.08},
+}
+
+#: Table IV five-app geometric-mean row (the 4.59x headline lives here).
+TABLE4_GEOMEAN_VS_IV: Dict[str, float] = {
+    "DV": 3.87, "E-1": 2.88, "E-8": 4.59, "E-32": 4.16,
+}
+
+#: Figure 6 five-app geomean speedups over the in-order core.  25.6
+#: (EVE-8) and 21.6 (DV) are published headline numbers; the rest are
+#: derived: IV = 25.6 / 4.59, and each EVE/DV point = Table IV geomean
+#: x the derived IV-vs-IO factor.
+FIG6_GEOMEAN_VS_IO: Dict[str, float] = {
+    "O3+IV": 5.58,
+    "O3+DV": 21.6,
+    "O3+EVE-1": 16.1,
+    "O3+EVE-8": 25.6,
+    "O3+EVE-32": 23.2,
+}
+
+#: Which FIG6 geomean entries are derived rather than printed.
+FIG6_DERIVED = ("O3+IV", "O3+EVE-1", "O3+EVE-32")
+
+#: Figure 8 — fraction of execution time the VMU stalls issuing LLC
+#: requests.  The paper shows backprop above 0.9 at every factor,
+#: falling slowly as the hardware vector length halves, and k-means
+#: around 0.45.
+FIG8_VMU_STALL: Dict[str, Dict[str, float]] = {
+    "backprop": {"O3+EVE-4": 0.93, "O3+EVE-8": 0.92, "O3+EVE-16": 0.91,
+                 "O3+EVE-32": 0.90},
+    "k-means":  {"O3+EVE-8": 0.45},
+}
+
+#: Known deviations (EXPERIMENTS.md): datapoints whose absolute values
+#: cannot reproduce at our input scale.  They are still graded and
+#: reported, but excluded from the gating geomean error.
+KNOWN_DEVIATIONS: Dict[str, str] = {
+    "table4:jacobi-2d": "needs 2K+ application vectors; compressed by "
+                        "input scaling",
+    "table4:sw": "needs 2K+ application vectors; compressed by input "
+                 "scaling",
+    "fig6:sw": "bit-serial EVE-1 falls below IO at our compressed sw "
+               "input scale",
+    "fig7:sw": "sw's busy-fraction U-shape flattens at our compressed "
+               "input scale (keeps falling to E-32)",
+    "fig8:backprop": "stall fractions compressed (paper >0.9, ours "
+                     "0.3-0.6); the falling shape is what reproduces",
+    "fig8:k-means": "our feature walk re-touches cluster lines so the "
+                    "LLC absorbs the stream; documented non-reproduction",
+    "fig6:O3+DV": "DV-vs-IO geomean compressed with every long-vector "
+                  "kernel",
+    "fig6:O3+EVE-1": "derived target; compressed by input scaling",
+    "fig6:O3+EVE-8": "EVE-vs-IO geomean compressed by input scaling",
+    "fig6:O3+EVE-32": "derived target; compressed by input scaling",
+    "fig6:O3+IV": "derived target; compressed by input scaling",
+}
+
+#: Error budgets per figure: ``tight`` bounds grade A (essentially
+#: reproduced), ``budget`` bounds grade B (reproduced within the scale
+#: compression EXPERIMENTS.md documents).  A relative budget of 0.5
+#: means measured/paper ratios up to 1.5x either way.
+ERROR_BUDGETS: Dict[str, Dict[str, float]] = {
+    "fig6":   {"tight": 0.15, "budget": 0.60},
+    "table4": {"tight": 0.15, "budget": 0.50},
+    "fig8":   {"tight": 0.15, "budget": 0.50},
+}
+
+#: Gate for the overall fidelity verdict: the geometric-mean multiplicative
+#: error over non-deviation datapoints must stay under this factor.
+#: EXPERIMENTS.md documents a ~2x compression from input scaling, so the
+#: reproduction is "faithful" while the core geomean error stays < 2.5x.
+GEOMEAN_ERROR_BUDGET = 2.5
+
+
+def is_known_deviation(figure: str, kernel: str) -> bool:
+    return f"{figure}:{kernel}" in KNOWN_DEVIATIONS
+
+
+def deviation_note(figure: str, kernel: str) -> str:
+    return KNOWN_DEVIATIONS.get(f"{figure}:{kernel}", "")

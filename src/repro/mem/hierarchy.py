@@ -53,6 +53,8 @@ class MemorySystem:
         self.config = config
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        for prefix in ("mem", "mshr", "dram"):
+            self.metrics.reserve(prefix, "MemorySystem")
         self.l1d = CacheArray(config.l1d)
         self.l2 = CacheArray(config.l2)
         self.llc = CacheArray(config.llc)

@@ -21,7 +21,10 @@ can skip metric computation entirely.
 from __future__ import annotations
 
 import math
+import re
 from typing import Dict, List, Union
+
+from ..errors import MetricsSchemaError
 
 #: Log2 bucket count: bucket i covers [2**(i-1), 2**i); bucket 0 is < 1.
 #: 48 buckets reach 2**47 — far beyond any simulated-cycle quantity.
@@ -137,14 +140,29 @@ class Histogram:
 
 Instrument = Union[Counter, Gauge, Histogram]
 
+#: Legal metric names: dotted lowercase segments (``mem.l2.miss``).
+#: Digits, ``_`` and ``-`` are allowed inside a segment (``l1d``,
+#: ``busy_cycles``); uppercase and whitespace are not.
+_NAME_RE = re.compile(r"^[a-z0-9_-]+(\.[a-z0-9_-]+)*$")
+
 
 class MetricsRegistry:
-    """Get-or-create registry of hierarchically named instruments."""
+    """Get-or-create registry of hierarchically named instruments.
+
+    Units may *reserve* their name prefix (``metrics.reserve("mem",
+    owner="MemorySystem")``): a second unit reserving the same or an
+    overlapping prefix raises :class:`~repro.errors.MetricsSchemaError`
+    instead of silently publishing colliding metric names.
+    :meth:`assert_schema` additionally validates name syntax and that no
+    gauge/histogram ``flat()`` expansion (``.value`` / ``.hwm`` / ...)
+    shadows another instrument's name.
+    """
 
     enabled = True
 
     def __init__(self) -> None:
         self._instruments: Dict[str, Instrument] = {}
+        self._reserved: Dict[str, str] = {}
 
     def _get(self, name: str, cls) -> Instrument:
         instrument = self._instruments.get(name)
@@ -155,6 +173,54 @@ class MetricsRegistry:
                 f"metric {name!r} already registered as "
                 f"{type(instrument).__name__}, not {cls.__name__}")
         return instrument
+
+    def reserve(self, prefix: str, owner: str) -> None:
+        """Claim a name prefix for one unit; conflicting claims raise.
+
+        Re-reserving with the same owner is a no-op, so constructors can
+        reserve unconditionally.
+        """
+        if not _NAME_RE.match(prefix):
+            raise MetricsSchemaError(f"illegal metric prefix {prefix!r}")
+        for existing, existing_owner in self._reserved.items():
+            if existing_owner == owner:
+                continue
+            if (existing == prefix
+                    or existing.startswith(prefix + ".")
+                    or prefix.startswith(existing + ".")):
+                raise MetricsSchemaError(
+                    f"metric prefix {prefix!r} (owner {owner!r}) collides "
+                    f"with {existing!r} reserved by {existing_owner!r}")
+        self._reserved[prefix] = owner
+
+    def assert_schema(self) -> None:
+        """Raise :class:`~repro.errors.MetricsSchemaError` on any naming
+        violation: malformed names, or a gauge/histogram whose ``flat()``
+        suffix expansion (``.value``/``.hwm``/``.count``/...) shadows a
+        separately registered instrument (two units whose names collide
+        only in the flattened CSV view)."""
+        names = set(self._instruments)
+        flat_sources: Dict[str, str] = {}
+        for name, instrument in self._instruments.items():
+            if not _NAME_RE.match(name):
+                raise MetricsSchemaError(f"illegal metric name {name!r}")
+            if isinstance(instrument, Counter):
+                expanded = (name,)
+            elif isinstance(instrument, Gauge):
+                expanded = (f"{name}.value", f"{name}.hwm")
+            else:
+                expanded = tuple(f"{name}.{s}"
+                                 for s in ("count", "sum", "mean", "max"))
+            for key in expanded:
+                if key != name and key in names:
+                    raise MetricsSchemaError(
+                        f"{type(instrument).__name__} {name!r} flattens to "
+                        f"{key!r}, shadowing the instrument of that name")
+                previous = flat_sources.setdefault(key, name)
+                if previous != name:
+                    raise MetricsSchemaError(
+                        f"metrics {previous!r} and {name!r} both flatten "
+                        f"to {key!r}")
 
     def counter(self, name: str) -> Counter:
         return self._get(name, Counter)
@@ -233,6 +299,14 @@ class NullMetricsRegistry(MetricsRegistry):
     """Disabled-mode registry: every instrument is a shared no-op."""
 
     enabled = False
+
+    def reserve(self, prefix: str, owner: str) -> None:
+        # The singleton is shared by every uninstrumented machine, so
+        # ownership bookkeeping would raise spurious conflicts.
+        pass
+
+    def assert_schema(self) -> None:
+        pass
 
     def counter(self, name: str):
         return _NULL_INSTRUMENT

@@ -1,0 +1,41 @@
+"""Shared machine-readable rendering for the CLI.
+
+``stats``, ``diff``, ``scorecard``, ``history``, and the ``--metrics-out``
+/ ``--record`` paths all need the same three moves: dump a payload as
+JSON to stdout, dump it to a file (with ``-`` meaning stdout), and write
+``(header, rows)`` as CSV.  Centralising them here keeps every command's
+JSON formatting identical (indent, trailing newline) and stops cli.py
+from growing one private helper per subcommand.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import sys
+from typing import IO, Iterable, Optional, Sequence
+
+
+def emit_json(payload: object, stream: Optional[IO[str]] = None) -> None:
+    """Pretty-print one JSON document followed by a newline."""
+    stream = stream if stream is not None else sys.stdout
+    json.dump(payload, stream, indent=2, sort_keys=False)
+    stream.write("\n")
+
+
+def write_json(path: str, payload: object) -> None:
+    """Write JSON to ``path``; ``-`` means stdout."""
+    if path == "-":
+        emit_json(payload)
+    else:
+        with open(path, "w") as handle:
+            emit_json(payload, handle)
+
+
+def emit_csv(headers: Sequence[str], rows: Iterable[Sequence[object]],
+             stream: Optional[IO[str]] = None) -> None:
+    """Write one header row plus data rows as CSV."""
+    writer = csv.writer(stream if stream is not None else sys.stdout)
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(list(row))

@@ -3,8 +3,9 @@
 ROADMAP's north star is simulator speed, so the toolkit watches its own
 perf trajectory: the :class:`SelfProfiler` attributes host wall-clock
 seconds to named phases (``trace_build``, ``sim:<system>``, ``report``)
-via nestable context managers.  ``benchmarks/bench_smoke.py`` persists
-these numbers as ``BENCH_*.json`` so CI records the trend.
+via nestable context managers.  ``benchmarks/bench_smoke.py`` and
+``repro run --record`` archive these numbers into the run store
+(:mod:`repro.obs.runstore`) so CI records the trend.
 """
 
 from __future__ import annotations

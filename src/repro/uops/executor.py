@@ -61,6 +61,7 @@ class MicroEngine:
         self.max_cycles = max_cycles
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.metrics.reserve("uprog", "MicroEngine")
         #: Cumulative cycles across invocations — the engine's own
         #: timeline, which the tracer's "uProg" track is plotted on.
         self.total_cycles = 0

@@ -12,6 +12,7 @@ import json
 import pytest
 
 from repro.config import make_system
+from repro.errors import MetricsSchemaError
 from repro.experiments import ExperimentRunner
 from repro.experiments.systems import build_machine
 from repro.mem.mshr import MshrPool
@@ -119,6 +120,85 @@ class TestRegistry:
     def test_counter_rejects_negative(self):
         with pytest.raises(ValueError):
             Counter("c").inc(-1)
+
+
+class TestMetricsSchema:
+    def test_reserve_is_idempotent_per_owner(self):
+        m = MetricsRegistry()
+        m.reserve("sim", "CoreA")
+        m.reserve("sim", "CoreA")   # same owner: fine
+
+    def test_reserve_conflict_raises(self):
+        m = MetricsRegistry()
+        m.reserve("sim", "CoreA")
+        with pytest.raises(MetricsSchemaError, match="CoreA"):
+            m.reserve("sim", "CoreB")
+
+    def test_reserve_detects_nested_prefix_overlap(self):
+        m = MetricsRegistry()
+        m.reserve("mem.l1", "CacheL1")
+        with pytest.raises(MetricsSchemaError):
+            m.reserve("mem", "MemorySystem")
+        with pytest.raises(MetricsSchemaError):
+            m.reserve("mem.l1.hits", "Probe")
+
+    def test_disjoint_prefixes_coexist(self):
+        m = MetricsRegistry()
+        m.reserve("sim", "Core")
+        m.reserve("mem", "MemorySystem")
+        m.reserve("memx", "Other")  # sibling, not a dot-prefix of "mem"
+
+    def test_reserve_rejects_illegal_prefix(self):
+        with pytest.raises(MetricsSchemaError):
+            MetricsRegistry().reserve("Bad Name", "X")
+
+    def test_assert_schema_accepts_clean_registry(self):
+        m = MetricsRegistry()
+        m.counter("sim.instructions").inc()
+        m.gauge("sim.cycles").set(10)
+        m.histogram("mem.l1.latency").observe(3)
+        m.assert_schema()
+
+    def test_assert_schema_rejects_illegal_name(self):
+        m = MetricsRegistry()
+        m.counter("no spaces allowed")
+        with pytest.raises(MetricsSchemaError, match="illegal"):
+            m.assert_schema()
+
+    def test_assert_schema_catches_gauge_flat_shadowing(self):
+        # gauge "g" flattens to "g.value"/"g.hwm"; a counter named
+        # "g.hwm" is ambiguous in the flat view.
+        m = MetricsRegistry()
+        m.gauge("g").set(1)
+        m.counter("g.hwm").inc()
+        with pytest.raises(MetricsSchemaError, match="g.hwm"):
+            m.assert_schema()
+
+    def test_assert_schema_catches_histogram_flat_shadowing(self):
+        m = MetricsRegistry()
+        m.histogram("h").observe(1)
+        m.counter("h.mean").inc()
+        with pytest.raises(MetricsSchemaError):
+            m.assert_schema()
+
+    def test_null_registry_schema_hooks_are_inert(self):
+        NULL_METRICS.reserve("sim", "Anything")
+        NULL_METRICS.reserve("sim", "SomethingElse")  # no conflict: no-op
+        NULL_METRICS.assert_schema()
+
+    def test_machines_reserve_disjoint_families(self):
+        # Building a real machine with a live registry exercises every
+        # constructor-time reserve() call; overlap would raise here.
+        m = MetricsRegistry()
+        build_machine("O3+EVE-4", metrics=m)
+        m2 = MetricsRegistry()
+        build_machine("O3+IV", metrics=m2)
+
+    def test_instrumented_run_passes_assert_schema(self):
+        m = MetricsRegistry()
+        runner = ExperimentRunner(params_override=TINY_PARAMS)
+        runner.run("O3+EVE-4", "vvadd", metrics=m)
+        m.assert_schema()
 
 
 # -- span tracer -----------------------------------------------------------
