@@ -19,32 +19,94 @@ This is a *simulator-performance* benchmark, not a paper-results one: CI
 runs it to catch host-time and determinism regressions in the hot paths
 (the paper's figures live in the ``test_*`` drivers next to this file).
 
+Unless ``--skip-sweep`` is given, it also wall-clocks the full systems x
+workloads sweep serially, fanned out over ``--jobs`` worker processes,
+and warm against the cell cache, cross-checking cycle-count equality —
+and writes the whole record (including the sweep speedups) to
+``BENCH_<tiny|full>.json`` so the numbers are tracked longitudinally.
+
 Usage::
 
     python benchmarks/bench_smoke.py                   # tiny inputs
     python benchmarks/bench_smoke.py --full            # paper-scaled inputs
     python benchmarks/bench_smoke.py --store .eve-runs # where to append
     python benchmarks/bench_smoke.py --golden-out benchmarks/golden/baseline-tiny.json
+    python benchmarks/bench_smoke.py --full --jobs 4  # full-scale sweep timing
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import shutil
 import sys
+import tempfile
 import time
 
-from repro.experiments import ExperimentRunner
+from repro.experiments import ExperimentRunner, ParallelRunner, sweep_pairs
 from repro.obs.runstore import DEFAULT_ROOT, RunStore, make_record
 from repro.workloads import REGISTRY
 
 SYSTEMS = ("IO", "O3+EVE-4")
 
 
+def _tiny_override():
+    return {name: dict(wl.tiny_params) for name, wl in REGISTRY.items()}
+
+
+def time_sweep(full: bool, jobs: int):
+    """Wall-clock the full systems x workloads sweep three ways.
+
+    Serial (the pre-parallel baseline), fanned out over ``jobs`` worker
+    processes with a cold cell cache, and a warm re-run against the
+    cache the parallel leg just populated — so CI tracks both the
+    parallelism speedup and the repeat-invocation cache speedup
+    longitudinally.  Also cross-checks that the serial and parallel
+    legs produced identical cycle counts.
+    """
+    override = None if full else _tiny_override()
+    pairs = sweep_pairs()
+    serial = ExperimentRunner(params_override=override)
+    start = time.perf_counter()
+    serial.prefetch(pairs)
+    serial_seconds = time.perf_counter() - start
+
+    cache_dir = tempfile.mkdtemp(prefix="eve-bench-cache-")
+    try:
+        cold = ParallelRunner(params_override=override, jobs=jobs,
+                              cache_root=cache_dir)
+        start = time.perf_counter()
+        cold.prefetch(pairs)
+        parallel_seconds = time.perf_counter() - start
+        identical = all(
+            serial.run(s, w).cycles == cold.run(s, w).cycles
+            for s, w in pairs)
+
+        warm = ParallelRunner(params_override=override, jobs=jobs,
+                              cache_root=cache_dir)
+        start = time.perf_counter()
+        warm.prefetch(pairs)
+        warm_seconds = time.perf_counter() - start
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    return {
+        "cells": len(pairs),
+        "jobs": cold.jobs,
+        "cpus": os.cpu_count() or 1,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds,
+        "warm_cache_seconds": warm_seconds,
+        "warm_cache_speedup": serial_seconds / warm_seconds,
+        "serial_parallel_identical": identical,
+    }
+
+
 def run_benchmark(full: bool):
     """Returns a ``bench``-kind RunRecord for every workload on SYSTEMS."""
-    override = None if full else {
-        name: dict(wl.tiny_params) for name, wl in REGISTRY.items()}
+    override = None if full else _tiny_override()
     record = make_record(
         "bench", label="full" if full else "tiny", tiny=not full,
         command=" ".join(sys.argv),
@@ -87,16 +149,44 @@ def main(argv=None) -> int:
     parser.add_argument("--golden-out", default=None, metavar="FILE",
                         help="also write the record to FILE as a "
                              "standalone golden-baseline JSON")
+    parser.add_argument("--jobs", type=int, default=0, metavar="N",
+                        help="worker processes for the sweep timing "
+                             "(0 = all CPUs; default: 0)")
+    parser.add_argument("--skip-sweep", action="store_true",
+                        help="skip the serial-vs-parallel sweep timing")
+    parser.add_argument("--bench-out", default=None, metavar="FILE",
+                        help="BENCH json file to write (default: "
+                             "BENCH_<tiny|full>.json; 'none' to skip)")
     args = parser.parse_args(argv)
 
     record = run_benchmark(args.full)
+    if not args.skip_sweep:
+        sweep = time_sweep(args.full, args.jobs or None)
+        record.extra["sweep"] = sweep
     bench = record.extra["bench_workloads"]
     width = max(len(name) for name in bench)
     for name, row in sorted(bench.items()):
         print(f"{name:<{width}}  {row['seconds'] * 1e3:9.1f} ms")
     total = record.extra["bench_total_seconds"]
     print(f"{'total':<{width}}  {total * 1e3:9.1f} ms")
+    sweep = record.extra.get("sweep")
+    if sweep:
+        print(f"sweep ({sweep['cells']} cells, {sweep['jobs']} worker(s), "
+              f"{sweep['cpus']} cpu(s)): "
+              f"serial {sweep['serial_seconds']:.2f}s, "
+              f"parallel {sweep['parallel_seconds']:.2f}s "
+              f"({sweep['speedup']:.2f}x), "
+              f"warm cache {sweep['warm_cache_seconds']:.2f}s "
+              f"({sweep['warm_cache_speedup']:.2f}x), "
+              f"identical={sweep['serial_parallel_identical']}")
 
+    bench_out = args.bench_out or f"BENCH_{record.label}.json"
+    if bench_out != "none":
+        with open(bench_out, "w") as handle:
+            json.dump(record.to_json_dict(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {bench_out}")
     if args.golden_out:
         with open(args.golden_out, "w") as handle:
             json.dump(record.to_json_dict(), handle, indent=2,

@@ -16,6 +16,9 @@ Commands
     ``--json`` emits a machine-readable report (per-system SimResult
     fields + stall breakdown + the simulator's own phase wall-clock);
     ``--metrics-out FILE`` captures per-system registry snapshots.
+``sweep``
+    Simulate a systems x workloads cross-product (default: the full
+    Figure 6 grid) and print per-cell cycles and speedups.
 ``trace SYSTEM WORKLOAD -o FILE``
     Simulate with the timeline tracer enabled and export Chrome
     trace-event JSON (load it at https://ui.perfetto.dev): one track per
@@ -47,6 +50,10 @@ works), and ``run`` / ``trace`` / ``stats`` accept ``--tiny`` to use the
 test-sized problem inputs.  ``run`` / ``compare`` / ``stats`` accept
 ``--record`` (archive the run into the run store) and ``--baseline REF``
 (diff the fresh run against a stored record or golden-baseline file).
+``compare`` / ``sweep`` / ``scorecard`` accept ``--jobs N`` to fan the
+(system, workload) cells out over N worker processes backed by the
+on-disk cell cache (``--cache-dir`` / ``--no-cache``); results are
+bit-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -58,35 +65,48 @@ from typing import List, Optional
 from . import __version__
 from .config import all_system_names
 from .errors import MicroProgramError, RunStoreError
-from .experiments import ExperimentRunner, format_table
+from .experiments import ExperimentRunner, ParallelRunner, format_table
 from .experiments.figures import ALL_APPS, area_table, figure2, table3
+from .experiments.parallel import DEFAULT_CACHE_ROOT, sweep_pairs
+from .experiments.systems import canonical_system as _canonical_system
 from .obs import MetricsRegistry, SpanTracer
 from .obs.diff import DEFAULT_SPEEDUP_BUDGET, diff_records
 from .obs.render import emit_csv, emit_json, write_json
 from .obs.runstore import DEFAULT_ROOT, RunRecord, RunStore, make_record
-from .obs.scorecard import FIGURES, build_scorecard
+from .obs.scorecard import FIGURES, build_scorecard, scorecard_pairs
 from .uops import MacroOpRom, assemble, disassemble, lint_program, lint_rom
 from .workloads import REGISTRY
+from .workloads import canonical_workload as _canonical_workload
 
 EVE_FACTORS = (1, 2, 4, 8, 16, 32)
 
 
-def _canonical_system(name: str) -> str:
-    """Case-insensitive system-name lookup (``o3+eve-4`` → ``O3+EVE-4``)."""
-    by_lower = {known.lower(): known for known in all_system_names()}
-    return by_lower.get(name.lower(), name)
-
-
-def _canonical_workload(name: str) -> str:
-    by_lower = {known.lower(): known for known in REGISTRY}
-    return by_lower.get(name.lower(), name)
-
-
-def _make_runner(args) -> ExperimentRunner:
+def _make_runner(args, collect_metrics: bool = False) -> ExperimentRunner:
     override = None
     if getattr(args, "tiny", False):
         override = {name: dict(wl.tiny_params) for name, wl in REGISTRY.items()}
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None and jobs != 1:
+        cache_root = (None if getattr(args, "no_cache", False)
+                      else getattr(args, "cache_dir", DEFAULT_CACHE_ROOT))
+        return ParallelRunner(params_override=override, jobs=jobs or None,
+                              cache_root=cache_root,
+                              collect_metrics=collect_metrics)
     return ExperimentRunner(params_override=override)
+
+
+def _prefetch(runner: ExperimentRunner, pairs) -> None:
+    """Fan the cells out before the (serial) reporting loops run.
+
+    Only the parallel runner actually prefetches here; the serial runner
+    simulates lazily inside the harnesses exactly as before.
+    """
+    if isinstance(runner, ParallelRunner):
+        stats = runner.prefetch(pairs)
+        print(f"sweep: {stats['cells']} cells ({stats['simulated']} "
+              f"simulated, {stats['cached']} cached) with "
+              f"{stats['jobs']} worker(s) in {stats['seconds']:.2f}s",
+              file=sys.stderr)
 
 
 def _recording(args) -> bool:
@@ -197,8 +217,10 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_compare(args) -> int:
-    runner = _make_runner(args)
     want_metrics = bool(args.metrics_out) or _recording(args)
+    runner = _make_runner(args, collect_metrics=want_metrics)
+    _prefetch(runner, [(system, args.workload)
+                       for system in all_system_names()])
     base = runner.run("IO", args.workload)
     per_system = {}
     metrics_out = {}
@@ -212,17 +234,28 @@ def _cmd_compare(args) -> int:
             fingerprint_extra=runner.params_override or None)
         record.speedup_baseline = "IO"
     for system in all_system_names():
-        metrics = MetricsRegistry() if want_metrics else None
-        result = runner.run(system, args.workload, metrics=metrics)
+        flat = snapshot = None
+        prefetched = (runner.cell_metrics(system, args.workload)
+                      if want_metrics else None)
+        if prefetched is not None:
+            # A sweep worker already captured this cell's registry;
+            # reuse it instead of re-simulating with instrumentation.
+            flat, snapshot = prefetched
+            result = runner.run(system, args.workload)
+        else:
+            metrics = MetricsRegistry() if want_metrics else None
+            result = runner.run(system, args.workload, metrics=metrics)
+            if metrics is not None:
+                flat, snapshot = metrics.flat(), metrics.snapshot()
         speedup = base.time_ns / result.time_ns
         rows.append([system, result.cycles, result.time_ns / 1e3, speedup])
         entry = result.to_json_dict()
         entry.pop("metrics", None)
         entry["speedup_vs_IO"] = speedup
         per_system[system] = entry
-        if metrics is not None:
-            metrics_out[system] = metrics.snapshot()
-            for name, value in metrics.flat().items():
+        if snapshot is not None:
+            metrics_out[system] = snapshot
+            for name, value in flat.items():
                 metrics_flat[f"{system}.{name}"] = value
         if record is not None:
             record.add_result(system, args.workload, cycles=result.cycles,
@@ -248,6 +281,63 @@ def _cmd_compare(args) -> int:
     if record is not None:
         record.metrics = metrics_flat
         record.self_profile = runner.profiler.as_dict()
+    return _finish_record(args, record)
+
+
+def _cmd_sweep(args) -> int:
+    runner = _make_runner(args)
+    systems = args.systems or all_system_names()
+    workloads = args.workloads or sorted(REGISTRY)
+    pairs = sweep_pairs(systems, workloads)
+    stats = runner.prefetch(pairs)
+    print(f"sweep: {stats['cells']} cells ({stats['simulated']} simulated, "
+          f"{stats['cached']} cached) with {stats['jobs']} worker(s) in "
+          f"{stats['seconds']:.2f}s", file=sys.stderr)
+    base_results = ({workload: runner.run("IO", workload)
+                     for workload in workloads} if "IO" in systems else {})
+    cells: dict = {}
+    speedups: dict = {}
+    rows = []
+    for system, workload in pairs:
+        result = runner.run(system, workload)
+        cell = {"cycles": result.cycles, "time_ns": result.time_ns,
+                "instructions": result.instructions}
+        cells.setdefault(workload, {})[system] = cell
+        row = [workload, system, result.cycles, result.time_ns / 1e3]
+        if base_results:
+            speedup = base_results[workload].time_ns / result.time_ns
+            speedups.setdefault(workload, {})[system] = speedup
+            row.append(speedup)
+        rows.append(row)
+    if args.json:
+        payload = {"systems": list(systems), "workloads": list(workloads),
+                   "baseline": "IO" if base_results else None,
+                   "cells": cells, "speedups": speedups}
+        emit_json(payload)
+    else:
+        headers = ["workload", "system", "cycles", "time_us"]
+        if base_results:
+            headers.append("speedup_vs_IO")
+        print(format_table(headers, rows))
+    record = None
+    if _recording(args):
+        record = make_record(
+            "sweep", label=f"{len(workloads)}x{len(systems)}",
+            tiny=args.tiny, command="repro sweep",
+            fingerprint_extra=runner.params_override or None)
+        for workload, per_system in cells.items():
+            for system, cell in per_system.items():
+                record.add_result(system, workload, cycles=cell["cycles"],
+                                  time_ns=cell["time_ns"],
+                                  instructions=cell["instructions"])
+        if base_results:
+            record.speedup_baseline = "IO"
+            record.speedups = {workload: dict(per_system)
+                               for workload, per_system in speedups.items()}
+        record.self_profile = runner.profiler.as_dict()
+        record.extra["sweep"] = {k: stats[k] for k in
+                                 ("cells", "simulated", "cached", "jobs",
+                                  "seconds")}
     return _finish_record(args, record)
 
 
@@ -340,8 +430,11 @@ def _cmd_diff(args) -> int:
 
 def _cmd_scorecard(args) -> int:
     runner = _make_runner(args)
-    card = build_scorecard(runner=runner, figures=args.figures or FIGURES,
-                           apps=args.apps or ALL_APPS, tiny=args.tiny)
+    figures = args.figures or FIGURES
+    apps = args.apps or ALL_APPS
+    _prefetch(runner, scorecard_pairs(figures, apps))
+    card = build_scorecard(runner=runner, figures=figures,
+                           apps=apps, tiny=args.tiny)
     payload = card.to_json_dict()
     if args.json:
         emit_json(payload)
@@ -466,6 +559,17 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _add_jobs_arguments(sub) -> None:
+    sub.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="simulate (system, workload) cells on N worker "
+                          "processes (0 = all CPUs; default: 1, serial)")
+    sub.add_argument("--no-cache", action="store_true",
+                     help="disable the on-disk trace/result cell cache")
+    sub.add_argument("--cache-dir", default=DEFAULT_CACHE_ROOT, metavar="DIR",
+                     help=f"cell-cache directory used by the parallel "
+                          f"executor (default: {DEFAULT_CACHE_ROOT})")
+
+
 def _add_record_arguments(sub) -> None:
     sub.add_argument("--record", action="store_true",
                      help="archive this run into the run store")
@@ -514,7 +618,27 @@ def build_parser() -> argparse.ArgumentParser:
                               "fields + stall breakdown)")
     compare.add_argument("--metrics-out", default=None, metavar="FILE",
                          help="write per-system metrics snapshots as JSON")
+    _add_jobs_arguments(compare)
     _add_record_arguments(compare)
+
+    sweep = sub.add_parser(
+        "sweep", help="simulate a systems x workloads cross-product, "
+                      "optionally fanned out over worker processes")
+    sweep.add_argument("--systems", nargs="+", type=_canonical_system,
+                       choices=all_system_names(), default=None,
+                       metavar="SYSTEM",
+                       help="restrict to these systems (default: all)")
+    sweep.add_argument("--workloads", nargs="+", type=_canonical_workload,
+                       choices=sorted(REGISTRY), default=None,
+                       metavar="WORKLOAD",
+                       help="restrict to these workloads (default: all)")
+    sweep.add_argument("--tiny", action="store_true",
+                       help="use the test-sized problem inputs")
+    sweep.add_argument("--json", action="store_true",
+                       help="machine-readable per-cell cycles/time and "
+                            "speedups (deterministic: no wall-clock)")
+    _add_jobs_arguments(sweep)
+    _add_record_arguments(sweep)
 
     trace = sub.add_parser(
         "trace", help="export a Perfetto/Chrome timeline trace of one run")
@@ -593,6 +717,7 @@ def build_parser() -> argparse.ArgumentParser:
     scorecard.add_argument("--store", default=DEFAULT_ROOT, metavar="DIR",
                            help=f"run-store directory "
                                 f"(default: {DEFAULT_ROOT})")
+    _add_jobs_arguments(scorecard)
 
     uprog = sub.add_parser("uprog", help="show a macro-op micro-program")
     uprog.add_argument("macro")
@@ -621,6 +746,7 @@ _COMMANDS = {
     "workloads": _cmd_workloads,
     "run": _cmd_run,
     "compare": _cmd_compare,
+    "sweep": _cmd_sweep,
     "trace": _cmd_trace,
     "stats": _cmd_stats,
     "history": _cmd_history,

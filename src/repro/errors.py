@@ -57,6 +57,11 @@ class WorkloadError(ReproError):
     """A workload was given invalid parameters."""
 
 
+class ExperimentError(ReproError):
+    """An experiment harness was asked for an impossible aggregation
+    (e.g. a geometric mean over an empty app/system selection)."""
+
+
 class RunStoreError(ReproError):
     """A run record is malformed or the run store cannot satisfy a lookup."""
 

@@ -14,6 +14,7 @@ from ..analytics import figure2_series
 from ..circuits_model import AreaModel, system_area_factor
 from ..config import EVE_FACTORS, all_system_names, make_system
 from ..cores.result import BREAKDOWN_BUCKETS
+from ..errors import ExperimentError
 from ..workloads import get_workload
 from .runner import ExperimentRunner
 from .systems import trace_vlmax
@@ -28,8 +29,15 @@ GEOMEAN_APPS = ("k-means", "pathfinder", "jacobi-2d", "backprop", "sw")
 EVE_SYSTEMS = tuple(f"O3+EVE-{n}" for n in EVE_FACTORS)
 
 
-def geomean(values: Iterable[float]) -> float:
+def geomean(values: Iterable[float], what: str = "values") -> float:
+    """Geometric mean; raises :class:`~repro.errors.ExperimentError` on
+    an empty selection (e.g. an app filter that matches nothing) instead
+    of dividing by zero."""
     values = list(values)
+    if not values:
+        raise ExperimentError(
+            f"geometric mean over an empty selection of {what}; "
+            f"check the app/system filters")
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
@@ -74,7 +82,9 @@ def figure6(runner: ExperimentRunner,
     geo: Dict[str, float] = {"workload": "geomean*"}
     for system in systems:
         geo[system] = geomean(
-            runner.speedup(system, app, baseline="IO") for app in GEOMEAN_APPS)
+            (runner.speedup(system, app, baseline="IO")
+             for app in GEOMEAN_APPS),
+            what=f"{system} speedups over the geomean apps")
     rows.append(geo)
     return rows
 
@@ -126,7 +136,9 @@ def table4_speedups(runner: ExperimentRunner,
     for key in ["DV"] + [f"E-{n}" for n in EVE_FACTORS]:
         system = "O3+DV" if key == "DV" else f"O3+EVE-{key.split('-')[1]}"
         geo[key] = geomean(
-            runner.speedup(system, app, baseline="O3+IV") for app in GEOMEAN_APPS)
+            (runner.speedup(system, app, baseline="O3+IV")
+             for app in GEOMEAN_APPS),
+            what=f"{system} speedups over the geomean apps")
     geo["E8/E1"] = geo["E-8"] / geo["E-1"]
     geo["E8/E32"] = geo["E-8"] / geo["E-32"]
     rows.append(geo)
@@ -187,9 +199,12 @@ def area_efficiency(runner: ExperimentRunner,
                     apps: Iterable[str] = GEOMEAN_APPS) -> List[Dict[str, float]]:
     """Performance per area relative to the O3 baseline (the paper's
     area-normalised performance argument)."""
+    apps = list(apps)
     rows = []
     for name in ("O3+IV", "O3+DV") + EVE_SYSTEMS:
-        perf = geomean(runner.speedup(name, app, baseline="O3") for app in apps)
+        perf = geomean(
+            (runner.speedup(name, app, baseline="O3") for app in apps),
+            what=f"{name} speedups over {', '.join(apps) or 'no apps'}")
         area = system_area_factor(name)
         rows.append({"system": name, "speedup_vs_o3": perf,
                      "area_factor": area, "perf_per_area": perf / area})

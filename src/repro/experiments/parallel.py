@@ -1,0 +1,302 @@
+"""Process-pool sweep executor with a crash-safe on-disk cell cache.
+
+The paper's headline results are a full cross-product of ~11 systems x
+7 workloads that :class:`~repro.experiments.runner.ExperimentRunner`
+simulates strictly serially.  This module fans the (system, workload)
+cells out over ``multiprocessing`` workers and merges the outcomes back
+into the ordinary runner caches, so every downstream consumer (the
+figure harnesses, the scorecard, ``repro compare``) sees exactly the
+results a serial run would have produced — the simulator is
+deterministic, and the merge is performed in input order regardless of
+which worker finished first.
+
+Two layers make repeat invocations cheap and workers independent:
+
+* a **trace cache** keyed by ``(workload, vlmax, params-fingerprint)``
+  — EVE-1/2/4 all decode the same VL=2048 trace, so the first worker to
+  build it publishes it (atomic ``os.replace``) and the rest load the
+  pickle instead of re-running the workload kernel;
+* a **result cache** keyed by ``(system, workload, params-fingerprint,
+  config-fingerprint)`` — the config fingerprint digests every Table
+  III system config plus the toolkit version, so a code or parameter
+  change invalidates the cache while a repeat invocation skips
+  already-simulated cells entirely.
+
+Both caches are advisory: deleting ``.eve-cache/`` (or passing
+``cache_root=None``) simply re-simulates.  Writes go to a unique temp
+file followed by ``os.replace``, so a crashed worker can never publish
+a torn pickle; concurrent builders of the same key both publish
+identical content and the last rename wins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import pickle
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..config import all_system_names
+from ..obs.metrics import MetricsRegistry
+from ..obs.selfprof import SelfProfiler
+from ..workloads import REGISTRY, canonical_workload, get_workload
+from .runner import ExperimentRunner
+from .systems import build_machine, canonical_system, trace_vlmax
+
+#: Default on-disk cache directory (sibling of ``.eve-runs/``).
+DEFAULT_CACHE_ROOT = ".eve-cache"
+
+#: Bump to invalidate every cached pickle when the cache layout changes.
+CACHE_VERSION = 1
+
+#: ``fork`` keeps worker start-up cheap where the OS offers it; spawn is
+#: the portable fallback (all cell inputs are picklable primitives).
+START_METHOD = ("fork" if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn")
+
+
+# -- cache keys ----------------------------------------------------------------
+
+def params_fingerprint(workload_name: str,
+                       params_override: Optional[Dict[str, dict]]) -> str:
+    """Digest of the workload's *resolved* parameters, so tiny and
+    paper-scale runs of the same kernel occupy distinct cache cells."""
+    workload = get_workload(canonical_workload(workload_name))
+    resolved = workload.resolve(
+        (params_override or {}).get(workload.name))
+    blob = json.dumps(resolved, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()[:12]
+
+
+_CONFIG_FP: Optional[str] = None
+
+
+def sweep_config_fingerprint() -> str:
+    """Digest of every Table III system config plus the toolkit version
+    and cache schema — the "did the code change" part of a cell key.
+    Computed once per process (configs are fixed at import time)."""
+    global _CONFIG_FP
+    if _CONFIG_FP is None:
+        from .. import __version__
+        from ..obs.runstore import config_fingerprint
+        _CONFIG_FP = config_fingerprint(
+            {"toolkit": __version__, "cache_schema": CACHE_VERSION})
+    return _CONFIG_FP
+
+
+def _slug(name: str) -> str:
+    return name.replace(os.sep, "_").replace(" ", "_")
+
+
+# -- the on-disk cache ---------------------------------------------------------
+
+class CellCache:
+    """Pickle cache of built traces and simulated cells under ``root``.
+
+    Layout::
+
+        <root>/traces/<workload>-vl<N>-<params_fp>.pkl
+        <root>/results/<config_fp>/<system>--<workload>-<params_fp>[-m].pkl
+
+    Loads tolerate missing/corrupt files (a miss, never an error);
+    stores are atomic (unique temp + ``os.replace``).
+    """
+
+    def __init__(self, root: str = DEFAULT_CACHE_ROOT) -> None:
+        self.root = root
+
+    def trace_path(self, workload: str, vlmax: int, params_fp: str) -> str:
+        return os.path.join(self.root, "traces",
+                            f"{_slug(workload)}-vl{vlmax}-{params_fp}.pkl")
+
+    def result_path(self, system: str, workload: str, params_fp: str,
+                    config_fp: str, instrumented: bool = False) -> str:
+        suffix = "-m" if instrumented else ""
+        return os.path.join(
+            self.root, "results", config_fp,
+            f"{_slug(system)}--{_slug(workload)}-{params_fp}{suffix}.pkl")
+
+    def load(self, path: str):
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+
+    def store(self, path: str, obj) -> None:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = f"{path}.{os.getpid()}.{id(obj):x}.tmp"
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump(obj, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):  # pragma: no cover - error path
+                os.unlink(tmp)
+
+
+# -- the worker ----------------------------------------------------------------
+
+def simulate_cell(spec: tuple) -> Dict[str, object]:
+    """Simulate one (system, workload) cell; runs inside a pool worker.
+
+    ``spec`` is a picklable tuple ``(system, workload, params_override,
+    cache_root, collect_metrics, verify)``.  Returns the
+    :class:`~repro.cores.result.SimResult` plus the worker's
+    self-profiler phases and (optionally) its metrics-registry snapshot,
+    all picklable for the parent-side merge.
+    """
+    system, workload, params_override, cache_root, collect_metrics, \
+        verify = spec
+    system = canonical_system(system)
+    workload = canonical_workload(workload)
+    profiler = SelfProfiler()
+    cache = CellCache(cache_root) if cache_root else None
+    params_fp = params_fingerprint(workload, params_override)
+    config_fp = sweep_config_fingerprint()
+
+    cached = None
+    if cache is not None:
+        cached = cache.load(cache.result_path(
+            system, workload, params_fp, config_fp,
+            instrumented=collect_metrics))
+    if cached is not None:
+        cached.update({"system": system, "workload": workload,
+                       "cached": True, "profile": profiler.as_dict()})
+        return cached
+
+    metrics = MetricsRegistry() if collect_metrics else None
+    machine = build_machine(system, metrics=metrics)
+    vlmax = trace_vlmax(machine.config)
+    trace = None
+    trace_path = None
+    if cache is not None:
+        trace_path = cache.trace_path(workload, vlmax, params_fp)
+        trace = cache.load(trace_path)
+    if trace is None:
+        wl = get_workload(workload)
+        params = (params_override or {}).get(workload)
+        with profiler.phase("trace_build"):
+            if vlmax == 0:
+                trace = wl.scalar_trace(params)
+            else:
+                trace = wl.vector_trace(vlmax, params, verify=verify)
+        if trace_path is not None:
+            cache.store(trace_path, trace)
+    with profiler.phase(f"sim:{system}"):
+        result = machine.run(trace)
+
+    payload: Dict[str, object] = {
+        "result": result,
+        "metrics_flat": metrics.flat() if metrics is not None else None,
+        "metrics_snapshot": (metrics.snapshot()
+                             if metrics is not None else None),
+    }
+    if cache is not None:
+        cache.store(cache.result_path(system, workload, params_fp,
+                                      config_fp,
+                                      instrumented=collect_metrics),
+                    dict(payload))
+    payload.update({"system": system, "workload": workload,
+                    "cached": False, "profile": profiler.as_dict()})
+    return payload
+
+
+# -- the executor --------------------------------------------------------------
+
+def sweep_pairs(systems: Optional[Iterable[str]] = None,
+                workloads: Optional[Iterable[str]] = None
+                ) -> List[Tuple[str, str]]:
+    """The ordered (system, workload) cross-product, canonicalized.
+
+    Workloads vary in the outer loop (matching the figure harnesses'
+    reading order) and defaults cover the full Figure 6 grid.
+    """
+    systems = [canonical_system(s) for s in (systems or all_system_names())]
+    workloads = [canonical_workload(w)
+                 for w in (workloads or sorted(REGISTRY))]
+    return [(s, w) for w in workloads for s in systems]
+
+
+class ParallelRunner(ExperimentRunner):
+    """An :class:`ExperimentRunner` whose cells can be prefetched by a
+    process pool.
+
+    :meth:`prefetch` fans the requested cells out over ``jobs`` workers
+    and merges the returned results into the ordinary ``_results``
+    cache, so subsequent :meth:`run` calls (the figure harnesses, the
+    scorecard, speedup columns) hit warm entries and produce output
+    byte-identical to a serial run.  With ``jobs=1`` the cells execute
+    in-process through the same worker function, so the disk cache
+    still applies but no pool is spawned.
+    """
+
+    def __init__(self, params_override: Optional[Dict[str, dict]] = None,
+                 verify: bool = True,
+                 profiler: Optional[SelfProfiler] = None,
+                 jobs: Optional[int] = None,
+                 cache_root: Optional[str] = DEFAULT_CACHE_ROOT,
+                 collect_metrics: bool = False) -> None:
+        super().__init__(params_override=params_override, verify=verify,
+                         profiler=profiler)
+        self.jobs = max(1, jobs if jobs is not None
+                        else (os.cpu_count() or 1))
+        self.cache_root = cache_root
+        self.collect_metrics = collect_metrics
+        self._prefetched_metrics: Dict[Tuple[str, str], tuple] = {}
+
+    def cell_metrics(self, system_name: str, workload_name: str):
+        return self._prefetched_metrics.get(
+            (canonical_system(system_name),
+             canonical_workload(workload_name)))
+
+    def prefetch(self, pairs: Sequence[Tuple[str, str]]
+                 ) -> Dict[str, object]:
+        """Simulate every requested cell, fanned out over the pool.
+
+        Returns ``{"cells", "simulated", "cached", "jobs", "seconds"}``.
+        Results are merged parent-side in input order (never completion
+        order) and worker self-profiler phases are absorbed under a
+        ``worker:`` namespace, so repeated prefetches are deterministic.
+        """
+        ordered: List[Tuple[str, str]] = []
+        seen = set()
+        for system, workload in pairs:
+            key = (canonical_system(system), canonical_workload(workload))
+            if key not in seen:
+                seen.add(key)
+                ordered.append(key)
+        todo = [key for key in ordered if key not in self._results]
+        specs = [(system, workload, self.params_override, self.cache_root,
+                  self.collect_metrics, self.verify)
+                 for system, workload in todo]
+        start = time.perf_counter()
+        if not specs:
+            return {"cells": len(ordered), "simulated": 0, "cached": 0,
+                    "jobs": self.jobs, "seconds": 0.0}
+        if self.jobs == 1 or len(specs) == 1:
+            with self.profiler.phase("sweep"):
+                outs = [simulate_cell(spec) for spec in specs]
+        else:
+            ctx = multiprocessing.get_context(START_METHOD)
+            with self.profiler.phase("sweep"):
+                with ctx.Pool(processes=min(self.jobs, len(specs))) as pool:
+                    # chunksize=1: cells differ in cost by orders of
+                    # magnitude, so fine-grained dealing load-balances.
+                    outs = pool.map(simulate_cell, specs, chunksize=1)
+        cached = 0
+        for out in outs:  # input order: the merge is deterministic
+            key = (out["system"], out["workload"])
+            self._results[key] = out["result"]
+            if out["metrics_flat"] is not None:
+                self._prefetched_metrics[key] = (out["metrics_flat"],
+                                                 out["metrics_snapshot"])
+            cached += bool(out["cached"])
+            self.profiler.absorb(out["profile"], prefix="worker:")
+        return {"cells": len(ordered), "simulated": len(specs) - cached,
+                "cached": cached, "jobs": self.jobs,
+                "seconds": time.perf_counter() - start}

@@ -14,6 +14,7 @@ instruments observe a real execution).
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional, Tuple
 
 from ..cores.result import SimResult
@@ -21,8 +22,8 @@ from ..isa.trace import Trace
 from ..obs.metrics import MetricsRegistry
 from ..obs.selfprof import SelfProfiler
 from ..obs.tracer import SpanTracer
-from ..workloads import get_workload
-from .systems import build_machine, trace_vlmax
+from ..workloads import canonical_workload, get_workload
+from .systems import build_machine, canonical_system, trace_vlmax
 
 
 class ExperimentRunner:
@@ -54,6 +55,11 @@ class ExperimentRunner:
     def run(self, system_name: str, workload_name: str,
             tracer: Optional[SpanTracer] = None,
             metrics: Optional[MetricsRegistry] = None) -> SimResult:
+        # Canonicalize before the cache lookup so programmatic callers
+        # spelling "io" and "IO" share one result/trace entry instead of
+        # double-simulating (or crashing in make_system).
+        system_name = canonical_system(system_name)
+        workload_name = canonical_workload(workload_name)
         instrumented = tracer is not None or metrics is not None
         key = (system_name, workload_name)
         if not instrumented and key in self._results:
@@ -66,6 +72,37 @@ class ExperimentRunner:
         if not instrumented:
             self._results[key] = result
         return result
+
+    def cell_metrics(self, system_name: str, workload_name: str):
+        """Pre-collected ``(flat, snapshot)`` metrics for one cell, or
+        ``None``.  The serial runner never pre-collects; the parallel
+        sweep executor overrides this with worker-captured registries."""
+        return None
+
+    def prefetch(self, pairs) -> Dict[str, object]:
+        """Warm the result cache for every (system, workload) cell.
+
+        The serial implementation just runs the cells in order; the
+        process-pool subclass
+        (:class:`~repro.experiments.parallel.ParallelRunner`) overrides
+        this with a worker fan-out.  Returns summary stats either way.
+        """
+        start = time.perf_counter()
+        seen = set()
+        simulated = cached = 0
+        for system, workload in pairs:
+            key = (canonical_system(system), canonical_workload(workload))
+            if key in seen:
+                continue
+            seen.add(key)
+            if key in self._results:
+                cached += 1
+            else:
+                simulated += 1
+            self.run(*key)
+        return {"cells": len(seen), "simulated": simulated,
+                "cached": cached, "jobs": 1,
+                "seconds": time.perf_counter() - start}
 
     def speedup(self, system_name: str, workload_name: str,
                 baseline: str = "IO") -> float:

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from ..config import SystemConfig, make_system
+from typing import Dict, Optional
+
+from ..config import SystemConfig, all_system_names, make_system
 from ..core.engine import EveMachine
 from ..cores.dv import DecoupledVectorMachine
 from ..cores.iv import IntegratedVectorMachine
@@ -12,6 +14,23 @@ from ..errors import ConfigError
 #: The vector length the RVV binary is characterised at (Table IV) and the
 #: strip length short-vector machines decompose internally.
 BASE_TRACE_VL = 64
+
+#: Lowercase -> canonical system-name map, built once on first use (the
+#: Table III name set is fixed at import time).
+_CANONICAL_SYSTEMS: Optional[Dict[str, str]] = None
+
+
+def canonical_system(name: str) -> str:
+    """Case-insensitive system-name lookup (``o3+eve-4`` → ``O3+EVE-4``).
+
+    Unknown names pass through unchanged so the eventual
+    :func:`~repro.config.make_system` error names the caller's spelling.
+    """
+    global _CANONICAL_SYSTEMS
+    if _CANONICAL_SYSTEMS is None:
+        _CANONICAL_SYSTEMS = {known.lower(): known
+                              for known in all_system_names()}
+    return _CANONICAL_SYSTEMS.get(name.lower(), name)
 
 
 def build_machine(name: str, tracer=None, metrics=None):

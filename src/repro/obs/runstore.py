@@ -27,8 +27,14 @@ import os
 import platform
 import subprocess
 import time
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterator, List, Optional
+
+try:  # POSIX advisory locking; Windows degrades to lockless appends.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX hosts
+    fcntl = None
 
 from ..errors import RunStoreError
 
@@ -40,6 +46,7 @@ SCHEMA_VERSION = 1
 DEFAULT_ROOT = ".eve-runs"
 RUNS_FILENAME = "runs.jsonl"
 INDEX_FILENAME = "index.json"
+LOCK_FILENAME = ".lock"
 
 
 # -- environment capture -------------------------------------------------------
@@ -192,13 +199,25 @@ def flatten_record(record: RunRecord) -> Dict[str, float]:
                 for key, value in fields_.items():
                     if isinstance(value, (int, float)):
                         out[f"bench.{workload}.{key}"] = float(value)
+    sweep = record.extra.get("sweep")
+    if isinstance(sweep, dict):
+        for key, value in sweep.items():
+            if isinstance(value, (int, float)):
+                out[f"bench.sweep.{key}"] = float(value)
     return out
 
 
 # -- the store -----------------------------------------------------------------
 
 class RunStore:
-    """Append-only archive of :class:`RunRecord` lines plus an index."""
+    """Append-only archive of :class:`RunRecord` lines plus an index.
+
+    Appends are serialised by an advisory ``flock`` on ``.lock`` so
+    concurrent sweep workers (or parallel CI jobs sharing one store) get
+    unique sequence ids and never interleave partial JSONL lines, and
+    the index is always rewritten atomically (unique temp file +
+    ``os.replace``) so readers never observe a half-written cache.
+    """
 
     def __init__(self, root: str = DEFAULT_ROOT) -> None:
         self.root = root
@@ -211,20 +230,54 @@ class RunStore:
     def index_path(self) -> str:
         return os.path.join(self.root, INDEX_FILENAME)
 
+    @property
+    def lock_path(self) -> str:
+        return os.path.join(self.root, LOCK_FILENAME)
+
+    # -- locking ---------------------------------------------------------------
+
+    @contextmanager
+    def _locked(self):
+        """Exclusive advisory lock over the store (no-op off-POSIX).
+
+        Not re-entrant: public mutators take it once and call only
+        unlocked ``_``-helpers inside.
+        """
+        os.makedirs(self.root, exist_ok=True)
+        handle = open(self.lock_path, "a+")
+        try:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            finally:
+                handle.close()
+
     # -- writing ---------------------------------------------------------------
 
     def append(self, record: RunRecord) -> str:
-        """Assign an id, append one JSONL line, refresh the index."""
-        index = self._load_index()
-        seq = int(index.get("next_seq", len(index.get("records", [])) + 1))
-        record.record_id = f"{seq:06d}-{record.kind}"
-        os.makedirs(self.root, exist_ok=True)
-        with open(self.runs_path, "a") as handle:
-            handle.write(json.dumps(record.to_json_dict(),
-                                    sort_keys=True) + "\n")
-        index["next_seq"] = seq + 1
-        index.setdefault("records", []).append(self._summary(record))
-        self._write_index(index)
+        """Assign an id, append one JSONL line, refresh the index.
+
+        Safe against concurrent appenders: id assignment, the JSONL
+        write (flushed and fsync'd before the lock drops), and the index
+        refresh happen under the store lock.
+        """
+        with self._locked():
+            index = self._load_index()
+            seq = int(index.get("next_seq",
+                                len(index.get("records", [])) + 1))
+            record.record_id = f"{seq:06d}-{record.kind}"
+            with open(self.runs_path, "a") as handle:
+                handle.write(json.dumps(record.to_json_dict(),
+                                        sort_keys=True) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            index["next_seq"] = seq + 1
+            index.setdefault("records", []).append(self._summary(record))
+            self._write_index(index)
         return record.record_id
 
     @staticmethod
@@ -306,17 +359,28 @@ class RunStore:
                 raise ValueError("index is not an object")
             return index
         except (OSError, ValueError):
-            return self.rebuild_index()
+            return self._rebuild_index()
 
     def _write_index(self, index: Dict[str, object]) -> None:
+        # Unique temp name + os.replace: a crashed or concurrent writer
+        # can never leave a torn index or clobber another's temp file.
         os.makedirs(self.root, exist_ok=True)
-        tmp = self.index_path + ".tmp"
-        with open(tmp, "w") as handle:
-            json.dump(index, handle, indent=2, sort_keys=True)
-        os.replace(tmp, self.index_path)
+        tmp = f"{self.index_path}.{os.getpid()}.tmp"
+        try:
+            with open(tmp, "w") as handle:
+                json.dump(index, handle, indent=2, sort_keys=True)
+            os.replace(tmp, self.index_path)
+        finally:
+            if os.path.exists(tmp):  # pragma: no cover - error path
+                os.unlink(tmp)
 
     def rebuild_index(self) -> Dict[str, object]:
-        """Recreate the index cache from ``runs.jsonl`` (source of truth)."""
+        """Recreate the index cache from ``runs.jsonl`` (source of
+        truth), serialised against concurrent appenders."""
+        with self._locked():
+            return self._rebuild_index()
+
+    def _rebuild_index(self) -> Dict[str, object]:
         records = list(self.records()) if os.path.exists(self.runs_path) else []
         seqs = [int(r.record_id.split("-", 1)[0]) for r in records
                 if r.record_id]

@@ -323,6 +323,39 @@ _SCORERS = {
 }
 
 
+def scorecard_pairs(figures: Iterable[str] = FIGURES,
+                    apps: Iterable[str] = ALL_APPS) -> List[tuple]:
+    """Every (system, workload) cell the requested figures will simulate,
+    in deterministic order — the prefetch set for a parallel scorecard.
+    """
+    from ..config import all_system_names
+    requested = set(figures)
+    apps = [a for a in ALL_APPS if a in set(apps)]
+    wanted: List[tuple] = []
+    seen = set()
+
+    def add(systems: Sequence[str], figure_apps: Sequence[str]) -> None:
+        for app in figure_apps:
+            for system in systems:
+                if (system, app) not in seen:
+                    seen.add((system, app))
+                    wanted.append((system, app))
+
+    # The fig6/table4 geomean* rows always span GEOMEAN_APPS, even when
+    # the app filter is narrower, so their cells are always needed.
+    with_geomean = [a for a in ALL_APPS
+                    if a in set(apps) | set(GEOMEAN_APPS)]
+    if "fig6" in requested:
+        add(all_system_names(), with_geomean)
+    if "table4" in requested:
+        add(("O3+IV", "O3+DV") + EVE_SYSTEMS, with_geomean)
+    if "fig7" in requested:
+        add(EVE_SYSTEMS, [a for a in apps if a in GEOMEAN_APPS])
+    if "fig8" in requested:
+        add(EVE_SYSTEMS, [a for a in apps if a in FIG8_APPS])
+    return wanted
+
+
 def build_scorecard(runner: Optional[ExperimentRunner] = None,
                     figures: Iterable[str] = FIGURES,
                     apps: Iterable[str] = ALL_APPS,

@@ -93,6 +93,23 @@ class Workload:
 
 REGISTRY: Dict[str, Workload] = {}
 
+#: Lowercase -> canonical workload-name map; rebuilt (rarely) when the
+#: registry has grown since the map was last derived, so it is built once
+#: after import-time registration rather than per lookup.
+_CANONICAL: Dict[str, str] = {}
+
+
+def canonical_workload(name: str) -> str:
+    """Case-insensitive workload-name lookup (``K-Means`` → ``k-means``).
+
+    Unknown names pass through unchanged so :func:`get_workload` can
+    report the caller's spelling.
+    """
+    if len(_CANONICAL) != len(REGISTRY):
+        _CANONICAL.clear()
+        _CANONICAL.update({known.lower(): known for known in REGISTRY})
+    return _CANONICAL.get(name.lower(), name)
+
 
 def register(workload: Workload) -> Workload:
     if workload.name in REGISTRY:
