@@ -35,6 +35,15 @@ Commands
     listing via ``--asm``.  Exits non-zero when errors are found.
 ``figure NAME``
     Regenerate a figure/table (fig1, fig2, table3, area).
+``fuzz``
+    Differentially fuzz the micro-programmed engine against the numpy
+    oracle: seeded random RVV programs at every segment width, shrunk to
+    minimal repros on mismatch (``--replay FILE`` re-runs a saved case).
+    Exits non-zero when any divergence survives.
+``faults``
+    Run a seeded fault-injection campaign (bit flips, stuck carry
+    segments, dropped/latched writebacks) and classify every injection
+    as masked / detected / SDC against the oracle.
 ``history``
     List the run records archived in the run store (``.eve-runs/``).
 ``diff BASELINE [CURRENT]``
@@ -53,7 +62,10 @@ test-sized problem inputs.  ``run`` / ``compare`` / ``stats`` accept
 ``compare`` / ``sweep`` / ``scorecard`` accept ``--jobs N`` to fan the
 (system, workload) cells out over N worker processes backed by the
 on-disk cell cache (``--cache-dir`` / ``--no-cache``); results are
-bit-identical to a serial run.
+bit-identical to a serial run.  ``run`` / ``compare`` / ``sweep`` accept
+``--seed N`` to vary the generated workload inputs; the seed is folded
+into cache keys and record fingerprints so seeded runs never collide
+with the default-seed results.
 """
 
 from __future__ import annotations
@@ -64,18 +76,19 @@ from typing import List, Optional
 
 from . import __version__
 from .config import all_system_names
-from .errors import MicroProgramError, RunStoreError
+from .errors import MicroProgramError, ReproError, RunStoreError
 from .experiments import ExperimentRunner, ParallelRunner, format_table
 from .experiments.figures import ALL_APPS, area_table, figure2, table3
 from .experiments.parallel import DEFAULT_CACHE_ROOT, sweep_pairs
 from .experiments.systems import canonical_system as _canonical_system
-from .obs import MetricsRegistry, SpanTracer
+from .faults.inject import FAULT_MODELS
+from .obs import MetricsRegistry, SelfProfiler, SpanTracer
 from .obs.diff import DEFAULT_SPEEDUP_BUDGET, diff_records
 from .obs.render import emit_csv, emit_json, write_json
 from .obs.runstore import DEFAULT_ROOT, RunRecord, RunStore, make_record
 from .obs.scorecard import FIGURES, build_scorecard, scorecard_pairs
 from .uops import MacroOpRom, assemble, disassemble, lint_program, lint_rom
-from .workloads import REGISTRY
+from .workloads import DEFAULT_SEED, REGISTRY
 from .workloads import canonical_workload as _canonical_workload
 
 EVE_FACTORS = (1, 2, 4, 8, 16, 32)
@@ -85,14 +98,26 @@ def _make_runner(args, collect_metrics: bool = False) -> ExperimentRunner:
     override = None
     if getattr(args, "tiny", False):
         override = {name: dict(wl.tiny_params) for name, wl in REGISTRY.items()}
+    seed = getattr(args, "seed", None)
+    if seed is None:
+        seed = DEFAULT_SEED
     jobs = getattr(args, "jobs", None)
     if jobs is not None and jobs != 1:
         cache_root = (None if getattr(args, "no_cache", False)
                       else getattr(args, "cache_dir", DEFAULT_CACHE_ROOT))
         return ParallelRunner(params_override=override, jobs=jobs or None,
                               cache_root=cache_root,
-                              collect_metrics=collect_metrics)
-    return ExperimentRunner(params_override=override)
+                              collect_metrics=collect_metrics, seed=seed)
+    return ExperimentRunner(params_override=override, seed=seed)
+
+
+def _fingerprint_extra(runner: ExperimentRunner):
+    """Record-fingerprint payload: params override plus any non-default
+    input seed, so seeded records are config-distinct from default runs."""
+    extra = dict(runner.params_override) if runner.params_override else {}
+    if runner.seed != DEFAULT_SEED:
+        extra["__seed__"] = runner.seed
+    return extra or None
 
 
 def _prefetch(runner: ExperimentRunner, pairs) -> None:
@@ -180,7 +205,7 @@ def _single_run_record(kind: str, args, runner: ExperimentRunner, result,
         kind, label=f"{result.system}:{result.workload}",
         tiny=getattr(args, "tiny", False),
         command=f"repro {kind} {result.system} {result.workload}",
-        fingerprint_extra=runner.params_override or None)
+        fingerprint_extra=_fingerprint_extra(runner))
     record.add_result(result.system, result.workload, cycles=result.cycles,
                       time_ns=result.time_ns,
                       instructions=result.instructions)
@@ -231,7 +256,7 @@ def _cmd_compare(args) -> int:
         record = make_record(
             "compare", label=args.workload, tiny=args.tiny,
             command=f"repro compare {args.workload}",
-            fingerprint_extra=runner.params_override or None)
+            fingerprint_extra=_fingerprint_extra(runner))
         record.speedup_baseline = "IO"
     for system in all_system_names():
         flat = snapshot = None
@@ -324,7 +349,7 @@ def _cmd_sweep(args) -> int:
         record = make_record(
             "sweep", label=f"{len(workloads)}x{len(systems)}",
             tiny=args.tiny, command="repro sweep",
-            fingerprint_extra=runner.params_override or None)
+            fingerprint_extra=_fingerprint_extra(runner))
         for workload, per_system in cells.items():
             for system, cell in per_system.items():
                 record.add_result(system, workload, cycles=cell["cycles"],
@@ -559,6 +584,107 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from .faults.fuzz import FUZZ_WIDTHS, fuzz_many, load_case, replay_case
+    widths = tuple(args.n_widths) if args.n_widths else FUZZ_WIDTHS
+
+    if args.replay:
+        case = load_case(args.replay)
+        failures = replay_case(case, widths)
+        if args.json:
+            emit_json({"replay": args.replay, "seed": case.seed,
+                       "widths": list(widths),
+                       "divergences": [{"factor": factor, "divergence": div}
+                                       for factor, div in failures]})
+        else:
+            for factor, div in failures:
+                print(f"n={factor}: DIVERGES ({div.get('kind', '?')})")
+            verdict = ("OK" if not failures
+                       else f"{len(failures)} diverging width(s)")
+            print(f"replay {args.replay} (seed {case.seed}, "
+                  f"{len(case.ops)} ops) at n in {list(widths)}: {verdict}")
+        return 1 if failures else 0
+
+    def progress(done: int, total: int, found: int) -> None:
+        if done % 50 == 0 or done == total:
+            print(f"fuzz: {done}/{total} seeds checked, "
+                  f"{found} mismatch(es)", file=sys.stderr)
+
+    mismatches = fuzz_many(args.seeds, master_seed=args.seed, widths=widths,
+                           vlmax=args.vlmax, num_ops=args.ops,
+                           out_dir=args.out_dir, progress=progress)
+    if args.json:
+        emit_json({"seeds": args.seeds, "master_seed": args.seed,
+                   "widths": list(widths),
+                   "mismatches": [m.to_json_dict() for m in mismatches]})
+    else:
+        for mismatch in mismatches:
+            kind = (mismatch.divergence or {}).get("kind", "?")
+            print(f"seed {mismatch.case.seed} n={mismatch.factor}: "
+                  f"{kind} divergence ({len(mismatch.case.ops)}-op repro)")
+        verdict = ("OK" if not mismatches
+                   else f"{len(mismatches)} mismatch(es)")
+        print(f"fuzz: {args.seeds} seed(s) x {len(widths)} width(s): "
+              f"{verdict}")
+    return 1 if mismatches else 0
+
+
+def _bucket_sort_key(item):
+    bucket = item[0]
+    return (0, int(bucket), "") if bucket.isdigit() else (1, 0, bucket)
+
+
+def _cmd_faults(args) -> int:
+    from .faults.campaign import OUTCOMES, run_campaign
+    from .faults.fuzz import FUZZ_WIDTHS
+    factors = tuple(args.n_widths) if args.n_widths else FUZZ_WIDTHS
+    models = None if args.model == "all" else [args.model]
+    metrics = MetricsRegistry() if _recording(args) else None
+    profiler = SelfProfiler()
+    report = run_campaign(args.count, models=models, factors=factors,
+                          seed=args.seed, jobs=args.jobs,
+                          profiler=profiler, metrics=metrics)
+    payload = report.to_json_dict()
+    if args.json:
+        emit_json(payload)
+    else:
+        total = max(1, len(report.outcomes))
+        print(f"campaign  : {report.count} injection(s), seed {report.seed}")
+        print(f"models    : {', '.join(report.models)}")
+        print(f"widths    : n in {list(report.factors)}")
+        print(format_table(
+            ["outcome", "count", "fraction"],
+            [[name, report.counts[name], report.counts[name] / total]
+             for name in OUTCOMES]))
+        for title, table in (("n", report.by_factor()),
+                             ("model", report.by_model()),
+                             ("family", report.by_family())):
+            rows = [[bucket, cell["injections"], cell["sdc"],
+                     cell["sdc_rate"]]
+                    for bucket, cell in sorted(table.items(),
+                                               key=_bucket_sort_key)]
+            print()
+            print(format_table([title, "injections", "sdc", "sdc_rate"],
+                               rows))
+    if args.json_out:
+        write_json(args.json_out, payload)
+    record = None
+    if _recording(args):
+        record = make_record(
+            "faults", label=f"{args.count}x{args.model}", tiny=False,
+            command=f"repro faults --model {args.model} "
+                    f"--count {args.count} --seed {args.seed}",
+            fingerprint_extra={"faults": {"seed": args.seed,
+                                          "model": args.model,
+                                          "count": args.count}})
+        compact = dict(payload)
+        compact.pop("outcomes", None)
+        record.extra["campaign"] = compact
+        record.metrics = metrics.flat()
+        record.self_profile = profiler.as_dict()
+    return _finish_record(args, record)
+
+
 def _add_jobs_arguments(sub) -> None:
     sub.add_argument("--jobs", type=int, default=1, metavar="N",
                      help="simulate (system, workload) cells on N worker "
@@ -579,6 +705,13 @@ def _add_record_arguments(sub) -> None:
                           "exits non-zero on regression")
     sub.add_argument("--store", default=DEFAULT_ROOT, metavar="DIR",
                      help=f"run-store directory (default: {DEFAULT_ROOT})")
+
+
+def _add_seed_argument(sub) -> None:
+    sub.add_argument("--seed", type=int, default=DEFAULT_SEED, metavar="N",
+                     help="workload input-generation seed, folded into "
+                          "cache keys and record fingerprints "
+                          f"(default: {DEFAULT_SEED})")
 
 
 def _add_pair_arguments(sub, tiny_help: bool = True) -> None:
@@ -606,6 +739,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--metrics-out", default=None, metavar="FILE",
                      help="write the metrics-registry snapshot as JSON "
                           "('-' for stdout)")
+    _add_seed_argument(run)
     _add_record_arguments(run)
 
     compare = sub.add_parser("compare", help="one workload on every system")
@@ -618,6 +752,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "fields + stall breakdown)")
     compare.add_argument("--metrics-out", default=None, metavar="FILE",
                          help="write per-system metrics snapshots as JSON")
+    _add_seed_argument(compare)
     _add_jobs_arguments(compare)
     _add_record_arguments(compare)
 
@@ -637,6 +772,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--json", action="store_true",
                        help="machine-readable per-cell cycles/time and "
                             "speedups (deterministic: no wall-clock)")
+    _add_seed_argument(sweep)
     _add_jobs_arguments(sweep)
     _add_record_arguments(sweep)
 
@@ -738,6 +874,57 @@ def build_parser() -> argparse.ArgumentParser:
 
     figure = sub.add_parser("figure", help="regenerate a static figure")
     figure.add_argument("name")
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differentially fuzz the micro-programmed engine "
+                     "against the numpy oracle at every segment width")
+    fuzz.add_argument("--seeds", type=int, default=200, metavar="N",
+                      help="number of generated cases (default: 200)")
+    fuzz.add_argument("--seed", type=int, default=0, metavar="N",
+                      help="master seed the per-case seeds derive from "
+                           "(default: 0)")
+    fuzz.add_argument("--n-widths", type=int, nargs="+", default=None,
+                      choices=list(EVE_FACTORS), metavar="N",
+                      help="segment widths to check (default: all six)")
+    fuzz.add_argument("--vlmax", type=int, default=None, metavar="VL",
+                      help="fix the hardware vector length (default: vary "
+                           "per case)")
+    fuzz.add_argument("--ops", type=int, default=12, metavar="N",
+                      help="operations per generated case (default: 12)")
+    fuzz.add_argument("--replay", default=None, metavar="FILE",
+                      help="replay one saved case/mismatch JSON instead of "
+                           "generating new cases")
+    fuzz.add_argument("--out-dir", default=None, metavar="DIR",
+                      help="write shrunk mismatch repros as replayable "
+                           "JSON under DIR")
+    fuzz.add_argument("--json", action="store_true",
+                      help="machine-readable mismatch report")
+
+    faults = sub.add_parser(
+        "faults", help="run a seeded fault-injection campaign and "
+                       "classify outcomes (masked/detected/SDC)")
+    faults.add_argument("--count", type=int, default=100, metavar="N",
+                        help="number of injections (default: 100)")
+    faults.add_argument("--model", default="all",
+                        choices=list(FAULT_MODELS) + ["all"],
+                        help="fault model to inject (default: round-robin "
+                             "over all models)")
+    faults.add_argument("--seed", type=int, default=0, metavar="N",
+                        help="campaign seed; fixes every case and "
+                             "injection site (default: 0)")
+    faults.add_argument("--n-widths", type=int, nargs="+", default=None,
+                        choices=list(EVE_FACTORS), metavar="N",
+                        help="segment widths to round-robin over "
+                             "(default: all six)")
+    faults.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan injections out over N worker processes "
+                             "(default: 1, serial)")
+    faults.add_argument("--json", action="store_true",
+                        help="machine-readable campaign report (includes "
+                             "every classified outcome)")
+    faults.add_argument("--json-out", default=None, metavar="FILE",
+                        help="also write the JSON report to FILE")
+    _add_record_arguments(faults)
     return parser
 
 
@@ -755,9 +942,20 @@ _COMMANDS = {
     "uprog": _cmd_uprog,
     "lint": _cmd_lint,
     "figure": _cmd_figure,
+    "fuzz": _cmd_fuzz,
+    "faults": _cmd_faults,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyboardInterrupt:
+        print(f"repro {args.command}: interrupted", file=sys.stderr)
+        return 130
+    except ReproError as exc:
+        # Library errors (bad workload params, malformed records, broken
+        # replay files, ...) are user-facing diagnostics, not tracebacks.
+        print(f"repro {args.command}: {exc}", file=sys.stderr)
+        return 2

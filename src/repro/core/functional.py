@@ -33,6 +33,7 @@ from typing import Optional, Tuple, Union
 import numpy as np
 
 from ..errors import SimulationError
+from ..faults.inject import NULL_FAULTS
 from ..isa.intrinsics import wrap32
 from ..isa.memory import Buffer, VirtualMemory
 from ..sram.eve_sram import EveSram
@@ -69,7 +70,8 @@ class EveFunctionalEngine:
     """Bit-exact vector execution on the EVE SRAM pool."""
 
     def __init__(self, factor: int, capacity: int = 64,
-                 num_vregs: int = 32, element_bits: int = 32) -> None:
+                 num_vregs: int = 32, element_bits: int = 32,
+                 faults=None) -> None:
         segments = element_bits // factor
         rows = max(256, num_vregs * segments)
         cols = capacity * factor
@@ -78,9 +80,11 @@ class EveFunctionalEngine:
                                      factor=factor, num_vregs=num_vregs)
         if self.layout.elements_per_array != capacity:
             raise SimulationError("functional engine layout mismatch")
+        self.faults = faults if faults is not None else NULL_FAULTS
         self.sram = EveSram(rows, cols, factor)
+        self.sram.faults = self.faults
         self.rom = MacroOpRom(factor, element_bits, strict=True)
-        self.engine = MicroEngine()
+        self.engine = MicroEngine(faults=self.faults)
         self.vm = VirtualMemory()
         self.capacity = capacity
         self.vl = 0
@@ -150,6 +154,8 @@ class EveFunctionalEngine:
         return temp.reg, temp
 
     def _run(self, macro: str, regs: dict, scalar: int = 0, **params) -> None:
+        if self.faults.enabled:
+            self.faults.on_macro(macro)
         binding = Binding(layout=self.layout, regs=regs, scalar=int(scalar))
         self.cycles += self.engine.run(self.rom.program(macro, **params),
                                        self.sram, binding)
@@ -158,6 +164,14 @@ class EveFunctionalEngine:
         reg = (self._ensure(handle_or_reg)
                if isinstance(handle_or_reg, EveVec) else handle_or_reg)
         return self.sram.read_vreg(self.layout, reg)[: self.vl]
+
+    def peek(self, handle: EveVec) -> np.ndarray:
+        """Host-side read of a handle's current value (``vl`` elements).
+
+        Public observation port for the differential fuzzer: reloads the
+        handle if it was spilled, exactly as its next use would.
+        """
+        return self._read(handle).copy()
 
     def _write_new(self, values: np.ndarray, cls=EveVec) -> EveVec:
         handle = self._new_handle(cls)
@@ -211,12 +225,27 @@ class EveFunctionalEngine:
 
     # -- binary ops through the ROM ---------------------------------------------------
 
+    #: Macros that complement one source in place (Figure 4a): the VCU
+    #: must break a vs1/vs2 alias with a register copy first, or the
+    #: complement corrupts the other operand (found by the differential
+    #: fuzzer: ``vsub(a, a)`` returned ``-2a - 1``).
+    _ALIAS_UNSAFE = frozenset({"sub", "rsub"})
+
+    def _unalias(self, src_reg: int) -> int:
+        """Copy ``src_reg`` into a pinned temporary; returns the copy."""
+        temp = self._new_handle()
+        self._pinned.add(temp.reg)
+        self._run("move", {"vs1": src_reg, "vd": temp.reg})
+        return temp.reg
+
     def _binary(self, macro: str, a: EveVec, b: Operand, cls=EveVec,
                 **params) -> EveVec:
         self._pinned.clear()
         try:
             a_reg = self._pin_source(a)
             b_reg, _temp = self._pin_operand(b)
+            if macro in self._ALIAS_UNSAFE and b_reg == a_reg:
+                b_reg = self._unalias(b_reg)
             vd = self._new_handle(cls)
             self._run(macro, {"vs1": a_reg, "vs2": b_reg, "vd": vd.reg},
                       **params)
@@ -230,6 +259,8 @@ class EveFunctionalEngine:
         try:
             a_reg = self._pin_source(a)
             b_reg, _temp = self._pin_operand(b)
+            if macro in self._ALIAS_UNSAFE and b_reg == a_reg:
+                b_reg = self._unalias(b_reg)
             m_reg = self._pin_source(mask)
             vd = self._new_handle()
             self._pinned.add(vd.reg)

@@ -69,3 +69,8 @@ class RunStoreError(ReproError):
 class MetricsSchemaError(ReproError):
     """The metrics registry's naming schema is violated (colliding names
     or conflicting reserved prefixes)."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault-injection or fuzzing request is malformed (unknown fault
+    model, unreplayable case file, or an unarmable fault target)."""

@@ -31,18 +31,19 @@ identical content and the last rename wins.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import multiprocessing
 import os
 import pickle
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..config import all_system_names
 from ..obs.metrics import MetricsRegistry
 from ..obs.selfprof import SelfProfiler
-from ..workloads import REGISTRY, canonical_workload, get_workload
+from ..workloads import DEFAULT_SEED, REGISTRY, canonical_workload, get_workload
 from .runner import ExperimentRunner
 from .systems import build_machine, canonical_system, trace_vlmax
 
@@ -61,12 +62,16 @@ START_METHOD = ("fork" if "fork" in multiprocessing.get_all_start_methods()
 # -- cache keys ----------------------------------------------------------------
 
 def params_fingerprint(workload_name: str,
-                       params_override: Optional[Dict[str, dict]]) -> str:
-    """Digest of the workload's *resolved* parameters, so tiny and
-    paper-scale runs of the same kernel occupy distinct cache cells."""
+                       params_override: Optional[Dict[str, dict]],
+                       seed: int = DEFAULT_SEED) -> str:
+    """Digest of the workload's *resolved* parameters plus the input
+    seed, so tiny and paper-scale runs of the same kernel — and runs of
+    the same kernel with different ``--seed`` inputs — occupy distinct
+    cache cells."""
     workload = get_workload(canonical_workload(workload_name))
     resolved = workload.resolve(
         (params_override or {}).get(workload.name))
+    resolved["__seed__"] = seed
     blob = json.dumps(resolved, sort_keys=True, default=str)
     return hashlib.sha256(blob.encode()).hexdigest()[:12]
 
@@ -139,24 +144,53 @@ class CellCache:
                 os.unlink(tmp)
 
 
+# -- the generic fan-out -------------------------------------------------------
+
+def fan_out(func: Callable, specs: Sequence, jobs: int,
+            profiler: Optional[SelfProfiler] = None,
+            phase: str = "fan_out") -> List:
+    """Map a picklable ``func`` over ``specs`` with a process pool.
+
+    The shared executor behind :meth:`ParallelRunner.prefetch` and the
+    fault-injection campaign runner: results come back in *input* order
+    (never completion order), ``jobs=1`` or a single spec runs in-process
+    with no pool, and ``chunksize=1`` deals work finely because specs can
+    differ in cost by orders of magnitude.
+    """
+    if not specs:
+        return []
+    span = (profiler.phase(phase) if profiler is not None
+            else contextlib.nullcontext())
+    if jobs <= 1 or len(specs) == 1:
+        with span:
+            return [func(spec) for spec in specs]
+    ctx = multiprocessing.get_context(START_METHOD)
+    with span:
+        with ctx.Pool(processes=min(jobs, len(specs))) as pool:
+            return pool.map(func, specs, chunksize=1)
+
+
 # -- the worker ----------------------------------------------------------------
 
 def simulate_cell(spec: tuple) -> Dict[str, object]:
     """Simulate one (system, workload) cell; runs inside a pool worker.
 
     ``spec`` is a picklable tuple ``(system, workload, params_override,
-    cache_root, collect_metrics, verify)``.  Returns the
+    cache_root, collect_metrics, verify[, seed])`` — the trailing seed
+    defaults to :data:`~repro.workloads.DEFAULT_SEED` so pre-existing
+    six-element specs keep working.  Returns the
     :class:`~repro.cores.result.SimResult` plus the worker's
     self-profiler phases and (optionally) its metrics-registry snapshot,
     all picklable for the parent-side merge.
     """
     system, workload, params_override, cache_root, collect_metrics, \
-        verify = spec
+        verify = spec[:6]
+    seed = spec[6] if len(spec) > 6 else DEFAULT_SEED
     system = canonical_system(system)
     workload = canonical_workload(workload)
     profiler = SelfProfiler()
     cache = CellCache(cache_root) if cache_root else None
-    params_fp = params_fingerprint(workload, params_override)
+    params_fp = params_fingerprint(workload, params_override, seed=seed)
     config_fp = sweep_config_fingerprint()
 
     cached = None
@@ -184,7 +218,8 @@ def simulate_cell(spec: tuple) -> Dict[str, object]:
             if vlmax == 0:
                 trace = wl.scalar_trace(params)
             else:
-                trace = wl.vector_trace(vlmax, params, verify=verify)
+                trace = wl.vector_trace(vlmax, params, verify=verify,
+                                        seed=seed)
         if trace_path is not None:
             cache.store(trace_path, trace)
     with profiler.phase(f"sim:{system}"):
@@ -240,9 +275,10 @@ class ParallelRunner(ExperimentRunner):
                  profiler: Optional[SelfProfiler] = None,
                  jobs: Optional[int] = None,
                  cache_root: Optional[str] = DEFAULT_CACHE_ROOT,
-                 collect_metrics: bool = False) -> None:
+                 collect_metrics: bool = False,
+                 seed: int = DEFAULT_SEED) -> None:
         super().__init__(params_override=params_override, verify=verify,
-                         profiler=profiler)
+                         profiler=profiler, seed=seed)
         self.jobs = max(1, jobs if jobs is not None
                         else (os.cpu_count() or 1))
         self.cache_root = cache_root
@@ -272,22 +308,14 @@ class ParallelRunner(ExperimentRunner):
                 ordered.append(key)
         todo = [key for key in ordered if key not in self._results]
         specs = [(system, workload, self.params_override, self.cache_root,
-                  self.collect_metrics, self.verify)
+                  self.collect_metrics, self.verify, self.seed)
                  for system, workload in todo]
         start = time.perf_counter()
         if not specs:
             return {"cells": len(ordered), "simulated": 0, "cached": 0,
                     "jobs": self.jobs, "seconds": 0.0}
-        if self.jobs == 1 or len(specs) == 1:
-            with self.profiler.phase("sweep"):
-                outs = [simulate_cell(spec) for spec in specs]
-        else:
-            ctx = multiprocessing.get_context(START_METHOD)
-            with self.profiler.phase("sweep"):
-                with ctx.Pool(processes=min(self.jobs, len(specs))) as pool:
-                    # chunksize=1: cells differ in cost by orders of
-                    # magnitude, so fine-grained dealing load-balances.
-                    outs = pool.map(simulate_cell, specs, chunksize=1)
+        outs = fan_out(simulate_cell, specs, self.jobs,
+                       profiler=self.profiler, phase="sweep")
         cached = 0
         for out in outs:  # input order: the merge is deterministic
             key = (out["system"], out["workload"])

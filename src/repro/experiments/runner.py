@@ -22,7 +22,7 @@ from ..isa.trace import Trace
 from ..obs.metrics import MetricsRegistry
 from ..obs.selfprof import SelfProfiler
 from ..obs.tracer import SpanTracer
-from ..workloads import canonical_workload, get_workload
+from ..workloads import DEFAULT_SEED, canonical_workload, get_workload
 from .systems import build_machine, canonical_system, trace_vlmax
 
 
@@ -31,10 +31,12 @@ class ExperimentRunner:
 
     def __init__(self, params_override: Optional[Dict[str, dict]] = None,
                  verify: bool = True,
-                 profiler: Optional[SelfProfiler] = None) -> None:
+                 profiler: Optional[SelfProfiler] = None,
+                 seed: int = DEFAULT_SEED) -> None:
         #: workload name -> params override (benchmarks use smaller inputs).
         self.params_override = params_override or {}
         self.verify = verify
+        self.seed = seed
         self.profiler = profiler or SelfProfiler()
         self._traces: Dict[Tuple[str, int], Trace] = {}
         self._results: Dict[Tuple[str, str], SimResult] = {}
@@ -49,7 +51,7 @@ class ExperimentRunner:
                     self._traces[key] = workload.scalar_trace(params)
                 else:
                     self._traces[key] = workload.vector_trace(
-                        vlmax, params, verify=self.verify)
+                        vlmax, params, verify=self.verify, seed=self.seed)
         return self._traces[key]
 
     def run(self, system_name: str, workload_name: str,

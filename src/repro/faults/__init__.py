@@ -1,0 +1,53 @@
+"""Differential fuzzing + fault injection for bit-hybrid execution.
+
+* :mod:`repro.faults.fuzz` — a seeded differential fuzzer that runs
+  random RVV instruction sequences lockstep through the micro-programmed
+  :class:`~repro.core.EveFunctionalEngine` at every segment width against
+  the numpy :class:`~repro.isa.intrinsics.VectorContext` oracle, shrinks
+  any mismatch to a minimal repro, and emits it as a replayable JSON case.
+* :mod:`repro.faults.inject` — deterministic, seed-addressable fault
+  models (SRAM bit flips, stuck carry-chain segment boundaries,
+  dropped / latched micro-op write-backs) applied through zero-cost
+  hooks in the SRAM, the micro-engine, and the machine models.
+* :mod:`repro.faults.campaign` — seeded injection campaigns fanned out
+  over worker processes, classifying every outcome as masked / detected
+  / silent-data-corruption against the oracle.
+
+Only :mod:`.inject` is imported eagerly: the hooked modules
+(``sram.eve_sram``, ``uops.executor``, the machine models) import
+``NULL_FAULTS`` from this package, so the fuzzer/campaign halves — which
+themselves import those hooked modules — load lazily on first use.
+"""
+
+from .inject import (
+    FAULT_MODELS,
+    NULL_FAULTS,
+    FaultInjector,
+    FaultProbe,
+    FaultSpec,
+)
+
+_FUZZ_EXPORTS = ("FUZZ_WIDTHS", "FuzzCase", "FuzzMismatch", "fuzz_many",
+                 "generate_case", "load_case", "replay_case", "run_case",
+                 "shrink_case")
+_CAMPAIGN_EXPORTS = ("CampaignReport", "InjectionOutcome", "run_campaign")
+
+__all__ = [
+    "FAULT_MODELS",
+    "NULL_FAULTS",
+    "FaultInjector",
+    "FaultProbe",
+    "FaultSpec",
+    *_FUZZ_EXPORTS,
+    *_CAMPAIGN_EXPORTS,
+]
+
+
+def __getattr__(name: str):
+    if name in _FUZZ_EXPORTS:
+        from . import fuzz
+        return getattr(fuzz, name)
+    if name in _CAMPAIGN_EXPORTS:
+        from . import campaign
+        return getattr(campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -121,6 +121,15 @@ class VectorContext:
         scalar = int(value)
         return np.full(vl, wrap32(np.array([scalar]))[0], dtype=_I32), -1, scalar
 
+    def peek(self, value: Union[Vec, Mask]) -> np.ndarray:
+        """Current value of a vector or mask as a fresh integer array.
+
+        Observation port shared with
+        :meth:`repro.core.EveFunctionalEngine.peek`, so the differential
+        fuzzer reads both execution contexts through one protocol.
+        """
+        return np.asarray(value.values, dtype=np.int64).copy()
+
     # -- control ----------------------------------------------------------
 
     def setvl(self, avl: int) -> int:

@@ -175,7 +175,10 @@ def flatten_record(record: RunRecord) -> Dict[str, float]:
     * ``metrics.<name>`` — the flat registry snapshot;
     * ``self_profile.<phase>.seconds`` — host wall-clock (noisy,
       advisory);
-    * ``bench.<workload>.<field>`` — bench_smoke wall-clock.
+    * ``bench.<workload>.<field>`` — bench_smoke wall-clock;
+    * ``faults.<field>`` / ``faults.<dim>.<bucket>.<field>`` — a
+      fault-injection campaign's classification counts and SDC rates
+      (deterministic given the campaign seed).
     """
     out: Dict[str, float] = {}
     for system, workloads in record.results.items():
@@ -204,6 +207,26 @@ def flatten_record(record: RunRecord) -> Dict[str, float]:
         for key, value in sweep.items():
             if isinstance(value, (int, float)):
                 out[f"bench.sweep.{key}"] = float(value)
+    campaign = record.extra.get("campaign")
+    if isinstance(campaign, dict):
+        for key in ("count", "sdc_rate", "detected_rate"):
+            value = campaign.get(key)
+            if isinstance(value, (int, float)):
+                out[f"faults.{key}"] = float(value)
+        counts = campaign.get("counts")
+        if isinstance(counts, dict):
+            for name, value in counts.items():
+                if isinstance(value, (int, float)):
+                    out[f"faults.counts.{name}"] = float(value)
+        for dim in ("by_factor", "by_model", "by_family"):
+            table = campaign.get(dim)
+            if not isinstance(table, dict):
+                continue
+            for bucket, fields_ in table.items():
+                if isinstance(fields_, dict):
+                    for key, value in fields_.items():
+                        if isinstance(value, (int, float)):
+                            out[f"faults.{dim}.{bucket}.{key}"] = float(value)
     return out
 
 

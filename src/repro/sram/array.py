@@ -74,6 +74,14 @@ class SramArray:
                 raise SramError("column-enable width mismatch")
             np.copyto(self._data[row], bits, where=enable)
 
+    def flip(self, row: int, col: int) -> None:
+        """Invert one stored bit in place (the fault-injection surface:
+        a transient upset of a single cell, bypassing the write drivers)."""
+        self._check_row(row)
+        if not 0 <= col < self.cols:
+            raise SramError(f"column {col} out of range 0..{self.cols - 1}")
+        self._data[row, col] ^= 1
+
     # -- bit-line compute -----------------------------------------------------
 
     def bitline_compute(self, row_a: int, row_b: int) -> BitLineResult:

@@ -21,6 +21,7 @@ from typing import Union
 import numpy as np
 
 from ..errors import SramError
+from ..faults.inject import NULL_FAULTS
 from .array import SramArray
 from .circuits import (
     AddLogic,
@@ -63,6 +64,9 @@ class EveSram:
         self.data_in = np.zeros(cols, dtype=np.uint8)
         self._values: dict[str, np.ndarray] = {}
         self._pending_carry: np.ndarray | None = None
+        #: Fault-injection hook (zero-cost null default, like the obs
+        #: hooks); armed by :mod:`repro.faults.inject`.
+        self.faults = NULL_FAULTS
 
     # -- carry store (mode-dependent) ------------------------------------
 
@@ -76,6 +80,8 @@ class EveSram:
         return self.spare.carry
 
     def _commit_carry(self, carry: np.ndarray) -> None:
+        if self.faults.enabled:
+            carry = self.faults.filter_carry(carry)
         if self.bit_serial:
             self.xreg.bits[:, 0] = carry
         else:
@@ -150,6 +156,13 @@ class EveSram:
             if self._pending_carry is None:
                 raise SramError("add write-back without a preceding blc")
             self._commit_carry(self._pending_carry)
+        if self.faults.enabled:
+            # The carry flip-flop update above belongs to the adder and
+            # has already happened; a dropped/latched write-back only
+            # perturbs the destination write itself.
+            value = self.faults.filter_wb(self, dest, src, value)
+            if value is None:
+                return
         if isinstance(dest, (int, np.integer)):
             enable = self.mask.bits.astype(bool) if masked else None
             self.array.write(int(dest), value, col_enable=enable)

@@ -16,6 +16,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..errors import MicroExecutionError
+from ..faults.inject import NULL_FAULTS
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..obs.tracer import NULL_TRACER, SpanTracer
 from ..sram.eve_sram import EveSram
@@ -54,13 +55,15 @@ class MicroEngine:
     def __init__(self, counters: Optional[CounterFile] = None,
                  max_cycles: int = MAX_CYCLES,
                  tracer: Optional[SpanTracer] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 faults=None) -> None:
         if max_cycles <= 0:
             raise MicroExecutionError("watchdog limit must be positive")
         self.counters = counters or CounterFile()
         self.max_cycles = max_cycles
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.faults = faults if faults is not None else NULL_FAULTS
         self.metrics.reserve("uprog", "MicroEngine")
         #: Cumulative cycles across invocations — the engine's own
         #: timeline, which the tracer's "uProg" track is plotted on.
@@ -186,6 +189,8 @@ class MicroEngine:
         """
         if sram is not None and binding is None:
             raise MicroExecutionError("bit-exact execution requires a binding")
+        if self.faults.enabled:
+            self.faults.on_program(program.name)
         limit = self.max_cycles if max_cycles is None else max_cycles
         upc = 0
         cycles = 0

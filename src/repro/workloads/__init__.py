@@ -12,9 +12,9 @@ the instruction mixes, stride patterns, and memory-boundedness crossovers
 are preserved.
 """
 
-from .base import (REGISTRY, Workload, canonical_workload, get_workload,
-                   workload_names)
+from .base import (DEFAULT_SEED, REGISTRY, Workload, canonical_workload,
+                   get_workload, workload_names)
 from . import vvadd, mmult, kmeans, pathfinder, jacobi2d, backprop, sw  # noqa: F401  (registration)
 
-__all__ = ["REGISTRY", "Workload", "canonical_workload", "get_workload",
-           "workload_names"]
+__all__ = ["DEFAULT_SEED", "REGISTRY", "Workload", "canonical_workload",
+           "get_workload", "workload_names"]

@@ -160,3 +160,103 @@ class TestObservabilityCommands:
         payload = json.loads(out_file.read_text())
         assert payload["system"] == "O3+EVE-4"
         assert "sim.cycles" in payload["metrics"]
+
+
+class TestErrorHandling:
+    """``main`` turns library errors into diagnostics, not tracebacks."""
+
+    def test_repro_error_exits_2(self, capsys, monkeypatch):
+        import repro.cli as cli
+        from repro.errors import ExperimentError
+
+        def boom(_args):
+            raise ExperimentError("empty selection")
+        monkeypatch.setitem(cli._COMMANDS, "systems", boom)
+        assert main(["systems"]) == 2
+        err = capsys.readouterr().err
+        assert "repro systems: empty selection" in err
+        assert "Traceback" not in err
+
+    def test_keyboard_interrupt_exits_130(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def interrupt(_args):
+            raise KeyboardInterrupt
+        monkeypatch.setitem(cli._COMMANDS, "systems", interrupt)
+        assert main(["systems"]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_bad_replay_file_is_a_diagnostic(self, capsys, tmp_path):
+        missing = tmp_path / "nope.json"
+        assert main(["fuzz", "--replay", str(missing)]) == 2
+        assert "cannot read case file" in capsys.readouterr().err
+
+
+class TestFuzzCommand:
+    def test_smoke_sweep_is_clean(self, capsys):
+        assert main(["fuzz", "--seeds", "2", "--n-widths", "8", "32",
+                     "--ops", "6"]) == 0
+        assert "2 seed(s) x 2 width(s): OK" in capsys.readouterr().out
+
+    def test_replay_corpus_case(self, capsys):
+        import os
+        path = os.path.join(os.path.dirname(__file__), "corpus",
+                            "sub_alias.json")
+        assert main(["fuzz", "--replay", path]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_json_report(self, capsys):
+        import json
+        assert main(["fuzz", "--seeds", "1", "--n-widths", "8",
+                     "--ops", "6", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mismatches"] == []
+        assert payload["widths"] == [8]
+
+
+class TestFaultsCommand:
+    def test_campaign_smoke(self, capsys):
+        assert main(["faults", "--count", "2", "--n-widths", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign  : 2 injection(s)" in out
+        assert "outcome" in out and "sdc_rate" in out
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "--model", "gamma"])
+
+    def test_json_out_and_record(self, capsys, tmp_path):
+        import json
+        report_file = tmp_path / "campaign.json"
+        store = tmp_path / "runs"
+        assert main(["faults", "--count", "2", "--n-widths", "8",
+                     "--model", "bitflip", "--json-out", str(report_file),
+                     "--record", "--store", str(store)]) == 0
+        payload = json.loads(report_file.read_text())
+        assert payload["count"] == 2
+        assert len(payload["outcomes"]) == 2
+        assert "recorded" in capsys.readouterr().err
+        from repro.obs.runstore import RunStore
+        record = RunStore(str(store)).resolve("latest")
+        campaign = record.extra["campaign"]
+        assert campaign["count"] == 2
+        assert "outcomes" not in campaign  # records stay compact
+        assert record.metrics["faults.injections"] == 2
+
+
+class TestSeedOption:
+    def test_run_accepts_seed(self, capsys):
+        assert main(["run", "IO", "vvadd", "--tiny", "--seed", "7"]) == 0
+        assert "cycles" in capsys.readouterr().out
+
+    def test_seed_changes_the_record_fingerprint(self, tmp_path):
+        from repro.obs.runstore import RunStore
+        store = str(tmp_path / "runs")
+        assert main(["run", "IO", "vvadd", "--tiny", "--record",
+                     "--store", store]) == 0
+        assert main(["run", "IO", "vvadd", "--tiny", "--seed", "7",
+                     "--record", "--store", store]) == 0
+        records = RunStore(store)
+        default = records.resolve("latest~1")
+        seeded = records.resolve("latest")
+        assert default.config_fingerprint != seeded.config_fingerprint

@@ -1,0 +1,141 @@
+"""Fault-injection engine and campaign-runner tests."""
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults.campaign import (OUTCOMES, CampaignReport, family_of,
+                                   run_campaign)
+from repro.faults.fuzz import generate_case, run_dut
+from repro.faults.inject import (FAULT_MODELS, NULL_FAULTS, FaultInjector,
+                                 FaultProbe, FaultSpec)
+from repro.obs import MetricsRegistry
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_model(self):
+        with pytest.raises(FaultInjectionError, match="unknown fault model"):
+            FaultSpec(model="cosmic_ray", seed=0)
+
+    def test_rejects_non_positive_flips(self):
+        with pytest.raises(FaultInjectionError, match="flip count"):
+            FaultSpec(model="multi_bitflip", seed=0, flips=0)
+
+    def test_null_injector_is_disabled(self):
+        assert NULL_FAULTS.enabled is False
+
+
+class TestProbe:
+    def test_counts_events_on_a_real_program(self):
+        case = generate_case(0, vlmax=8, num_ops=6)
+        probe = FaultProbe()
+        out = run_dut(case, 8, faults=probe)
+        assert "crash" not in out
+        assert probe.wb_events > 0
+        assert probe.macro_ops > 0
+
+    def test_narrow_segments_commit_carries(self):
+        # At n=1 every 32-bit add walks 32 segment boundaries, so any
+        # arithmetic program must produce carry-commit events.
+        case = generate_case(0, vlmax=8, num_ops=6)
+        probe = FaultProbe()
+        run_dut(case, 1, faults=probe)
+        assert probe.carry_events > 0
+
+
+class TestInjectorAddressing:
+    def _make(self, model, seed=5):
+        return FaultInjector(FaultSpec(model=model, seed=seed),
+                             wb_events=100, carry_events=40,
+                             rows=256, cols=64, groups=8)
+
+    @pytest.mark.parametrize("model", FAULT_MODELS)
+    def test_same_seed_same_address(self, model):
+        assert self._make(model).describe() == self._make(model).describe()
+
+    def test_different_seeds_move_the_fault(self):
+        descriptions = {str(self._make("bitflip", seed=s).describe())
+                        for s in range(8)}
+        assert len(descriptions) > 1
+
+    def test_multi_bitflip_draws_flip_many_sites(self):
+        injector = self._make("multi_bitflip")
+        assert len(injector.flip_sites) == 4
+
+    def test_unarmable_without_events(self):
+        with pytest.raises(FaultInjectionError, match="stuck_carry"):
+            FaultInjector(FaultSpec(model="stuck_carry", seed=0),
+                          wb_events=10, carry_events=0,
+                          rows=256, cols=64, groups=8)
+        with pytest.raises(FaultInjectionError, match="write-back"):
+            FaultInjector(FaultSpec(model="drop_wb", seed=0),
+                          wb_events=0, carry_events=10,
+                          rows=256, cols=64, groups=8)
+
+
+class TestCampaign:
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(FaultInjectionError, match="positive"):
+            run_campaign(0)
+        with pytest.raises(FaultInjectionError, match="unknown fault model"):
+            run_campaign(1, models=["gamma_burst"])
+
+    def test_deterministic_and_jobs_invariant(self):
+        kwargs = dict(seed=3, vlmax=8, num_ops=6)
+        first = run_campaign(6, jobs=1, **kwargs)
+        again = run_campaign(6, jobs=1, **kwargs)
+        pooled = run_campaign(6, jobs=2, **kwargs)
+        as_json = [o.to_json_dict() for o in first.outcomes]
+        assert as_json == [o.to_json_dict() for o in again.outcomes]
+        assert as_json == [o.to_json_dict() for o in pooled.outcomes]
+
+    def test_classifies_every_injection(self):
+        report = run_campaign(5, seed=1, vlmax=8, num_ops=6)
+        assert len(report.outcomes) == 5
+        for out in report.outcomes:
+            assert out.outcome in OUTCOMES
+        counts = report.counts
+        assert sum(counts.values()) == 5
+        assert 0.0 <= report.sdc_rate <= 1.0
+
+    def test_round_robins_models_and_factors(self):
+        report = run_campaign(10, models=["bitflip", "drop_wb"],
+                              factors=(1, 32), seed=2, vlmax=8, num_ops=6)
+        assert {o.model for o in report.outcomes} == {"bitflip", "drop_wb"}
+        assert {o.factor for o in report.outcomes} == {1, 32}
+
+    def test_metrics_land_in_the_faults_namespace(self):
+        metrics = MetricsRegistry()
+        report = run_campaign(4, seed=4, vlmax=8, num_ops=6,
+                              metrics=metrics)
+        flat = metrics.flat()
+        assert flat["faults.injections"] == 4
+        assert flat["faults.sdc_rate.value"] == report.sdc_rate
+        assert sum(flat[f"faults.{name}"] for name in OUTCOMES) == 4
+
+    def test_report_json_shape(self):
+        report = run_campaign(4, seed=6, vlmax=8, num_ops=6)
+        doc = report.to_json_dict()
+        assert doc["count"] == 4
+        assert len(doc["outcomes"]) == 4
+        for table in ("by_factor", "by_model", "by_family"):
+            for bucket in doc[table].values():
+                assert bucket["injections"] >= 1
+                assert 0.0 <= bucket["sdc_rate"] <= 1.0
+
+
+class TestFamilies:
+    def test_known_macros_map_to_figure4_families(self):
+        assert family_of("add") == "arith"
+        assert family_of("logic") == "logical"
+        assert family_of("shift_variable") == "shift"
+        assert family_of("div") == "div"
+
+    def test_unknown_and_missing_map_to_other(self):
+        assert family_of(None) == "other"
+        assert family_of("teleport") == "other"
+
+    def test_empty_report_rates_are_zero(self):
+        report = CampaignReport(seed=0, count=0, models=FAULT_MODELS,
+                                factors=(8,))
+        assert report.sdc_rate == 0.0
+        assert report.detected_rate == 0.0

@@ -11,8 +11,8 @@ import pytest
 from repro.errors import ExperimentError
 from repro.experiments import ExperimentRunner, ParallelRunner, sweep_pairs
 from repro.experiments.figures import geomean
-from repro.experiments.parallel import (CellCache, params_fingerprint,
-                                        simulate_cell,
+from repro.experiments.parallel import (CellCache, fan_out,
+                                        params_fingerprint, simulate_cell,
                                         sweep_config_fingerprint)
 from repro.experiments.systems import canonical_system
 from repro.obs.diff import diff_records
@@ -38,6 +38,26 @@ def _record_from(results):
     for (system, workload), cycles in sorted(results.items()):
         record.add_result(system, workload, cycles=cycles, time_ns=cycles)
     return record
+
+
+def _double(x):
+    return x * 2
+
+
+class TestFanOut:
+    def test_empty_specs_short_circuit(self):
+        assert fan_out(_double, [], jobs=8) == []
+
+    def test_serial_and_pooled_agree_in_input_order(self):
+        specs = list(range(12))
+        serial = fan_out(_double, specs, jobs=1)
+        pooled = fan_out(_double, specs, jobs=3)
+        assert serial == pooled == [x * 2 for x in specs]
+
+    def test_profiler_phase_is_attributed(self):
+        profiler = SelfProfiler()
+        fan_out(_double, [1, 2], jobs=1, profiler=profiler, phase="faults")
+        assert "faults" in profiler.merged()
 
 
 class TestParallelDeterminism:
@@ -114,6 +134,22 @@ class TestCellCache:
         full = params_fingerprint("vvadd", None)
         assert tiny != full
         assert params_fingerprint("VVadd", TINY_PARAMS) == tiny
+
+    def test_params_fingerprint_separates_seeds(self):
+        default = params_fingerprint("vvadd", TINY_PARAMS)
+        seeded = params_fingerprint("vvadd", TINY_PARAMS, seed=7)
+        assert default != seeded
+        assert params_fingerprint("vvadd", TINY_PARAMS, seed=7) == seeded
+
+    def test_simulate_cell_accepts_seeded_specs(self, tmp_path):
+        root = str(tmp_path / "cache")
+        base = ("IO", "vvadd", TINY_PARAMS, root, False, True)
+        first = simulate_cell(base + (7,))
+        # Same seed hits the cache; the legacy 6-tuple (default seed)
+        # occupies a different cell entirely.
+        assert simulate_cell(base + (7,))["cached"] is True
+        assert simulate_cell(base)["cached"] is False
+        assert first["result"].cycles > 0
 
     def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
         cache = CellCache(str(tmp_path))

@@ -109,6 +109,24 @@ class TestFlatten:
         flat = flatten_record(record)
         assert "metrics.note" not in flat
 
+    def test_fault_campaign_keys(self):
+        record = sample_record()
+        record.extra["campaign"] = {
+            "count": 4, "sdc_rate": 0.25, "detected_rate": 0.5,
+            "counts": {"masked": 1, "sdc": 1, "note": "text"},
+            "by_factor": {"8": {"injections": 2, "sdc": 1,
+                                "sdc_rate": 0.5}},
+            "by_model": {"bitflip": {"injections": 4, "sdc": 1,
+                                     "sdc_rate": 0.25}},
+        }
+        flat = flatten_record(record)
+        assert flat["faults.count"] == 4.0
+        assert flat["faults.sdc_rate"] == 0.25
+        assert flat["faults.counts.masked"] == 1.0
+        assert flat["faults.by_factor.8.sdc_rate"] == 0.5
+        assert flat["faults.by_model.bitflip.injections"] == 4.0
+        assert "faults.counts.note" not in flat
+
 
 class TestRunStore:
     def test_append_assigns_sequential_ids(self, tmp_path):

@@ -1,0 +1,95 @@
+"""Segment-boundary carry tests at the width extremes (n=1 and n=32).
+
+At n=1 every 32-bit element is 32 one-bit segments, so a single add can
+ripple a carry across 31 segment boundaries; at n=32 there is exactly one
+segment and the carry chain must degenerate cleanly.  These cases pin the
+carry-select behaviour of the ``add``/``sub``/``mul``/``shift``
+micro-programs with sign-boundary operands and vlmax-edge vector lengths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import EveFunctionalEngine
+
+from tests.conftest import wrap32
+
+I32_MIN, I32_MAX = -(2 ** 31), 2 ** 31 - 1
+
+#: Operand pairs chosen to ripple carries through every segment width:
+#: full-chain propagation (MAX+1), borrow chains (MIN-1), alternating
+#: carry patterns, and sign-crossing multiplies.
+CARRY_PAIRS = [
+    (I32_MAX, 1),
+    (I32_MIN, -1),
+    (-1, 1),
+    (0x55555555, 0x55555555),
+    (-0x55555556, -0x55555556),
+    (I32_MAX - 1, I32_MIN + 1),
+    (-2, -2),
+]
+
+
+@pytest.fixture(params=[1, 32], ids=lambda f: f"n{f}")
+def engine(request):
+    return EveFunctionalEngine(factor=request.param, capacity=8)
+
+
+def load(engine, values, name):
+    buf = engine.vm.alloc_i32(
+        name, np.asarray(values, np.int64).astype(np.int32))
+    return engine.vle32(buf)
+
+
+def check(engine, vec, expected):
+    assert np.array_equal(engine.peek(vec), wrap32(np.asarray(expected)))
+
+
+class TestCarryPropagation:
+    def setup_vectors(self, engine, vl=None):
+        a_vals = [a for a, _ in CARRY_PAIRS] + [0]
+        b_vals = [b for _, b in CARRY_PAIRS] + [0]
+        engine.setvl(len(a_vals) if vl is None else vl)
+        return (np.asarray(a_vals), np.asarray(b_vals),
+                load(engine, a_vals, "a"), load(engine, b_vals, "b"))
+
+    def test_add_ripples_across_all_segments(self, engine):
+        a_vals, b_vals, a, b = self.setup_vectors(engine)
+        check(engine, engine.vadd(a, b), a_vals + b_vals)
+
+    def test_sub_borrows_across_all_segments(self, engine):
+        a_vals, b_vals, a, b = self.setup_vectors(engine)
+        check(engine, engine.vsub(a, b), a_vals - b_vals)
+        check(engine, engine.vrsub(a, b), b_vals - a_vals)
+
+    def test_mul_with_negative_operands(self, engine):
+        a_vals, b_vals, a, b = self.setup_vectors(engine)
+        check(engine, engine.vmul(a, b), a_vals * b_vals)
+
+    def test_srl_shifts_zeros_into_the_sign_segments(self, engine):
+        a_vals, _, a, _ = self.setup_vectors(engine)
+        for amount in (1, 31):
+            check(engine, engine.vsrl(a, amount),
+                  (a_vals & 0xFFFFFFFF) >> amount)
+
+    def test_sra_replicates_the_sign_across_segments(self, engine):
+        a_vals, _, a, _ = self.setup_vectors(engine)
+        check(engine, engine.vsra(a, 31), a_vals >> 31)
+
+
+class TestVlmaxEdges:
+    def test_single_element_vector(self, engine):
+        engine.setvl(1)
+        a = load(engine, [I32_MIN], "a")
+        check(engine, engine.vadd(a, -1), [I32_MIN - 1])
+        check(engine, engine.vsub(a, 1), [I32_MIN - 1])
+
+    def test_full_capacity_vector(self, engine):
+        engine.setvl(8)  # vl == vlmax: every lane of the array is live
+        a_vals = np.asarray([I32_MAX] * 4 + [I32_MIN] * 4)
+        a = load(engine, a_vals, "a")
+        check(engine, engine.vadd(a, 1), a_vals + 1)
+        check(engine, engine.vmul(a, -1), -a_vals)
+
+    def test_avl_clamps_to_capacity(self, engine):
+        assert engine.setvl(1000) == 8
