@@ -44,11 +44,16 @@ import sys
 import tempfile
 import time
 
+from repro.analysis import check_trace
 from repro.experiments import ExperimentRunner, ParallelRunner, sweep_pairs
 from repro.obs.runstore import DEFAULT_ROOT, RunStore, make_record
 from repro.workloads import REGISTRY
 
 SYSTEMS = ("IO", "O3+EVE-4")
+
+#: Hardware vector length for the dedicated analyzer-timing leg (the
+#: EVE trace the simulated systems share).
+ANALYSIS_VLMAX = 2048
 
 
 def _tiny_override():
@@ -119,10 +124,28 @@ def run_benchmark(full: bool):
         results = {system: runner.run(system, workload) for system in SYSTEMS}
         elapsed = time.perf_counter() - start
         profile = runner.profiler.merged()
+        # Dedicated analyzer-overhead leg: the static checker suite must
+        # stay a small fraction of the vector-trace build it guards.
+        # verify=True matches the runner default (strict mode gates that
+        # build); the sub-millisecond check takes a min-of-3 so the host
+        # clock's jitter doesn't swamp the ratio.
+        params = override.get(workload) if override else None
+        start = time.perf_counter()
+        trace = REGISTRY[workload].vector_trace(ANALYSIS_VLMAX, params)
+        vector_build = time.perf_counter() - start
+        check_seconds = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            findings = check_trace(trace, name=workload)
+            check_seconds = min(check_seconds, time.perf_counter() - start)
         per_workload[workload] = {
             "seconds": elapsed,
             "trace_build_seconds": profile.get("trace_build", 0.0),
             "sim_seconds": profile.get("sim", 0.0),
+            "vector_trace_build_seconds": vector_build,
+            "analysis_check_seconds": check_seconds,
+            "analysis_vs_trace_build": check_seconds / vector_build,
+            "analysis_findings": len(findings),
         }
         for system, result in results.items():
             record.add_result(system, workload, cycles=result.cycles,
@@ -166,7 +189,10 @@ def main(argv=None) -> int:
     bench = record.extra["bench_workloads"]
     width = max(len(name) for name in bench)
     for name, row in sorted(bench.items()):
-        print(f"{name:<{width}}  {row['seconds'] * 1e3:9.1f} ms")
+        print(f"{name:<{width}}  {row['seconds'] * 1e3:9.1f} ms   "
+              f"check {row['analysis_check_seconds'] * 1e3:6.2f} ms "
+              f"({100 * row['analysis_vs_trace_build']:.1f}% of build, "
+              f"{row['analysis_findings']} finding(s))")
     total = record.extra["bench_total_seconds"]
     print(f"{'total':<{width}}  {total * 1e3:9.1f} ms")
     sweep = record.extra.get("sweep")

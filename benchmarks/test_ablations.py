@@ -23,12 +23,16 @@ from repro.workloads import get_workload
 from conftest import show
 
 
-def run_eve(config, workload_name, trace_cache={}):
+#: Traces shared across ablation points (keyed by workload and VL).
+_TRACE_CACHE = {}
+
+
+def run_eve(config, workload_name):
     machine = EveMachine(config)
     key = (workload_name, machine.config.vector.hardware_vl)
-    if key not in trace_cache:
-        trace_cache[key] = get_workload(workload_name).vector_trace(key[1])
-    return machine.run(trace_cache[key])
+    if key not in _TRACE_CACHE:
+        _TRACE_CACHE[key] = get_workload(workload_name).vector_trace(key[1])
+    return machine.run(_TRACE_CACHE[key])
 
 
 def test_llc_mshr_sweep(benchmark):

@@ -1,0 +1,280 @@
+"""The trace checker suite behind ``repro check`` and strict mode.
+
+Eight rules over the def-use and footprint facts (``error`` unless noted):
+
+``uninit-read``
+    A vector register is read with no reaching definition.
+``dead-write``
+    A definition with zero uses that a later definition of the same
+    register overwrites (live-out values are not flagged).
+``oob-footprint``
+    A memory access whose byte-interval hull is not fully contained in
+    one declared buffer (checked only when the trace declares buffers).
+``avl-vlmax``
+    ``vsetvl`` misuse: a grant different from ``min(avl, vlmax)``, an
+    instruction executing at a ``vl`` other than the current grant, or a
+    vector instruction before any ``vsetvl`` (checked only when the
+    trace records its ``vlmax``).
+``mask-undefined``
+    A predicated instruction whose v0 has no reaching compare, or whose
+    reaching compare ran at a shorter ``vl`` than the use.
+``overlap-hazard``
+    An instruction whose destination register is also one of its source
+    registers — the destructive-overlap class PR 5's fuzzer caught
+    dynamically (an in-place engine clobbers its own input mid-read).
+``reduction-order``
+    A reduction consuming a source defined at a shorter ``vl`` than the
+    reduction folds over (the tail lanes' fold order is undefined).
+``tail-undefined`` (warning)
+    Any other read beyond the producing definition's ``vl`` — the tail
+    holds stale or zero data depending on the engine.
+
+Findings reuse the :class:`repro.uops.lint.Finding` shape (PR 1's
+micro-program lint), so ``repro lint --json`` and ``repro check --json``
+share one schema.  The rules run on the vectorized columnar facts
+(:class:`~repro.analysis.columns.TraceColumns`); only actual violations
+fall back to per-finding Python, which keeps a clean check a few
+percent of trace-build time — cheap enough for strict mode on every
+freshly built trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..isa.instructions import VectorInstr
+from ..isa.trace import Trace
+from ..uops.lint import ERROR, WARNING, Finding
+from .columns import (FENCE, OP_NAME, SETVL, SLOT_VS1, VMV_S_X, VMV_X_S,
+                      TraceColumns)
+from .depgraph import DepGraph, build_depgraph
+from .footprint import MemoryFootprint, build_footprint
+
+#: The trace-checker rule names (see module docstring).
+RULES = ("uninit-read", "dead-write", "oob-footprint", "avl-vlmax",
+         "mask-undefined", "overlap-hazard", "reduction-order",
+         "tail-undefined")
+
+
+def check_trace(trace: Trace, name: Optional[str] = None,
+                columns: Optional[TraceColumns] = None,
+                footprint: Optional[MemoryFootprint] = None) -> List[Finding]:
+    """Run every rule; returns findings in (index, rule) order."""
+    program = name or trace.name
+    cols = columns if columns is not None else TraceColumns(trace)
+    footprint = (footprint if footprint is not None
+                 else build_footprint(trace, cols, with_deps=False))
+    findings: List[Finding] = []
+
+    for use in np.nonzero(cols.use_def < 0)[0]:
+        index = int(cols.use_event[use])
+        reg = int(cols.use_reg[use])
+        op = OP_NAME[cols.op_id[cols.use_row[use]]]
+        if reg == 0:
+            findings.append(Finding(
+                "mask-undefined", ERROR, program, index,
+                f"{op} is predicated but no compare defines v0"))
+        else:
+            findings.append(Finding(
+                "uninit-read", ERROR, program, index,
+                f"{op} reads v{reg} before any definition"))
+
+    for pos in cols.dead_def_positions():
+        index = int(cols.def_event[pos])
+        killer = int(cols.def_killed_by[pos])
+        findings.append(Finding(
+            "dead-write", ERROR, program, index,
+            f"{OP_NAME[cols.def_op_id[pos]]} writes v{int(cols.def_reg[pos])} "
+            f"but the value is never read before "
+            f"{trace.events[killer].op} overwrites it at [{killer}]"))
+
+    for mem_event in footprint.out_of_bounds:
+        instr = trace.events[mem_event.index]
+        lo, hi = mem_event.interval
+        op = instr.op if isinstance(instr, VectorInstr) else "scalar block"
+        findings.append(Finding(
+            "oob-footprint", ERROR, program, mem_event.index,
+            f"{op} touches [{lo:#x}, {hi:#x}) which is not contained in "
+            "any declared buffer"))
+
+    if trace.vlmax is not None:
+        findings += _check_vl_discipline(trace, cols, program)
+    findings += _check_overlap(cols, program)
+    findings += _check_use_widths(trace, cols, program)
+
+    # An instruction reading one register through two operand slots would
+    # report the same defect twice; keep one copy of identical findings.
+    unique = {(f.index, f.rule, f.message): f for f in findings}
+    return sorted(unique.values(), key=lambda f: (f.index, f.rule))
+
+
+def _check_vl_discipline(trace: Trace, cols: TraceColumns,
+                         program: str) -> List[Finding]:
+    vlmax = trace.vlmax
+    findings: List[Finding] = []
+    grant = np.minimum(cols.setvl_avl, vlmax)
+    for slot in np.nonzero(cols.setvl_vl != grant)[0]:
+        findings.append(Finding(
+            "avl-vlmax", ERROR, program, int(cols.setvl_event[slot]),
+            f"vsetvl granted vl={int(cols.setvl_vl[slot])} for "
+            f"avl={int(cols.setvl_avl[slot])} (must be min(avl, vlmax)="
+            f"{int(grant[slot])} at vlmax={vlmax})"))
+
+    exempt = (((cols.op_id == FENCE) & (cols.vl == 0))
+              | (((cols.op_id == VMV_X_S) | (cols.op_id == VMV_S_X))
+                 & (cols.vl == 1)))
+    checked = ~exempt & (cols.op_id != SETVL)
+    for row in np.nonzero(checked & (cols.vl_setter < 0))[0]:
+        findings.append(Finding(
+            "avl-vlmax", ERROR, program, int(cols.index[row]),
+            f"{OP_NAME[cols.op_id[row]]} executes before any vsetvl"))
+    mismatch = checked & (cols.vl_setter >= 0) & (cols.vl != cols.vl_granted)
+    for row in np.nonzero(mismatch)[0]:
+        findings.append(Finding(
+            "avl-vlmax", ERROR, program, int(cols.index[row]),
+            f"{OP_NAME[cols.op_id[row]]} executes at vl={int(cols.vl[row])} "
+            f"but the grant from vsetvl at [{int(cols.vl_setter[row])}] is "
+            f"vl={int(cols.vl_granted[row])}"))
+    return findings
+
+
+def _check_overlap(cols: TraceColumns, program: str) -> List[Finding]:
+    dest = cols.dest
+    overlap = (dest >= 0) & ((dest == cols.vs1) | (dest == cols.vs2)
+                             | (dest == cols.vidx) | (dest == cols.vold)
+                             | (cols.masked & (dest == 0)))
+    findings = []
+    for row in np.nonzero(overlap)[0]:
+        findings.append(Finding(
+            "overlap-hazard", ERROR, program, int(cols.index[row]),
+            f"{OP_NAME[cols.op_id[row]]} destination v{int(dest[row])} "
+            "overlaps one of its sources (destructive in-place update)"))
+    return findings
+
+
+def _check_use_widths(trace: Trace, cols: TraceColumns,
+                      program: str) -> List[Finding]:
+    """Reads beyond the producing definition's vl (rules mask-undefined,
+    reduction-order, tail-undefined)."""
+    bound = cols.use_def >= 0
+    clamped = np.where(bound, cols.use_def, 0)
+    if not len(cols.def_vl):
+        return []
+    narrow = bound & (cols.def_vl[clamped] < cols.vl[cols.use_row])
+    findings: List[Finding] = []
+    for use in np.nonzero(narrow)[0]:
+        row = int(cols.use_row[use])
+        index = int(cols.use_event[use])
+        reg = int(cols.use_reg[use])
+        pos = int(cols.use_def[use])
+        op = OP_NAME[cols.op_id[row]]
+        use_vl, def_vl = int(cols.vl[row]), int(cols.def_vl[pos])
+        if reg == 0:
+            findings.append(Finding(
+                "mask-undefined", ERROR, program, index,
+                f"{op} is predicated at vl={use_vl} but v0 was defined at "
+                f"vl={def_vl} (tail lanes undefined)"))
+        elif cols.def_op_id[pos] == VMV_S_X:
+            # vmv.s.x architecturally zeroes the tail; wider reads —
+            # including reduction folds — are defined despite the
+            # recorded vl=1.
+            continue
+        elif cols.is_reduction[row] and cols.use_slot[use] == SLOT_VS1:
+            findings.append(Finding(
+                "reduction-order", ERROR, program, index,
+                f"{op} folds vl={use_vl} lanes but v{reg} was defined at "
+                f"vl={def_vl} (tail fold order undefined)"))
+        else:
+            findings.append(Finding(
+                "tail-undefined", WARNING, program, index,
+                f"{op} reads v{reg} at vl={use_vl} but the value was "
+                f"defined at vl={def_vl}"))
+    return findings
+
+
+@dataclass
+class AnalysisSummary:
+    """Scheduler-facing headline numbers for ``repro stats``."""
+
+    events: int
+    vector_instrs: int
+    dead_writes: int
+    live_high_water: int
+    dep_edges: int
+    dep_depth: int
+    dep_width: int
+    errors: int
+    warnings: int
+
+    @property
+    def ilp_width(self) -> float:
+        """Average dependence-level population — crude ILP headroom."""
+        return self.events / max(1, self.dep_depth)
+
+    def to_json(self) -> dict:
+        return {
+            "events": self.events,
+            "vector_instrs": self.vector_instrs,
+            "dead_writes": self.dead_writes,
+            "live_high_water": self.live_high_water,
+            "dep_edges": self.dep_edges,
+            "dep_depth": self.dep_depth,
+            "dep_width": self.dep_width,
+            "ilp_width": self.ilp_width,
+            "errors": self.errors,
+            "warnings": self.warnings,
+        }
+
+
+@dataclass
+class AnalysisReport:
+    """Everything the analyzer knows about one trace."""
+
+    trace: Trace
+    columns: TraceColumns
+    footprint: MemoryFootprint
+    depgraph: DepGraph
+    findings: List[Finding]
+    summary: AnalysisSummary
+
+
+def analyze_trace(trace: Trace, name: Optional[str] = None) -> AnalysisReport:
+    """Full pipeline: columns + footprint + checkers + dependence graph."""
+    cols = TraceColumns(trace)
+    footprint = build_footprint(trace, cols, with_deps=True)
+    findings = check_trace(trace, name=name, columns=cols,
+                           footprint=footprint)
+    depgraph = build_depgraph(trace, columns=cols, footprint=footprint)
+    depth, width = depgraph.critical_path()
+    summary = AnalysisSummary(
+        events=len(trace.events),
+        vector_instrs=len(cols.index),
+        dead_writes=len(cols.dead_def_positions()),
+        live_high_water=cols.live_high_water(),
+        dep_edges=depgraph.n_edges,
+        dep_depth=depth,
+        dep_width=width,
+        errors=sum(1 for f in findings if f.severity == ERROR),
+        warnings=sum(1 for f in findings if f.severity == WARNING),
+    )
+    return AnalysisReport(trace=trace, columns=cols, footprint=footprint,
+                          depgraph=depgraph, findings=findings,
+                          summary=summary)
+
+
+def require_clean(trace: Trace, context: str = "") -> None:
+    """Raise :class:`~repro.errors.AnalysisError` if any rule reports an
+    error on ``trace`` (the strict-mode / shrinker gate)."""
+    findings = check_trace(trace)
+    errors = [f for f in findings if f.severity == ERROR]
+    if errors:
+        where = f" ({context})" if context else ""
+        head = "; ".join(str(f) for f in errors[:3])
+        more = f" (+{len(errors) - 3} more)" if len(errors) > 3 else ""
+        raise AnalysisError(
+            f"trace {trace.name!r}{where} failed static checks: "
+            f"{head}{more}", findings=errors)

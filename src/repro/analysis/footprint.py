@@ -1,0 +1,306 @@
+"""Memory-footprint analysis: byte intervals per buffer + dependences.
+
+Each :class:`~repro.isa.instructions.MemAccess` is folded into one byte
+interval ``[lo, hi)`` — exact for unit-stride accesses, a conservative
+hull for strided and indexed patterns.  The hull is sound for both uses
+here: an interval contained in a buffer proves every element access is
+in bounds (addresses are monotone within the hull), and dependence
+edges derived from hull overlap over-approximate the true alias relation
+(extra edges only ever serialise the dependence graph further, never
+miss an ordering).
+
+Dependences are tracked with a last-writer segment map per address
+space: disjoint written segments each remember their writing event, and
+readers-since-last-write accumulate per segment range.  A store draws
+WAW edges to the writers it overlaps and WAR edges to the readers it
+overlaps, then replaces that range; a load draws RAW edges to the
+writers it overlaps.  ``vmfence`` events order all memory traffic across
+them.  :class:`~repro.isa.instructions.ScalarBlock` accesses participate
+under the block's event index.
+
+The checker fast path only needs the intervals and the out-of-bounds
+verdicts; pass ``with_deps=False`` to get a *lite* footprint that skips
+the (sequential) segment map **and** the per-access object view —
+:attr:`MemoryFootprint.accesses`, :attr:`MemoryFootprint.touched`, and
+:attr:`MemoryFootprint.edges` stay empty and only
+:attr:`MemoryFootprint.out_of_bounds` is populated.
+:func:`repro.analysis.depgraph.build_depgraph` requests the full
+version.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from dataclasses import dataclass, field
+from operator import attrgetter
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..isa.instructions import MemAccess
+from ..isa.trace import Trace
+from .columns import TraceColumns
+
+
+def access_interval(access: MemAccess) -> Tuple[int, int]:
+    """Conservative byte-interval hull ``[lo, hi)`` of one access."""
+    if access.addresses is not None:
+        addrs = access.element_addresses()
+        if addrs.size == 0:
+            return (0, 0)
+        return (int(addrs.min()), int(addrs.max()) + access.elem_bytes)
+    if access.count <= 0:
+        return (access.base, access.base)
+    span = access.stride * (access.count - 1)
+    lo = access.base + min(0, span)
+    return (lo, access.base + max(0, span) + access.elem_bytes)
+
+
+class BufferMap:
+    """Declared buffer extents, answering interval-containment queries."""
+
+    def __init__(self, buffers: Dict[str, Tuple[int, int]]) -> None:
+        #: Sorted (base, end, name) triples.
+        self.extents: List[Tuple[int, int, str]] = sorted(
+            (base, base + size, name)
+            for name, (base, size) in buffers.items())
+        self._bases = np.array([base for base, _, _ in self.extents])
+        self._ends = np.array([end for _, end, _ in self.extents])
+
+    def __len__(self) -> int:
+        return len(self.extents)
+
+    def containing(self, lo: int, hi: int) -> Optional[str]:
+        """Name of the buffer fully containing ``[lo, hi)``, else ``None``."""
+        slot = int(np.searchsorted(self._bases, lo, side="right")) - 1
+        if slot < 0:
+            return None
+        base, end, name = self.extents[slot]
+        if lo >= base and hi <= end:
+            return name
+        return None
+
+    def containing_many(self, lo: np.ndarray,
+                        hi: np.ndarray) -> np.ndarray:
+        """Per interval: index into :attr:`extents`, or -1 when not fully
+        contained in any buffer."""
+        slot = np.searchsorted(self._bases, lo, side="right") - 1
+        clamped = np.where(slot >= 0, slot, 0)
+        inside = ((slot >= 0) & (lo >= self._bases[clamped])
+                  & (hi <= self._ends[clamped]))
+        return np.where(inside, clamped, -1)
+
+
+@dataclass
+class MemEvent:
+    """One memory access attributed to a trace event."""
+
+    index: int
+    interval: Tuple[int, int]
+    is_store: bool
+    buffer: Optional[str]       #: containing buffer, ``None`` if OOB/unknown
+
+
+@dataclass
+class MemoryFootprint:
+    """Byte footprints and the memory dependence relation of one trace."""
+
+    #: Per-access object view; empty on the lite path (``with_deps=False``).
+    accesses: List[MemEvent]
+    #: Buffer name -> total distinct byte-interval hull touched, as merged
+    #: disjoint intervals; empty on the lite path.
+    touched: Dict[str, List[Tuple[int, int]]]
+    #: Memory-ordering edges (src event, dst event, kind) with kind in
+    #: {"mem-raw", "mem-war", "mem-waw", "fence"}; src < dst always.
+    #: Only populated when built ``with_deps`` (see :attr:`has_deps`).
+    edges: List[Tuple[int, int, str]]
+    #: Accesses whose hull is not contained in any declared buffer
+    #: (empty when the trace declares no buffers at all).
+    out_of_bounds: List[MemEvent] = field(default_factory=list)
+    has_deps: bool = True
+
+
+class _SegmentMap:
+    """Disjoint last-writer segments plus readers-since-write, by start."""
+
+    def __init__(self) -> None:
+        self._starts: List[int] = []
+        #: start -> (end, writer event, set of reader events since)
+        self._segs: Dict[int, Tuple[int, int, Set[int]]] = {}
+
+    def _overlapping(self, lo: int, hi: int) -> List[int]:
+        if not self._starts or lo >= hi:
+            return []
+        slot = bisect_right(self._starts, lo) - 1
+        out = []
+        if slot >= 0:
+            start = self._starts[slot]
+            if self._segs[start][0] > lo:
+                out.append(start)
+        slot += 1
+        while slot < len(self._starts) and self._starts[slot] < hi:
+            out.append(self._starts[slot])
+            slot += 1
+        return out
+
+    def load(self, index: int, lo: int, hi: int,
+             edges: List[Tuple[int, int, str]]) -> None:
+        for start in self._overlapping(lo, hi):
+            _end, writer, readers = self._segs[start]
+            if writer >= 0 and writer != index:
+                edges.append((writer, index, "mem-raw"))
+            readers.add(index)
+        # Track readers of never-written ranges too (for WAR on input
+        # buffers): materialise a writer-less segment covering the gaps.
+        self._fill_gaps(lo, hi, reader=index)
+
+    def store(self, index: int, lo: int, hi: int,
+              edges: List[Tuple[int, int, str]]) -> None:
+        for start in self._overlapping(lo, hi):
+            end, writer, readers = self._segs[start]
+            if writer >= 0 and writer != index:
+                edges.append((writer, index, "mem-waw"))
+            for reader in readers:
+                if reader != index:
+                    edges.append((reader, index, "mem-war"))
+            # Trim the old segment to the parts outside [lo, hi).
+            self._remove(start)
+            if start < lo:
+                self._insert(start, min(end, lo), writer, set(readers))
+            if end > hi:
+                self._insert(max(start, hi), end, writer, set(readers))
+        self._insert(lo, hi, index, set())
+
+    def _fill_gaps(self, lo: int, hi: int, reader: int) -> None:
+        cursor = lo
+        for start in self._overlapping(lo, hi):
+            end = self._segs[start][0]
+            if start > cursor:
+                self._insert(cursor, start, -1, {reader})
+            cursor = max(cursor, end)
+        if cursor < hi:
+            self._insert(cursor, hi, -1, {reader})
+
+    def _insert(self, lo: int, hi: int, writer: int, readers: Set[int]) -> None:
+        if lo >= hi:
+            return
+        insort(self._starts, lo)
+        self._segs[lo] = (hi, writer, readers)
+
+    def _remove(self, start: int) -> None:
+        del self._segs[start]
+        self._starts.pop(bisect_left(self._starts, start))
+
+
+def _merge_intervals(intervals: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    merged: List[Tuple[int, int]] = []
+    for lo, hi in sorted(intervals):
+        if merged and lo <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+_ACCESS_FIELDS = attrgetter("base", "stride", "count", "elem_bytes",
+                            "is_store", "addresses")
+
+
+def _access_intervals(
+        mem_rows: List[Tuple[int, MemAccess]]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :func:`access_interval` over every access: arrays
+    ``(lo, hi, is_store)``, program order."""
+    if not mem_rows:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty.copy(), np.zeros(0, dtype=bool)
+    base, stride, count, elem_bytes, is_store, addresses = zip(
+        *(_ACCESS_FIELDS(access) for _index, access in mem_rows))
+    base = np.array(base, dtype=np.int64)
+    span = (np.array(stride, dtype=np.int64)
+            * (np.maximum(np.array(count, dtype=np.int64), 1) - 1))
+    eb = np.array(elem_bytes, dtype=np.int64)
+    lo = base + np.minimum(0, span)
+    hi = base + np.maximum(0, span) + eb
+    # Degenerate (count <= 0) and indexed accesses take the scalar path.
+    for slot, (count_slot, addrs) in enumerate(zip(count, addresses)):
+        if addrs is not None or count_slot <= 0:
+            lo[slot], hi[slot] = access_interval(mem_rows[slot][1])
+    return lo, hi, np.array(is_store, dtype=bool)
+
+
+def build_footprint(trace: Trace, columns: Optional[TraceColumns] = None,
+                    with_deps: bool = True) -> MemoryFootprint:
+    """Fold every memory access into intervals (and dependence edges)."""
+    cols = columns if columns is not None else TraceColumns(trace)
+    buffer_map = BufferMap(trace.buffers or {})
+    mem_rows = cols.mem_rows
+    lo, hi, is_store = _access_intervals(mem_rows)
+    if len(buffer_map) and len(mem_rows):
+        containing = buffer_map.containing_many(lo, hi)
+    else:
+        containing = np.full(len(mem_rows), -1, dtype=np.int64)
+
+    oob: List[MemEvent] = []
+    if len(buffer_map):
+        for slot in np.nonzero(containing < 0)[0]:
+            index, _access = mem_rows[slot]
+            oob.append(MemEvent(index=index,
+                                interval=(int(lo[slot]), int(hi[slot])),
+                                is_store=bool(is_store[slot]), buffer=None))
+    if not with_deps:
+        return MemoryFootprint(accesses=[], touched={}, edges=[],
+                               out_of_bounds=oob, has_deps=False)
+
+    accesses: List[MemEvent] = []
+    per_buffer: Dict[str, List[Tuple[int, int]]] = {}
+    for slot, (index, _access) in enumerate(mem_rows):
+        name = (buffer_map.extents[containing[slot]][2]
+                if containing[slot] >= 0 else None)
+        mem_event = MemEvent(index=index,
+                             interval=(int(lo[slot]), int(hi[slot])),
+                             is_store=bool(is_store[slot]), buffer=name)
+        accesses.append(mem_event)
+        if name is not None:
+            per_buffer.setdefault(name, []).append(mem_event.interval)
+
+    fences = cols.fence_events()
+    touched = {name: _merge_intervals(spans)
+               for name, spans in per_buffer.items()}
+    return MemoryFootprint(accesses=accesses, touched=touched,
+                           edges=_dependence_edges(accesses, fences),
+                           out_of_bounds=oob, has_deps=True)
+
+
+def _dependence_edges(accesses: List[MemEvent],
+                      fences: List[int]) -> List[Tuple[int, int, str]]:
+    """Sequential last-writer segment sweep (DepGraph construction only)."""
+    edges: List[Tuple[int, int, str]] = []
+    segments = _SegmentMap()
+    last_fence = -1
+    since_fence: List[int] = []
+    fence_slot = 0
+    for mem_event in accesses:
+        index = mem_event.index
+        while fence_slot < len(fences) and fences[fence_slot] < index:
+            fence = fences[fence_slot]
+            for touched in since_fence:
+                edges.append((touched, fence, "fence"))
+            last_fence, since_fence = fence, []
+            fence_slot += 1
+        if last_fence >= 0 and (not since_fence or since_fence[-1] != index):
+            edges.append((last_fence, index, "fence"))
+        if not since_fence or since_fence[-1] != index:
+            since_fence.append(index)
+        lo, hi = mem_event.interval
+        if mem_event.is_store:
+            segments.store(index, lo, hi, edges)
+        else:
+            segments.load(index, lo, hi, edges)
+    while fence_slot < len(fences):
+        fence = fences[fence_slot]
+        for touched in since_fence:
+            edges.append((touched, fence, "fence"))
+        since_fence = []
+        fence_slot += 1
+    return sorted(set(edges))

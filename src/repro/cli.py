@@ -33,6 +33,12 @@ Commands
     Statically verify micro-programs (CFG + dataflow analysis): every ROM
     program for every parallelization factor by default, or an assembly
     listing via ``--asm``.  Exits non-zero when errors are found.
+``check``
+    Statically analyze vector traces (def-use chains, memory footprints,
+    hazard checkers, dependence graph): every workload by default, or
+    saved fuzz cases via ``--corpus DIR``.  Exits non-zero on ANY
+    finding.  ``lint`` and ``check`` share one ``--json`` findings
+    schema.
 ``figure NAME``
     Regenerate a figure/table (fig1, fig2, table3, area).
 ``fuzz``
@@ -84,7 +90,7 @@ from .experiments.systems import canonical_system as _canonical_system
 from .faults.inject import FAULT_MODELS
 from .obs import MetricsRegistry, SelfProfiler, SpanTracer
 from .obs.diff import DEFAULT_SPEEDUP_BUDGET, diff_records
-from .obs.render import emit_csv, emit_json, write_json
+from .obs.render import emit_csv, emit_json, findings_json, write_json
 from .obs.runstore import DEFAULT_ROOT, RunRecord, RunStore, make_record
 from .obs.scorecard import FIGURES, build_scorecard, scorecard_pairs
 from .uops import MacroOpRom, assemble, disassemble, lint_program, lint_rom
@@ -383,12 +389,33 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_stats(args) -> int:
+    from .analysis import analyze_trace
     runner = _make_runner(args)
     metrics = MetricsRegistry()
     result = runner.run(args.system, args.workload, metrics=metrics)
     metrics.assert_schema()
+    # The simulated trace is already cached, so the characterisation and
+    # (for vector traces) the static-analyzer summary come for free.
+    trace = runner.trace_for(args.system, args.workload)
+    tstats = trace.stats()
+    analysis = (analyze_trace(trace, name=args.workload).summary
+                if trace.vlmax is not None else None)
     payload = result.to_json_dict()
     payload["metrics"] = metrics.snapshot()
+    payload["trace_stats"] = {
+        "dynamic_instrs": tstats.dynamic_instrs,
+        "vector_instrs": tstats.vector_instrs,
+        "scalar_instrs": tstats.scalar_instrs,
+        "total_ops": tstats.total_ops,
+        "vector_ops": tstats.vector_ops,
+        "vi_pct": tstats.vi_pct, "vo_pct": tstats.vo_pct,
+        "vpar": tstats.vpar, "prd_pct": tstats.prd_pct,
+        "arith_intensity": tstats.arith_intensity,
+        "by_category": {cat.name: count
+                        for cat, count in tstats.by_category.items()},
+    }
+    if analysis is not None:
+        payload["analysis"] = analysis.to_json()
     payload["self_profile"] = runner.profiler.as_dict()
     if args.json:
         emit_json(payload)
@@ -402,6 +429,15 @@ def _cmd_stats(args) -> int:
         print(f"workload  : {result.workload}")
         print(f"cycles    : {result.cycles:.0f}")
         print(f"time      : {result.time_ns / 1e3:.1f} us")
+        print(f"trace     : {tstats.dynamic_instrs} instrs, "
+              f"VI% {tstats.vi_pct:.1f}, VPar {tstats.vpar:.1f}, "
+              f"ArInt {tstats.arith_intensity:.2f}")
+        if analysis is not None:
+            print(f"analysis  : dead_writes={analysis.dead_writes}, "
+                  f"live_hwm={analysis.live_high_water}, "
+                  f"dep depth={analysis.dep_depth} "
+                  f"width={analysis.dep_width}, "
+                  f"ilp={analysis.ilp_width:.1f}")
         rows = list(metrics.flat().items())
         print(format_table(["metric", "value"], rows))
         prof = runner.profiler.merged()
@@ -552,6 +588,9 @@ def _cmd_lint(args) -> int:
         if count == 0:
             print(f"lint: no ROM program named {args.macro!r}", file=sys.stderr)
             return 2
+    if args.json:
+        emit_json(findings_json(findings, count))
+        return 1 if any(f.severity == "error" for f in findings) else 0
     if findings:
         rows = [[f.program, f.index if f.index >= 0 else "-", f.rule,
                  f.severity, f.message] for f in findings]
@@ -562,6 +601,66 @@ def _cmd_lint(args) -> int:
     print(f"{count} program(s) linted: {errors} error(s), "
           f"{warnings} warning(s)")
     return 1 if errors else 0
+
+
+def _check_traces(args):
+    """(name, trace) pairs for ``repro check``: workloads or a corpus."""
+    if args.corpus:
+        import glob
+        import os
+        from .faults.fuzz import load_case, run_case
+        from .isa.intrinsics import VectorContext
+        paths = sorted(glob.glob(os.path.join(args.corpus, "*.json")))
+        if not paths:
+            raise ReproError(f"no case JSONs under {args.corpus!r}")
+        for path in paths:
+            name = os.path.splitext(os.path.basename(path))[0]
+            case = load_case(path)
+            ctx = VectorContext(case.vlmax, name=name)
+            run_case(case, ctx)
+            yield name, ctx.finalize_trace()
+        return
+    for name in (args.workload or sorted(REGISTRY)):
+        workload = REGISTRY[name]
+        params = dict(workload.tiny_params) if args.tiny else None
+        yield name, workload.vector_trace(args.vlmax, params, verify=False,
+                                          seed=args.seed)
+
+
+def _cmd_check(args) -> int:
+    from .analysis import analyze_trace
+    findings = []
+    summaries = {}
+    for name, trace in _check_traces(args):
+        report = analyze_trace(trace, name=name)
+        findings += report.findings
+        summaries[name] = report.summary
+    if args.json or args.json_out:
+        payload = findings_json(findings, len(summaries))
+        payload["programs_detail"] = {name: summary.to_json()
+                                      for name, summary in summaries.items()}
+        if args.json:
+            emit_json(payload)
+        if args.json_out:
+            write_json(args.json_out, payload)
+    if not args.json:
+        if findings:
+            rows = [[f.program, f.index, f.rule, f.severity, f.message]
+                    for f in findings]
+            print(format_table(
+                ["program", "instr", "rule", "severity", "message"], rows))
+            print()
+        rows = [[name, s.events, s.vector_instrs, s.dead_writes,
+                 s.live_high_water, s.dep_edges, s.dep_depth, s.dep_width]
+                for name, s in summaries.items()]
+        print(format_table(
+            ["program", "events", "vector", "dead_writes", "live_hwm",
+             "dep_edges", "depth", "width"], rows))
+        errors = sum(1 for f in findings if f.severity == "error")
+        print(f"{len(summaries)} trace(s) checked: {errors} error(s), "
+              f"{len(findings) - errors} warning(s)")
+    # CI gates on ANY finding (warnings included), unlike lint.
+    return 1 if findings else 0
 
 
 def _cmd_figure(args) -> int:
@@ -871,6 +970,32 @@ def build_parser() -> argparse.ArgumentParser:
                       help="restrict the ROM sweep to one macro-operation")
     lint.add_argument("--asm", default=None, metavar="FILE",
                       help="lint an assembly listing instead of the ROM")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable findings (same schema as "
+                           "'repro check --json')")
+
+    check = sub.add_parser(
+        "check", help="statically analyze vector traces (def-use, memory "
+                      "footprint, hazards, dependence graph); exits "
+                      "non-zero on any finding")
+    check.add_argument("--workload", nargs="+", type=_canonical_workload,
+                       choices=sorted(REGISTRY), default=None,
+                       metavar="WORKLOAD",
+                       help="restrict to these workloads (default: all)")
+    check.add_argument("--vlmax", type=int, default=2048, metavar="VL",
+                       help="hardware vector length for the generated "
+                            "traces (default: 2048)")
+    check.add_argument("--tiny", action="store_true",
+                       help="use the test-sized problem inputs")
+    check.add_argument("--corpus", default=None, metavar="DIR",
+                       help="check saved fuzz-case JSONs under DIR instead "
+                            "of workload traces")
+    check.add_argument("--json", action="store_true",
+                       help="machine-readable findings + per-trace "
+                            "analyzer summaries")
+    check.add_argument("--json-out", default=None, metavar="FILE",
+                       help="also write the JSON report to FILE")
+    _add_seed_argument(check)
 
     figure = sub.add_parser("figure", help="regenerate a static figure")
     figure.add_argument("name")
@@ -941,6 +1066,7 @@ _COMMANDS = {
     "scorecard": _cmd_scorecard,
     "uprog": _cmd_uprog,
     "lint": _cmd_lint,
+    "check": _cmd_check,
     "figure": _cmd_figure,
     "fuzz": _cmd_fuzz,
     "faults": _cmd_faults,

@@ -71,6 +71,18 @@ class MetricsSchemaError(ReproError):
     or conflicting reserved prefixes)."""
 
 
+class AnalysisError(ReproError):
+    """A trace failed static analysis in strict mode.
+
+    Carries the checkers' full diagnostic list in :attr:`findings`
+    (a tuple of :class:`repro.uops.lint.Finding`).
+    """
+
+    def __init__(self, message: str, findings=()) -> None:
+        super().__init__(message)
+        self.findings = tuple(findings)
+
+
 class FaultInjectionError(ReproError):
     """A fault-injection or fuzzing request is malformed (unknown fault
     model, unreplayable case file, or an unarmable fault target)."""

@@ -44,14 +44,16 @@ from ..config import all_system_names
 from ..obs.metrics import MetricsRegistry
 from ..obs.selfprof import SelfProfiler
 from ..workloads import DEFAULT_SEED, REGISTRY, canonical_workload, get_workload
-from .runner import ExperimentRunner
+from .runner import ExperimentRunner, strict_check_enabled
 from .systems import build_machine, canonical_system, trace_vlmax
 
 #: Default on-disk cache directory (sibling of ``.eve-runs/``).
 DEFAULT_CACHE_ROOT = ".eve-cache"
 
 #: Bump to invalidate every cached pickle when the cache layout changes.
-CACHE_VERSION = 1
+#: v2: traces carry ``vlmax``/``buffers`` metadata, the ``vid`` opcode,
+#: and free-list register allocation.
+CACHE_VERSION = 2
 
 #: ``fork`` keeps worker start-up cheap where the OS offers it; spawn is
 #: the portable fallback (all cell inputs are picklable primitives).
@@ -220,6 +222,10 @@ def simulate_cell(spec: tuple) -> Dict[str, object]:
             else:
                 trace = wl.vector_trace(vlmax, params, verify=verify,
                                         seed=seed)
+                if strict_check_enabled():
+                    from ..analysis import require_clean
+                    require_clean(trace,
+                                  context=f"strict check, vlmax={vlmax}")
         if trace_path is not None:
             cache.store(trace_path, trace)
     with profiler.phase(f"sim:{system}"):

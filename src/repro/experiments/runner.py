@@ -14,6 +14,7 @@ instruments observe a real execution).
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Dict, Optional, Tuple
 
@@ -25,6 +26,16 @@ from ..obs.tracer import SpanTracer
 from ..workloads import DEFAULT_SEED, canonical_workload, get_workload
 from .systems import build_machine, canonical_system, trace_vlmax
 
+#: Environment switch for strict-mode static checking; CI sets it so every
+#: freshly built vector trace must pass ``repro check`` before simulating.
+STRICT_CHECK_ENV = "EVE_STRICT_CHECK"
+
+
+def strict_check_enabled() -> bool:
+    """Whether the environment requests strict-mode trace checking."""
+    return os.environ.get(STRICT_CHECK_ENV, "").strip().lower() in (
+        "1", "true", "yes", "on")
+
 
 class ExperimentRunner:
     """Runs (system, workload) pairs, caching traces and results."""
@@ -32,12 +43,19 @@ class ExperimentRunner:
     def __init__(self, params_override: Optional[Dict[str, dict]] = None,
                  verify: bool = True,
                  profiler: Optional[SelfProfiler] = None,
-                 seed: int = DEFAULT_SEED) -> None:
+                 seed: int = DEFAULT_SEED,
+                 strict_check: Optional[bool] = None) -> None:
         #: workload name -> params override (benchmarks use smaller inputs).
         self.params_override = params_override or {}
         self.verify = verify
         self.seed = seed
         self.profiler = profiler or SelfProfiler()
+        #: Run the static hazard checkers on every freshly built vector
+        #: trace and refuse to simulate a failing one.  ``None`` defers to
+        #: the ``EVE_STRICT_CHECK`` environment variable (off by default
+        #: in sweeps, on in CI).
+        self.strict_check = (strict_check_enabled() if strict_check is None
+                             else strict_check)
         self._traces: Dict[Tuple[str, int], Trace] = {}
         self._results: Dict[Tuple[str, str], SimResult] = {}
 
@@ -52,7 +70,20 @@ class ExperimentRunner:
                 else:
                     self._traces[key] = workload.vector_trace(
                         vlmax, params, verify=self.verify, seed=self.seed)
+                    if self.strict_check:
+                        from ..analysis import require_clean
+                        require_clean(self._traces[key],
+                                      context=f"strict check, vlmax={vlmax}")
         return self._traces[key]
+
+    def trace_for(self, system_name: str, workload_name: str) -> Trace:
+        """The trace ``system_name`` would simulate for ``workload_name``
+        (built and cached on first request; scalar systems get the
+        workload's scalar trace)."""
+        system_name = canonical_system(system_name)
+        workload_name = canonical_workload(workload_name)
+        machine = build_machine(system_name)
+        return self._trace(workload_name, trace_vlmax(machine.config))
 
     def run(self, system_name: str, workload_name: str,
             tracer: Optional[SpanTracer] = None,

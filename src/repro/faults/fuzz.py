@@ -511,6 +511,21 @@ def _without_op(case: FuzzCase, idx: int) -> Optional[FuzzCase]:
     return replace(case, ops=ops)
 
 
+def _trace_is_clean(case: FuzzCase) -> Optional[bool]:
+    """Whether the case's oracle trace passes the static checkers.
+
+    ``None`` when the oracle crashes mid-case (no trace to analyze —
+    the crash itself is the repro)."""
+    from ..analysis import check_trace
+    ctx = VectorContext(case.vlmax, name="shrink")
+    try:
+        run_case(case, ctx)
+    except Exception:  # noqa: BLE001 - crash repros pass through unchecked
+        return None
+    trace = ctx.finalize_trace()
+    return not any(f.severity == "error" for f in check_trace(trace))
+
+
 def shrink_case(case: FuzzCase, factor: int,
                 max_rounds: int = 20) -> FuzzCase:
     """Greedy delta-debugging: minimise while the divergence persists.
@@ -519,10 +534,23 @@ def shrink_case(case: FuzzCase, factor: int,
     (then one) individual input elements, and shrink ``avl``.  A candidate
     is accepted only if the oracle/DUT comparison at ``factor`` still
     diverges — crashes included, so a repro never shrinks into validity.
+
+    Shrunk repros must also keep passing the static analyzer: trace
+    cleanliness is a ratchet.  Random cases may start dirty (e.g. a dead
+    compare the generator emitted), and reducers are free to strip the
+    offending ops — but once a candidate's oracle trace is
+    ``check``-clean, any later candidate that would re-dirty it is
+    rejected, so the emitted repro never trades analyzability for size.
+    Oracle-crash candidates bypass the ratchet (the crash is the repro).
     """
+    must_stay_clean = bool(_trace_is_clean(case))
+
     def still_fails(candidate: FuzzCase) -> bool:
-        return compare_runs(run_oracle(candidate),
-                            run_dut(candidate, factor)) is not None
+        if compare_runs(run_oracle(candidate),
+                        run_dut(candidate, factor)) is None:
+            return False
+        clean = _trace_is_clean(candidate)
+        return clean is None or clean or not must_stay_clean
 
     if not still_fails(case):
         return case

@@ -39,6 +39,14 @@ class MemAccess:
     def __post_init__(self) -> None:
         if self.addresses is None and self.count > 0 and self.stride == 0 and self.count > 1:
             raise IsaError("strided pattern with zero stride and count > 1")
+        if self.addresses is not None:
+            addrs = np.asarray(self.addresses)
+            if not np.issubdtype(addrs.dtype, np.integer):
+                raise IsaError(
+                    f"gather/scatter addresses must be integers "
+                    f"(got dtype {addrs.dtype})")
+            if addrs.size and int(addrs.min()) < 0:
+                raise IsaError("gather/scatter addresses must be non-negative")
 
     @property
     def num_accesses(self) -> int:
@@ -78,6 +86,12 @@ class VectorInstr:
     mem: Optional[MemAccess] = None
     #: Index-register source for indexed memory ops (for dependency tracking).
     vidx: int = -1
+    #: Merge-old register for masked ops / vslideup: lanes the instruction
+    #: does not produce are taken from this register.  Deliberately NOT
+    #: part of :attr:`sources` — the timing models treat the merge as part
+    #: of the writeback, so dependence chains (and cycle counts) ignore it;
+    #: the static analyzer reads it via :attr:`reads`.
+    vold: int = -1
 
     def __post_init__(self) -> None:
         info = self.info  # validates the opcode
@@ -106,6 +120,22 @@ class VectorInstr:
         if self.info.is_store or self.info.writes_scalar:
             return -1
         return self.vd
+
+    @property
+    def reads(self) -> Tuple[int, ...]:
+        """Every register whose *value* this instruction consumes.
+
+        Superset of :attr:`sources`: adds the merge-old register and, for
+        masked instructions, the v0 predicate.  The static analyzer uses
+        this; the timing scoreboards keep using :attr:`sources` so cycle
+        accounting is unchanged.
+        """
+        regs = list(self.sources)
+        if self.vold >= 0:
+            regs.append(self.vold)
+        if self.masked:
+            regs.append(0)
+        return tuple(regs)
 
 
 @dataclass(frozen=True)

@@ -75,6 +75,10 @@ OPCODES: dict[str, OpInfo] = dict(
         _op("vmsge", Category.IALU, "compare"),
         _op("vmerge", Category.IALU, "merge"),
         _op("vmv", Category.IALU, "move"),
+        # Index ramp (RVV vid.v with an optional scale): result lane i is
+        # vs1[i] + i*scalar.  Costed as one "add" macro so the historical
+        # vmv+vadd modelling of viota keeps its cycle count.
+        _op("vid", Category.IALU, "add"),
         # Fixed-point saturating ops (RVV vsadd family); the VCU decomposes
         # them into sequences of the base macro-operations.
         _op("vsadd", Category.IALU, "sadd"),

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from .instructions import ScalarBlock, VectorInstr
 from .opcodes import Category
@@ -63,6 +63,14 @@ class Trace:
     def __init__(self, name: str = "trace") -> None:
         self.name = name
         self.events: List[Event] = []
+        #: Hardware vlmax the trace was built for; stamped by
+        #: :meth:`VectorContext.finalize_trace`, ``None`` for hand-built or
+        #: scalar traces.  The static analyzer uses it to check vsetvl use.
+        self.vlmax: Optional[int] = None
+        #: Buffer layout: name -> (base byte address, size in bytes).
+        #: Stamped alongside :attr:`vlmax`; the analyzer checks every
+        #: memory footprint against these declared extents.
+        self.buffers: Dict[str, Tuple[int, int]] = {}
 
     def append(self, event: Event) -> None:
         self.events.append(event)

@@ -39,3 +39,20 @@ def emit_csv(headers: Sequence[str], rows: Iterable[Sequence[object]],
     writer.writerow(list(headers))
     for row in rows:
         writer.writerow(list(row))
+
+
+def findings_json(findings: Sequence[object], programs: int) -> dict:
+    """One findings schema for ``lint --json`` and ``check --json``.
+
+    ``findings`` is any sequence of objects with ``program`` / ``index``
+    / ``rule`` / ``severity`` / ``message`` attributes (duck-typed so the
+    uop linter and the trace analyzer share it without an import cycle).
+    """
+    return {
+        "programs": programs,
+        "errors": sum(1 for f in findings if f.severity == "error"),
+        "warnings": sum(1 for f in findings if f.severity == "warning"),
+        "findings": [{"program": f.program, "index": f.index,
+                      "rule": f.rule, "severity": f.severity,
+                      "message": f.message} for f in findings],
+    }

@@ -331,7 +331,7 @@ class RunStore:
                     doc = json.loads(line)
                 except json.JSONDecodeError as exc:
                     raise RunStoreError(
-                        f"{self.runs_path}:{lineno}: corrupt record: {exc}")
+                        f"{self.runs_path}:{lineno}: corrupt record: {exc}") from exc
                 yield RunRecord.from_json_dict(doc)
 
     def history(self, limit: Optional[int] = None,
@@ -423,7 +423,8 @@ def load_record_file(path: str) -> RunRecord:
         with open(path) as handle:
             doc = json.load(handle)
     except OSError as exc:
-        raise RunStoreError(f"cannot read record file {path}: {exc}")
+        raise RunStoreError(
+            f"cannot read record file {path}: {exc}") from exc
     except json.JSONDecodeError as exc:
-        raise RunStoreError(f"{path} is not valid JSON: {exc}")
+        raise RunStoreError(f"{path} is not valid JSON: {exc}") from exc
     return RunRecord.from_json_dict(doc)

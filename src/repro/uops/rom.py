@@ -160,6 +160,10 @@ def instr_key(instr: VectorInstr) -> Optional[Tuple[str, Tuple[Tuple[str, object
         return None
     if op in ("vadd", "vsub", "vrsub"):
         return op[1:], (("masked", instr.masked),)
+    if op == "vid":
+        # Index ramp: costed as the "add" half of the historical vmv+vadd
+        # pair so viota's cycle accounting is unchanged.
+        return "add", (("masked", instr.masked),)
     if op in _LOGIC:
         return "logic", (("op", _LOGIC[op]), ("masked", instr.masked))
     if op == "vmv":

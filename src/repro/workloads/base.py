@@ -82,7 +82,7 @@ class Workload:
                     raise WorkloadError(
                         f"{self.name}: vector kernel output {key!r} does not "
                         "match the reference model")
-        return ctx.trace
+        return ctx.finalize_trace()
 
     def run_bit_exact(self, engine, params: Optional[Dict[str, int]] = None,
                       seed: int = DEFAULT_SEED) -> Dict[str, np.ndarray]:

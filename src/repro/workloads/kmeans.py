@@ -70,7 +70,11 @@ class KmeansWorkload(Workload):
                     acc = ctx.vadd(acc, ctx.vmul(d, d))
                     ctx.scalar(2)
                 closer = ctx.vmslt(acc, best_d)
-                best_d = ctx.vmerge(closer, acc, best_d)
+                if c < k - 1:
+                    # The last cluster's best-distance update is dead: only
+                    # best_i survives the loop, so skip the merge (the
+                    # static analyzer flags it as a dead write otherwise).
+                    best_d = ctx.vmerge(closer, acc, best_d)
                 best_i = ctx.vmerge(closer, ctx.vmv(c), best_i)
             ctx.vse32(best_i, membership, i)
             # Error pass: gather the assigned centre, feature by feature,

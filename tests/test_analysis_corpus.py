@@ -1,0 +1,94 @@
+"""Corpus replay through the static analyzer.
+
+Every case under ``tests/corpus/`` runs twice: functionally through the
+oracle :class:`~repro.isa.intrinsics.VectorContext` (recording ``peek()``
+observations), and through the trace-level
+:class:`~repro.analysis.TraceReplayer` over the recorded trace.  The
+contract:
+
+* when the trace passes ``check`` clean, every live-out register and
+  every buffer must match the functional execution bit-for-bit;
+* when ``check`` reports errors, the case exercises a trace-level
+  infidelity the checker is *supposed* to flag (``mask_merge`` uses a
+  stale mask object the single-v0 trace IR cannot represent), and the
+  error findings are the test's expected output.
+"""
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis import TraceColumns, TraceReplayer, check_trace
+from repro.faults import fuzz
+from repro.isa.intrinsics import Vec, VectorContext
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CASES = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+#: Cases whose trace legitimately fails ``check``: they use a stale
+#: :class:`Mask` object (``mask_merge``) or compute a mask they never
+#: consume (``strided``), both of which the trace-level single-v0 IR
+#: reports as a dead v0 write.
+EXPECTED_DIRTY = {"mask_merge", "strided"}
+
+
+def run_functional(case, name):
+    """Execute ``case`` on the oracle, keeping every slot object alive."""
+    ctx = VectorContext(case.vlmax, name=name)
+    bufs = {buf_name: ctx.vm.alloc_i32(
+                buf_name, np.array(vals, dtype=np.int64).astype(np.int32))
+            for buf_name, vals in case.inputs.items()}
+    ctx.setvl(case.avl)
+    slots = []
+    for op in case.ops:
+        slots.append(fuzz._apply(ctx, op, slots, bufs))
+    return ctx, slots
+
+
+def test_corpus_is_populated():
+    assert len(CASES) >= 9
+
+
+@pytest.mark.parametrize(
+    "path", CASES, ids=[os.path.splitext(os.path.basename(p))[0]
+                        for p in CASES])
+def test_corpus_case_cross_checks_against_replay(path):
+    name = os.path.splitext(os.path.basename(path))[0]
+    case = fuzz.load_case(path)
+    ctx, slots = run_functional(case, name)
+    trace = ctx.finalize_trace()
+
+    errors = [f for f in check_trace(trace) if f.severity == "error"]
+    if name in EXPECTED_DIRTY:
+        assert errors, "expected the checker to flag this case"
+        assert {f.rule for f in errors} == {"dead-write"}
+        return
+    assert errors == [], [str(f) for f in errors]
+
+    images = {buf.base: np.array(case.inputs[buf_name], dtype=np.int64)
+              .astype(np.int32)
+              for buf_name, buf in ctx.vm.buffers.items()}
+    replay = TraceReplayer(trace, images).run()
+
+    # Live-out registers: the trace replay must reproduce the functional
+    # peek() observations (replayed values shorter than the functional
+    # view are zero-tail definitions, e.g. vmv.s.x).
+    live = TraceColumns(trace).live_out()
+    checked = 0
+    for result in slots:
+        if isinstance(result, Vec) and result.reg in live:
+            want = np.asarray(ctx.peek(result), dtype=np.int64)
+            got = replay._read(result.reg, len(want)).astype(np.int64)
+            assert np.array_equal(got, want), (
+                f"live-out v{result.reg}: replay {got.tolist()} != "
+                f"functional {want.tolist()}")
+            checked += 1
+    assert checked, "case has no live-out vector results to cross-check"
+
+    # Final memory must match too.
+    for buf_name, buf in ctx.vm.buffers.items():
+        addrs = buf.base + 4 * np.arange(buf.data.size, dtype=np.int64)
+        assert np.array_equal(replay.load(addrs), buf.data), (
+            f"buffer {buf_name} diverged under trace replay")

@@ -1,5 +1,7 @@
 """Command-line interface tests."""
 
+import os
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -101,6 +103,55 @@ class TestLintCommand:
         assert main(["lint", "--asm", str(tmp_path / "nope.uasm")]) == 2
         assert "cannot read" in capsys.readouterr().err
 
+    def test_json_findings_schema(self, capsys):
+        import json
+        assert main(["lint", "--factor", "4", "--macro", "div",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"programs", "errors", "warnings", "findings"}
+        assert payload["programs"] == 4
+        assert payload["errors"] == 0 and payload["findings"] == []
+
+
+class TestCheckCommand:
+    def test_all_workloads_are_clean(self, capsys):
+        assert main(["check", "--tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s)" in out
+        assert "7 trace(s) checked" in out
+        assert "vvadd" in out and "dep_edges" in out
+
+    def test_json_shares_the_lint_schema(self, capsys):
+        import json
+        assert main(["check", "--workload", "vvadd", "--tiny",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {"programs", "errors", "warnings",
+                "findings"} <= set(payload)
+        assert payload["programs"] == 1
+        detail = payload["programs_detail"]["vvadd"]
+        assert detail["errors"] == 0 and detail["dep_depth"] > 0
+
+    def test_json_out_writes_the_report(self, capsys, tmp_path):
+        import json
+        out_file = tmp_path / "findings.json"
+        assert main(["check", "--workload", "vvadd", "--tiny",
+                     "--json-out", str(out_file)]) == 0
+        assert json.loads(out_file.read_text())["errors"] == 0
+        # human table still printed alongside --json-out
+        assert "trace(s) checked" in capsys.readouterr().out
+
+    def test_corpus_mode_flags_expected_dirty_cases(self, capsys):
+        corpus = os.path.join(os.path.dirname(__file__), "corpus")
+        assert main(["check", "--corpus", corpus]) == 1
+        out = capsys.readouterr().out
+        assert "dead-write" in out
+        assert "9 trace(s) checked" in out
+
+    def test_empty_corpus_is_a_diagnostic(self, capsys, tmp_path):
+        assert main(["check", "--corpus", str(tmp_path)]) == 2
+        assert "no case JSONs" in capsys.readouterr().err
+
 
 class TestObservabilityCommands:
     def test_case_insensitive_system_name(self):
@@ -135,6 +186,16 @@ class TestObservabilityCommands:
         payload = json.loads(capsys.readouterr().out)
         assert payload["system"] == "O3+EVE-4"
         assert "metrics" in payload and "self_profile" in payload
+        assert payload["trace_stats"]["vector_instrs"] > 0
+        assert payload["analysis"]["dead_writes"] == 0
+        assert payload["analysis"]["live_high_water"] > 0
+
+    def test_stats_scalar_system_has_no_analysis(self, capsys):
+        import json
+        assert main(["stats", "IO", "vvadd", "--tiny", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trace_stats"]["vector_instrs"] == 0
+        assert "analysis" not in payload
 
     def test_stats_csv(self, capsys):
         assert main(["stats", "O3+EVE-4", "vvadd", "--tiny", "--csv"]) == 0

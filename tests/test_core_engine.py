@@ -145,7 +145,7 @@ class TestVruPath:
     def test_back_to_back_reductions_stall(self):
         trace = Trace("reds")
         trace.append(VectorInstr(op="vsetvl", vl=1024))
-        for i in range(4):
+        for _ in range(4):
             trace.append(VectorInstr(op="vredsum", vl=1024, vs1=1))
         result = make_eve(8).run(trace)
         assert result.breakdown.vru_stall >= 0  # attributed, never negative

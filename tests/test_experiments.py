@@ -52,6 +52,31 @@ class TestRunner:
     def test_speedup_positive(self, tiny_runner):
         assert tiny_runner.speedup("O3", "vvadd", baseline="IO") > 0
 
+    def test_trace_for_returns_the_simulated_trace(self, tiny_runner):
+        trace = tiny_runner.trace_for("o3+eve-4", "vvadd")
+        assert trace.vlmax == 2048
+        assert tiny_runner._traces[("vvadd", 2048)] is trace
+        assert tiny_runner.trace_for("IO", "vvadd").vlmax is None
+
+    def test_strict_check_env_switch(self, monkeypatch):
+        from repro.experiments.runner import (ExperimentRunner,
+                                              strict_check_enabled)
+        monkeypatch.delenv("EVE_STRICT_CHECK", raising=False)
+        assert not strict_check_enabled()
+        assert not ExperimentRunner().strict_check
+        monkeypatch.setenv("EVE_STRICT_CHECK", "1")
+        assert strict_check_enabled()
+        assert ExperimentRunner().strict_check
+        assert not ExperimentRunner(strict_check=False).strict_check
+
+    def test_strict_check_accepts_clean_workload_traces(self):
+        from repro.experiments.runner import ExperimentRunner
+        from repro.workloads import REGISTRY
+        runner = ExperimentRunner(
+            params_override={"vvadd": dict(REGISTRY["vvadd"].tiny_params)},
+            verify=False, strict_check=True)
+        assert runner.trace_for("O3+EVE-4", "vvadd").vlmax == 2048
+
     def test_eve_result_carries_breakdown(self, tiny_runner):
         result = tiny_runner.run("O3+EVE-8", "vvadd")
         assert result.breakdown is not None

@@ -80,7 +80,7 @@ class TestCampaign:
             run_campaign(1, models=["gamma_burst"])
 
     def test_deterministic_and_jobs_invariant(self):
-        kwargs = dict(seed=3, vlmax=8, num_ops=6)
+        kwargs = {"seed": 3, "vlmax": 8, "num_ops": 6}
         first = run_campaign(6, jobs=1, **kwargs)
         again = run_campaign(6, jobs=1, **kwargs)
         pooled = run_campaign(6, jobs=2, **kwargs)

@@ -7,9 +7,9 @@ import pytest
 
 from repro.core.functional import EveFunctionalEngine
 from repro.errors import FaultInjectionError
-from repro.faults.fuzz import (FUZZ_WIDTHS, FuzzCase, check_case, fuzz_many,
-                               generate_case, load_case, run_dut, run_oracle,
-                               shrink_case)
+from repro.faults.fuzz import (FUZZ_WIDTHS, FuzzCase, _trace_is_clean,
+                               check_case, fuzz_many, generate_case,
+                               load_case, run_dut, run_oracle, shrink_case)
 
 CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
 
@@ -92,6 +92,10 @@ class TestFuzzerFindsBugs:
         # The shrunk case must stay replayable after a JSON round trip.
         assert check_case(FuzzCase.from_dict(shrunk.to_json_dict()),
                           (8,)) != []
+        # The shrunk repro must still pass the static analyzer: the
+        # original trace is clean, so the cleanliness ratchet holds.
+        assert _trace_is_clean(case) is True
+        assert _trace_is_clean(shrunk) is True
 
     def test_fuzz_many_writes_replayable_repros(self, alias_bug, tmp_path):
         out_dir = tmp_path / "repros"
@@ -104,6 +108,32 @@ class TestFuzzerFindsBugs:
         assert len(files) == len(mismatches)
         replay = load_case(str(files[0]))
         assert check_case(replay, (mismatches[0].factor,)) != []
+
+
+class TestShrinkCleanlinessRatchet:
+    """Shrinking never trades analyzability for size: once a candidate's
+    oracle trace passes ``check``, dirtier candidates are rejected."""
+
+    @pytest.fixture()
+    def always_diverges(self, monkeypatch):
+        from repro.faults import fuzz
+        monkeypatch.setattr(fuzz, "compare_runs",
+                            lambda a, b: {"kind": "op", "index": 0})
+
+    def test_dirty_original_shrinks_to_a_clean_repro(self, always_diverges):
+        # Seed 1 generates a case with a dead compare, so its trace starts
+        # dirty; the reducers strip it, the ratchet engages, and the final
+        # repro is clean even though the original was not.
+        case = generate_case(1)
+        assert _trace_is_clean(case) is False
+        shrunk = shrink_case(case, 8)
+        assert len(shrunk.ops) < len(case.ops)
+        assert _trace_is_clean(shrunk) is True
+
+    def test_crashing_case_bypasses_the_ratchet(self):
+        case = FuzzCase(seed=0, vlmax=4, avl=4, inputs={},
+                        ops=[{"op": "vfmadd"}])
+        assert _trace_is_clean(case) is None
 
 
 class TestHealthySweep:

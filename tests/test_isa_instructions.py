@@ -63,7 +63,8 @@ class TestVectorInstr:
 
     def test_sources_include_index_register(self):
         instr = VectorInstr(op="vluxei32", vl=4, vd=3, vidx=7,
-                            mem=MemAccess(addresses=np.zeros(4), count=4))
+                            mem=MemAccess(addresses=np.zeros(4, dtype=np.int64),
+                                          count=4))
         assert 7 in instr.sources
 
     def test_store_reads_its_data_register(self):
