@@ -19,6 +19,11 @@ This is a *simulator-performance* benchmark, not a paper-results one: CI
 runs it to catch host-time and determinism regressions in the hot paths
 (the paper's figures live in the ``test_*`` drivers next to this file).
 
+An ``attribution-overhead`` leg additionally times O3+EVE-4 simulations
+with the cycle-attribution collector on vs off (min-of-3 each, same
+pre-built trace) and warns when the ratio exceeds a 10% budget — the
+null-hook pattern is supposed to make observability cheap.
+
 Unless ``--skip-sweep`` is given, it also wall-clocks the full systems x
 workloads sweep serially, fanned out over ``--jobs`` worker processes,
 and warm against the cell cache, cross-checking cycle-count equality —
@@ -46,6 +51,8 @@ import time
 
 from repro.analysis import check_trace
 from repro.experiments import ExperimentRunner, ParallelRunner, sweep_pairs
+from repro.experiments.systems import build_machine
+from repro.obs import AttributionCollector
 from repro.obs.runstore import DEFAULT_ROOT, RunStore, make_record
 from repro.workloads import REGISTRY
 
@@ -54,6 +61,53 @@ SYSTEMS = ("IO", "O3+EVE-4")
 #: Hardware vector length for the dedicated analyzer-timing leg (the
 #: EVE trace the simulated systems share).
 ANALYSIS_VLMAX = 2048
+
+#: Workloads timed by the attribution-overhead leg, and the host-time
+#: ratio (attributed / uninstrumented simulation) it budgets for.
+ATTRIBUTION_WORKLOADS = ("backprop", "k-means")
+ATTRIBUTION_BUDGET = 1.10
+
+
+def time_attribution(full: bool):
+    """Wall-clock the cycle-attribution overhead on O3+EVE-4.
+
+    Min-of-3 uninstrumented simulations vs min-of-3 attributed ones
+    (conservation gate included) on pre-built traces, per workload in
+    :data:`ATTRIBUTION_WORKLOADS`.  The ratio must stay within
+    :data:`ATTRIBUTION_BUDGET`; like all wall-clock numbers here it is
+    advisory (diffed, not gated), but the benchmark prints a WARNING so
+    a hot-loop regression is visible in the CI log.
+    """
+    override = None if full else _tiny_override()
+    out = {}
+    for workload in ATTRIBUTION_WORKLOADS:
+        runner = ExperimentRunner(params_override=override)
+        trace = runner.trace_for("O3+EVE-4", workload)
+        # Time the machines directly on the pre-built trace so neither
+        # trace construction nor the runner's result cache skews either
+        # side of the ratio.
+        plain = float("inf")
+        for _ in range(3):
+            machine = build_machine("O3+EVE-4")
+            start = time.perf_counter()
+            machine.run(trace)
+            plain = min(plain, time.perf_counter() - start)
+        attributed = float("inf")
+        for _ in range(3):
+            collector = AttributionCollector()
+            machine = build_machine("O3+EVE-4", attribution=collector)
+            start = time.perf_counter()
+            machine.run(trace)
+            collector.require_conserved(context=workload)
+            attributed = min(attributed, time.perf_counter() - start)
+        overhead = attributed / plain
+        out[workload] = {
+            "plain_seconds": plain,
+            "attributed_seconds": attributed,
+            "overhead": overhead,
+            "within_budget": overhead <= ATTRIBUTION_BUDGET,
+        }
+    return out
 
 
 def _tiny_override():
@@ -183,6 +237,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     record = run_benchmark(args.full)
+    attribution = time_attribution(args.full)
+    record.extra["attribution_overhead"] = attribution
     if not args.skip_sweep:
         sweep = time_sweep(args.full, args.jobs or None)
         record.extra["sweep"] = sweep
@@ -195,6 +251,14 @@ def main(argv=None) -> int:
               f"{row['analysis_findings']} finding(s))")
     total = record.extra["bench_total_seconds"]
     print(f"{'total':<{width}}  {total * 1e3:9.1f} ms")
+    for name, row in sorted(attribution.items()):
+        print(f"attribution {name}: plain "
+              f"{row['plain_seconds'] * 1e3:.1f} ms, attributed "
+              f"{row['attributed_seconds'] * 1e3:.1f} ms "
+              f"({row['overhead']:.2f}x, budget {ATTRIBUTION_BUDGET:.2f}x)")
+        if not row["within_budget"]:
+            print(f"WARNING: attribution overhead for {name} exceeds "
+                  f"the {ATTRIBUTION_BUDGET:.2f}x budget", file=sys.stderr)
     sweep = record.extra.get("sweep")
     if sweep:
         print(f"sweep ({sweep['cells']} cells, {sweep['jobs']} worker(s), "

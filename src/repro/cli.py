@@ -25,7 +25,20 @@ Commands
     unit/structure (VSU, VMU, DTU, VRU, DRAM, caches, MSHRs, ...).
 ``stats SYSTEM WORKLOAD``
     Simulate with the metrics registry enabled and print every counter /
-    gauge / histogram (``--json`` or ``--csv`` for machines).
+    gauge / histogram (``--json`` or ``--csv`` for machines), plus the
+    cycle-attribution bound-by split.
+``attribute SYSTEM WORKLOAD``
+    Simulate with the cycle-attribution engine enabled: every unit cycle
+    is charged to a trace instruction and stall bucket (bit-exact
+    conservation against the machine's own accounting is enforced), the
+    timed critical path and per-instruction slack are computed over the
+    dependence graph, and the top-K bottleneck instructions / macro-op
+    families are ranked.  ``--flame-out`` writes a folded-stack
+    flamegraph; ``--perfetto-out`` writes stall-bucket counter tracks.
+``bottleneck``
+    The bound-by taxonomy summary (compute / dep / memory / reconfig)
+    across a systems x workloads grid — one conservation-checked
+    attribution run per cell.
 ``uprog MACRO``
     Print the micro-program for a macro-operation (disassembled) and its
     cycle count per parallelization factor.
@@ -388,11 +401,148 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _attribution_cell(runner: ExperimentRunner, system: str, workload: str,
+                      metrics: Optional[MetricsRegistry] = None,
+                      top: int = 10):
+    """Run one attributed cell and build its bottleneck report.
+
+    Returns ``(result, collector, nodes, report)``; raises
+    :class:`~repro.errors.AttributionError` when the conservation gate
+    fails.  Scalar traces have no dependence graph — the report
+    degenerates to the single heaviest node.
+    """
+    from .analysis import build_depgraph
+    from .obs import (AttributionCollector, build_bottleneck_report,
+                      collect_nodes)
+    attr = AttributionCollector()
+    result = runner.run(system, workload, metrics=metrics, attribution=attr)
+    attr.require_conserved(context=f"{result.system}/{result.workload}")
+    trace = runner.trace_for(system, workload)
+    nodes = collect_nodes(attr, trace)
+    graph = build_depgraph(trace) if trace.vlmax is not None else None
+    report = build_bottleneck_report(attr, nodes, graph, result.system,
+                                     result.workload, top=top)
+    return result, attr, nodes, report
+
+
+def _print_bottleneck_report(report, max_rows: int = 10) -> None:
+    from .obs.critpath import TAXONOMY_CLASSES
+    shares = "  ".join(f"{cls}:{report.bound_by.get(cls, 0.0):.1%}"
+                       for cls in TAXONOMY_CLASSES)
+    print(f"bound by  : {report.dominant}   ({shares})")
+    cp = report.critical_path
+    print(f"crit path : {cp.cycles:.0f} cycles over {len(cp.path)} "
+          f"instruction(s) "
+          f"({cp.cycles / report.cycles:.1%} of execution)"
+          if report.cycles else "crit path : empty")
+    print(f"stall     : {report.total_stall:.0f} recoverable cycle(s); "
+          f"top {len(report.instructions)} instructions cover "
+          f"{report.instruction_coverage:.1%}")
+    if report.instructions:
+        shown = report.instructions[:max_rows]
+        rows = [[e.rank, e.label, f"{e.weight:.0f}", f"{e.stall:.0f}",
+                 f"{e.slack:.0f}", "*" if e.on_critical_path else "",
+                 e.bound_by] for e in shown]
+        print(format_table(
+            ["#", "instruction", "cycles", "stall", "slack", "cp",
+             "bound_by"], rows))
+        hidden = len(report.instructions) - len(shown)
+        if hidden > 0:
+            print(f"  (+{hidden} more ranked instruction(s) to reach "
+                  f"{report.instruction_coverage:.1%} stall coverage; "
+                  f"see --json)")
+    if report.families:
+        rows = [[e.rank, e.label, e.count, f"{e.weight:.0f}",
+                 f"{e.stall:.0f}", "*" if e.on_critical_path else "",
+                 e.bound_by] for e in report.families]
+        print(format_table(
+            ["#", "macro family", "n", "cycles", "stall", "cp",
+             "bound_by"], rows))
+
+
+def _cmd_attribute(args) -> int:
+    from .obs import (attribution_record_payload, counter_trace_dict,
+                      folded_stacks, write_folded)
+    runner = _make_runner(args)
+    metrics = MetricsRegistry() if _recording(args) else None
+    result, attr, nodes, report = _attribution_cell(
+        runner, args.system, args.workload, metrics=metrics, top=args.top)
+    attributed, total = attr.coverage()
+    payload = report.to_json_dict()
+    payload["conservation"] = {
+        "attributed_cycles": attributed, "total_cycles": total,
+        "units": {unit: sum(buckets.values())
+                  for unit, buckets in sorted(attr.unit_totals().items())},
+    }
+    payload["attribution"] = attribution_record_payload(attr, report)
+    if args.flame_out:
+        write_folded(args.flame_out, folded_stacks(nodes, result.workload))
+    if args.perfetto_out:
+        write_json(args.perfetto_out, counter_trace_dict(
+            nodes, process=f"repro:{result.system}:{result.workload}"))
+    if args.json:
+        emit_json(payload)
+    else:
+        print(f"system    : {result.system}")
+        print(f"workload  : {result.workload}")
+        print(f"cycles    : {result.cycles:.0f}")
+        print(f"conserved : {attributed:.0f} cycle(s) attributed across "
+              f"{len(attr.unit_totals())} unit(s) [bit-exact]")
+        _print_bottleneck_report(report, max_rows=args.top)
+        if args.flame_out:
+            print(f"flame     : {args.flame_out}  (render with "
+                  f"flamegraph.pl or speedscope)")
+        if args.perfetto_out:
+            print(f"perfetto  : {args.perfetto_out}  (open in "
+                  f"https://ui.perfetto.dev)")
+    if args.json_out:
+        write_json(args.json_out, payload)
+    record = None
+    if _recording(args):
+        record = _single_run_record("attribute", args, runner, result,
+                                    metrics)
+        record.extra["attribution"] = payload["attribution"]
+    return _finish_record(args, record)
+
+
+def _cmd_bottleneck(args) -> int:
+    systems = args.systems or all_system_names()
+    workloads = args.workloads or sorted(REGISTRY)
+    runner = _make_runner(args)
+    rows = []
+    cells: dict = {}
+    for workload in workloads:
+        for system in systems:
+            result, attr, nodes, report = _attribution_cell(
+                runner, system, workload, top=args.top)
+            cells.setdefault(result.workload, {})[result.system] = (
+                report.to_json_dict())
+            cp_share = (report.critical_path.cycles / report.cycles
+                        if report.cycles else 0.0)
+            top_family = (report.families[0].label if report.families
+                          else "-")
+            rows.append([
+                result.workload, result.system, f"{result.cycles:.0f}",
+                report.dominant,
+                f"{report.bound_by.get('memory', 0.0):.1%}",
+                f"{cp_share:.1%}", top_family])
+    if args.json:
+        emit_json({"systems": list(systems), "workloads": list(workloads),
+                   "cells": cells})
+    else:
+        print(format_table(
+            ["workload", "system", "cycles", "bound_by", "mem_share",
+             "cp_share", "top_family"], rows))
+    return 0
+
+
 def _cmd_stats(args) -> int:
     from .analysis import analyze_trace
+    from .obs import attribution_record_payload
     runner = _make_runner(args)
     metrics = MetricsRegistry()
-    result = runner.run(args.system, args.workload, metrics=metrics)
+    result, attr, _nodes, attr_report = _attribution_cell(
+        runner, args.system, args.workload, metrics=metrics)
     metrics.assert_schema()
     # The simulated trace is already cached, so the characterisation and
     # (for vector traces) the static-analyzer summary come for free.
@@ -402,6 +552,7 @@ def _cmd_stats(args) -> int:
                 if trace.vlmax is not None else None)
     payload = result.to_json_dict()
     payload["metrics"] = metrics.snapshot()
+    payload["attribution"] = attribution_record_payload(attr, attr_report)
     payload["trace_stats"] = {
         "dynamic_instrs": tstats.dynamic_instrs,
         "vector_instrs": tstats.vector_instrs,
@@ -420,9 +571,25 @@ def _cmd_stats(args) -> int:
     if args.json:
         emit_json(payload)
     elif args.csv:
+        # Per-vector-instruction ratios divide by the vector-instruction
+        # count; scalar cells (vector_instrs == 0) emit "n/a" instead of
+        # crashing.
+        ilp_rows = [
+            ["trace.dynamic_instrs", tstats.dynamic_instrs],
+            ["trace.vector_instrs", tstats.vector_instrs],
+            ["trace.vpar", tstats.vpar],
+            ["trace.ops_per_vinstr",
+             (tstats.vector_ops / tstats.vector_instrs
+              if tstats.vector_instrs else "n/a")],
+            ["analysis.ilp_width",
+             analysis.ilp_width if analysis is not None else "n/a"],
+        ]
         emit_csv(["metric", "value"],
                  [["sim.system", result.system],
                   ["sim.workload", result.workload],
+                  *ilp_rows,
+                  *((f"attribution.{key}", value) for key, value
+                    in sorted(payload["attribution"]["shares"].items())),
                   *metrics.flat().items()])
     else:
         print(f"system    : {result.system}")
@@ -438,6 +605,11 @@ def _cmd_stats(args) -> int:
                   f"dep depth={analysis.dep_depth} "
                   f"width={analysis.dep_width}, "
                   f"ilp={analysis.ilp_width:.1f}")
+        from .obs.critpath import TAXONOMY_CLASSES
+        shares = "  ".join(
+            f"{cls}:{attr_report.bound_by.get(cls, 0.0):.1%}"
+            for cls in TAXONOMY_CLASSES)
+        print(f"bound by  : {attr_report.dominant}   ({shares})")
         rows = list(metrics.flat().items())
         print(format_table(["metric", "value"], rows))
         prof = runner.profiler.merged()
@@ -445,8 +617,10 @@ def _cmd_stats(args) -> int:
                      for phase, seconds in sorted(prof.items())]
         print()
         print(format_table(["host phase", "wall-clock"], prof_rows))
-    record = (_single_run_record("stats", args, runner, result, metrics)
-              if _recording(args) else None)
+    record = None
+    if _recording(args):
+        record = _single_run_record("stats", args, runner, result, metrics)
+        record.extra["attribution"] = payload["attribution"]
     return _finish_record(args, record)
 
 
@@ -891,6 +1065,51 @@ def build_parser() -> argparse.ArgumentParser:
                      help="flattened metric,value rows as CSV")
     _add_record_arguments(stats)
 
+    attribute = sub.add_parser(
+        "attribute", help="cycle-attribution report for one run: "
+                          "per-instruction accounting (conservation-"
+                          "checked), timed critical path, and ranked "
+                          "bottlenecks")
+    _add_pair_arguments(attribute)
+    attribute.add_argument("--top", type=int, default=10, metavar="K",
+                           help="instructions / families to rank "
+                                "(default: 10)")
+    attribute.add_argument("--flame-out", default=None, metavar="FILE",
+                           help="write a folded-stack flamegraph "
+                                "(workload;macro;opcode;bucket lines)")
+    attribute.add_argument("--perfetto-out", default=None, metavar="FILE",
+                           help="write cumulative stall-bucket counter "
+                                "tracks as Chrome trace-event JSON")
+    attribute.add_argument("--json", action="store_true",
+                           help="machine-readable report (conservation + "
+                                "taxonomy + critical path + rankings)")
+    attribute.add_argument("--json-out", default=None, metavar="FILE",
+                           help="also write the JSON report to FILE")
+    _add_seed_argument(attribute)
+    _add_record_arguments(attribute)
+
+    bottleneck = sub.add_parser(
+        "bottleneck", help="bound-by summary across a systems x "
+                           "workloads grid (conservation-checked)")
+    bottleneck.add_argument("--systems", nargs="+", type=_canonical_system,
+                            choices=all_system_names(), default=None,
+                            metavar="SYSTEM",
+                            help="restrict to these systems (default: all)")
+    bottleneck.add_argument("--workloads", nargs="+",
+                            type=_canonical_workload,
+                            choices=sorted(REGISTRY), default=None,
+                            metavar="WORKLOAD",
+                            help="restrict to these workloads "
+                                 "(default: all)")
+    bottleneck.add_argument("--tiny", action="store_true",
+                            help="use the test-sized problem inputs")
+    bottleneck.add_argument("--top", type=int, default=5, metavar="K",
+                            help="rank depth per cell in --json output "
+                                 "(default: 5)")
+    bottleneck.add_argument("--json", action="store_true",
+                            help="machine-readable per-cell reports")
+    _add_seed_argument(bottleneck)
+
     history = sub.add_parser(
         "history", help="list the archived run records")
     history.add_argument("-n", "--limit", type=int, default=None,
@@ -1061,6 +1280,8 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "trace": _cmd_trace,
     "stats": _cmd_stats,
+    "attribute": _cmd_attribute,
+    "bottleneck": _cmd_bottleneck,
     "history": _cmd_history,
     "diff": _cmd_diff,
     "scorecard": _cmd_scorecard,

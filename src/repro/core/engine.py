@@ -42,6 +42,7 @@ class _RegInfo:
     ready: float = 0.0
     kind: str = "compute"      # 'compute' | 'ld' | 'vru'
     dt_limited: bool = False   # for loads: transpose was the bottleneck
+    node: int = -1             # trace-event index of the producer
 
 
 class EveMachine(VectorMachineBase):
@@ -57,10 +58,11 @@ class EveMachine(VectorMachineBase):
     def __init__(self, config: SystemConfig,
                  tracer: Optional[SpanTracer] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 faults=None) -> None:
+                 faults=None, attribution=None) -> None:
         if config.vector is None or config.vector.kind != "eve":
             raise SimulationError("EveMachine needs an 'eve' config")
-        super().__init__(config, tracer=tracer, metrics=metrics)
+        super().__init__(config, tracer=tracer, metrics=metrics,
+                         attribution=attribution)
         self.faults = faults if faults is not None else NULL_FAULTS
         self.metrics.reserve("eve", "EveMachine")
         sram = config.eve_sram
@@ -80,7 +82,7 @@ class EveMachine(VectorMachineBase):
         return max(1, math.ceil(vl / self.layout.elements_per_array))
 
     def _attribute(self, breakdown: StallBreakdown, t_before: float,
-                   causes: Dict[str, float]) -> float:
+                   causes: Dict[str, float], node: int = -1) -> float:
         """Charge the idle gap before an instruction to its largest cause.
 
         Returns the start time (the max cause, at least ``t_before``).
@@ -90,6 +92,8 @@ class EveMachine(VectorMachineBase):
         if gap > 0:
             bucket = max(causes, key=lambda b: causes[b])
             breakdown.add(bucket, gap)
+            if self.attr.enabled:
+                self.attr.charge("vsu", bucket, gap, node=node)
         return start
 
     def _dep_causes(self, instr: VectorInstr) -> Dict[str, float]:
@@ -110,13 +114,19 @@ class EveMachine(VectorMachineBase):
 
     def run(self, trace: Trace) -> SimResult:
         tracer = self.tracer
+        attr = self.attr
         self.mem = MemorySystem(self.config, tracer=tracer,
-                                metrics=self.metrics)
+                                metrics=self.metrics, attribution=attr)
         self.vmu = VmuModel(self.mem)
         self.dtu = DtuPool(self.num_dtus, self.segments,
-                           bit_parallel=(self.factor == 32), tracer=tracer)
-        self.vru = VruModel(self.segments, self.vru_ports, tracer=tracer)
+                           bit_parallel=(self.factor == 32), tracer=tracer,
+                           attribution=attr)
+        self.vru = VruModel(self.segments, self.vru_ports, tracer=tracer,
+                            attribution=attr)
         self._regs: Dict[int, _RegInfo] = {}
+        self._core_busy = 0.0
+        self._core_stall = 0.0
+        self._drain_node = -1      # producer of the latest outstanding store
         breakdown = StallBreakdown()
         uprog_hist = self.metrics.histogram("eve.uprog.cycles")
         # Fix the track set up front: an idle unit (e.g. the VRU on a
@@ -141,8 +151,12 @@ class EveMachine(VectorMachineBase):
         busy = 0.0
         instructions = 0
         finish = t
+        if attr.enabled:
+            attr.meta["spawn_cycles"] = float(setup.cycles)
 
-        for event in trace:
+        for idx, event in enumerate(trace):
+            if attr.enabled:
+                attr.set_node(idx)
             if isinstance(event, ScalarBlock):
                 core_time = self.run_scalar_block(core_time, event)
                 continue
@@ -177,19 +191,28 @@ class EveMachine(VectorMachineBase):
                 dispatch = max(t, arrival)
                 if dispatch > t:
                     breakdown.add("empty_stall", dispatch - t)
+                    if attr.enabled:
+                        attr.charge("vsu", "empty_stall", dispatch - t,
+                                    node=idx)
                 t = dispatch + self.VSU_DISPATCH
                 vmu_ready = max(t, self.vmu.free_at,
                                 max(causes.values(), default=0.0))
                 if instr.info.is_load:
                     done = self._load(vmu_ready, instr)
                     self._regs[instr.vd] = _RegInfo(
-                        ready=done, kind="ld", dt_limited=self._last_dt_limited)
+                        ready=done, kind="ld",
+                        dt_limited=self._last_dt_limited, node=idx)
                     vmu_last_was_store = False
                 else:
                     done = self._store(vmu_ready, instr)
+                    if done >= store_drain:
+                        self._drain_node = idx
                     store_drain = max(store_drain, done)
                     vmu_last_was_store = True
                 busy += self.VSU_DISPATCH
+                if attr.enabled:
+                    attr.charge("vsu", "busy", self.VSU_DISPATCH, node=idx)
+                    attr.span(dispatch, done, node=idx)
                 finish = max(finish, done)
                 if tracer.enabled:
                     tracer.span("VSU", f"dispatch:{instr.op}", dispatch, t,
@@ -197,24 +220,31 @@ class EveMachine(VectorMachineBase):
             elif category is Category.XELEM or instr.info.is_reduction:
                 causes["vru_stall"] = max(causes.get("vru_stall", 0.0),
                                           self.vru.free_at)
-                start = self._attribute(breakdown, t, causes)
+                start = self._attribute(breakdown, t, causes, node=idx)
                 t, done = self._vru_instr(start, instr)
                 busy += t - start
+                if attr.enabled:
+                    attr.charge("vsu", "busy", t - start, node=idx)
+                    attr.span(start, done, node=idx)
                 if tracer.enabled:
                     tracer.span("VSU", instr.op, start, t, vl=instr.vl,
                                 done=done)
                 if instr.dest >= 0:
-                    self._regs[instr.dest] = _RegInfo(ready=done, kind="vru")
+                    self._regs[instr.dest] = _RegInfo(ready=done, kind="vru",
+                                                      node=idx)
                 if instr.info.writes_scalar or instr.info.is_reduction:
                     # Scalar results (vmv.x.s, reduction sums) stall the
                     # core's commit for the round trip (Section V-A/V-D).
                     core_time = max(core_time, done + self.COMMIT_LATENCY)
                 finish = max(finish, done)
             else:
-                start = self._attribute(breakdown, t, causes)
+                start = self._attribute(breakdown, t, causes, node=idx)
                 cycles = float(self.rom.cycles_for(instr))
                 t = start + cycles
                 busy += cycles
+                if attr.enabled:
+                    attr.charge("vsu", "busy", cycles, node=idx)
+                    attr.span(start, t, node=idx)
                 uprog_hist.observe(cycles)
                 if tracer.enabled:
                     # The macro-op's micro-program occupies the single
@@ -222,7 +252,8 @@ class EveMachine(VectorMachineBase):
                     tracer.span("VSU", f"uprog:{instr.op}", start, t,
                                 vl=instr.vl, rom_cycles=cycles)
                 if instr.dest >= 0:
-                    self._regs[instr.dest] = _RegInfo(ready=t, kind="compute")
+                    self._regs[instr.dest] = _RegInfo(ready=t, kind="compute",
+                                                      node=idx)
                 finish = max(finish, t)
 
         total = max(t, finish, store_drain, core_time)
@@ -232,12 +263,18 @@ class EveMachine(VectorMachineBase):
         residual = total - assigned
         if residual > 0:
             if store_drain >= total - 1e-9:
-                breakdown.add("st_mem_stall", residual)
-            elif any(i.kind == "ld" and i.ready >= total - 1e-9
-                     for i in self._regs.values()):
-                breakdown.add("ld_mem_stall", residual)
+                bucket, culprit = "st_mem_stall", self._drain_node
             else:
-                breakdown.add("empty_stall", residual)
+                late_ld = next((i for i in self._regs.values()
+                                if i.kind == "ld"
+                                and i.ready >= total - 1e-9), None)
+                if late_ld is not None:
+                    bucket, culprit = "ld_mem_stall", late_ld.node
+                else:
+                    bucket, culprit = "empty_stall", -1
+            breakdown.add(bucket, residual)
+            if attr.enabled:
+                attr.charge("vsu", bucket, residual, node=culprit)
 
         if tracer.enabled:
             tracer.span("Machine", f"execute:{trace.name}", 0.0, total,
@@ -252,6 +289,28 @@ class EveMachine(VectorMachineBase):
         if self.metrics.enabled:
             self._populate_metrics(result)
             result.metrics = self.metrics.snapshot()
+        if attr.enabled:
+            # Hand the collector the machine-reported totals it must
+            # conserve against.  The VSU breakdown is the strict target:
+            # it is accumulated independently of the charge ledger and
+            # forced to equal the achieved cycle count above.
+            mem = self.mem
+            expected = {
+                "vsu": breakdown.as_dict(),
+                "vmu": {"busy": self.vmu.busy_cycles,
+                        "mshr_stall": self.vmu.stall_cycles},
+                "dtu": {"busy": self.dtu.busy_cycles},
+                "vru": {"busy": self.vru.busy_cycles},
+                "dram": {"busy": mem.dram.busy_cycles},
+                "mshr": {pool.name: pool.stall_cycles
+                         for pool in (mem.l1d_mshrs, mem.l2_mshrs,
+                                      mem.llc_mshrs)},
+                "core": {"busy": self._core_busy,
+                         "mem_stall": self._core_stall},
+            }
+            attr.finish(total, expected, timeline_units=("vsu",))
+            result.unit_cycles = {unit: dict(buckets)
+                                  for unit, buckets in expected.items()}
         return result
 
     def _populate_metrics(self, result: SimResult) -> None:

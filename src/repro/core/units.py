@@ -17,6 +17,7 @@ from typing import Optional
 
 from ..isa.instructions import MemAccess
 from ..mem.hierarchy import MemorySystem
+from ..obs.attribution import NULL_ATTRIBUTION
 from ..obs.tracer import NULL_TRACER, SpanTracer
 
 
@@ -40,6 +41,7 @@ class VmuModel:
     def __init__(self, mem: MemorySystem) -> None:
         self.mem = mem
         self.tracer = mem.tracer
+        self.attr = mem.attr
         self.free_at = 0.0
         self.busy_cycles = 0.0
         self.stall_cycles = 0.0
@@ -75,6 +77,9 @@ class VmuModel:
         self.busy_cycles += t - start
         self.stall_cycles += stall_total
         self.streams += 1
+        if self.attr.enabled:
+            self.attr.charge("vmu", "busy", t - start)
+            self.attr.charge("vmu", "mshr_stall", stall_total)
         if self.tracer.enabled:
             self.tracer.span(
                 "VMU", f"stream:{'st' if pattern.is_store else 'ld'}",
@@ -89,11 +94,13 @@ class DtuPool:
     """Eight transpose units shared by loads and stores."""
 
     def __init__(self, num_dtus: int, segments: int, bit_parallel: bool,
-                 tracer: Optional[SpanTracer] = None) -> None:
+                 tracer: Optional[SpanTracer] = None,
+                 attribution=None) -> None:
         self.num_dtus = num_dtus
         #: Transposing one cache line touches every segment row once.
         self.cycles_per_line = 0.0 if bit_parallel else float(segments)
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.attr = attribution if attribution is not None else NULL_ATTRIBUTION
         self.free_at = 0.0
         self.busy_cycles = 0.0
         self.lines_processed = 0
@@ -111,6 +118,8 @@ class DtuPool:
         duration = n_lines * self.cycles_per_line / self.num_dtus
         self.free_at = start + duration
         self.busy_cycles += duration
+        if self.attr.enabled:
+            self.attr.charge("dtu", "busy", duration)
         self.lines_processed += n_lines
         if self.tracer.enabled:
             self.tracer.span("DTU", "transpose", start, start + duration,
@@ -125,10 +134,12 @@ class VruModel:
     DOT_LATENCY = 4.0
 
     def __init__(self, segments: int, ports: int,
-                 tracer: Optional[SpanTracer] = None) -> None:
+                 tracer: Optional[SpanTracer] = None,
+                 attribution=None) -> None:
         self.segments = segments
         self.ports = ports  # E = port bits / n
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.attr = attribution if attribution is not None else NULL_ATTRIBUTION
         self.free_at = 0.0
         self.busy_cycles = 0.0
         self.operations = 0
@@ -149,6 +160,8 @@ class VruModel:
         duration = stream + self.DOT_LATENCY + self.ports
         self.free_at = begin + duration
         self.busy_cycles += duration
+        if self.attr.enabled:
+            self.attr.charge("vru", "busy", duration)
         self.operations += 1
         if self.tracer.enabled:
             self.tracer.span("VRU", "reduce", begin, begin + duration,
@@ -161,6 +174,8 @@ class VruModel:
         duration = 2 * active_arrays * self.segments + self.DOT_LATENCY
         self.free_at = begin + duration
         self.busy_cycles += duration
+        if self.attr.enabled:
+            self.attr.charge("vru", "busy", duration)
         self.operations += 1
         if self.tracer.enabled:
             self.tracer.span("VRU", "cross_element", begin, begin + duration,

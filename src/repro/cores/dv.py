@@ -40,10 +40,12 @@ ITERATIVE_RATE = 0.5
 class DecoupledVectorMachine(VectorMachineBase):
     """O3+DV: long vectors, four pipes, chaining, dedicated VMU."""
 
-    def __init__(self, config: SystemConfig, tracer=None, metrics=None) -> None:
+    def __init__(self, config: SystemConfig, tracer=None, metrics=None,
+                 attribution=None) -> None:
         if config.vector is None or config.vector.kind != "dv":
             raise SimulationError("DecoupledVectorMachine needs a 'dv' config")
-        super().__init__(config, tracer=tracer, metrics=metrics)
+        super().__init__(config, tracer=tracer, metrics=metrics,
+                         attribution=attribution)
         self.vl = config.vector.hardware_vl
         self._pipe_free: Dict[str, float] = {name: 0.0 for name in PIPES}
         #: register -> (chain-ready time, fully-done time)
@@ -54,10 +56,18 @@ class DecoupledVectorMachine(VectorMachineBase):
         self._pipe_free = {name: 0.0 for name in PIPES}
         self._chain.clear()
         tracer = self.tracer
+        attr = self.attr
+        self._core_busy = 0.0
+        self._core_stall = 0.0
+        self._drain_node = -1
+        self._pipe_cycles = {name: 0.0 for name in PIPES}
+        vsu = {"busy": 0.0, "drain": 0.0}
         now = 0.0
         finish = 0.0
         instructions = 0
-        for event in trace:
+        for idx, event in enumerate(trace):
+            if attr.enabled:
+                attr.set_node(idx)
             if isinstance(event, ScalarBlock):
                 now = self.run_scalar_block(now, event)
                 finish = max(finish, now)
@@ -65,11 +75,27 @@ class DecoupledVectorMachine(VectorMachineBase):
             instr: VectorInstr = event
             instructions += 1
             issue_end, done = self._vector_instr(instr, now)
+            if attr.enabled:
+                # In-order issue: each vector instruction holds the issue
+                # stage for one cycle; pipe occupancy is charged inside
+                # _vector_instr under the "pipe" unit.
+                slot = issue_end - now
+                if slot > 0:
+                    attr.charge("vsu", "busy", slot, node=idx)
+                    vsu["busy"] += slot
+                attr.span(now, max(done, issue_end), node=idx)
+                if done >= finish:
+                    self._drain_node = idx
             if tracer.enabled and done > now:
                 tracer.span("VSU", instr.op, now, done, vl=instr.vl)
             now = issue_end  # in-order issue
             finish = max(finish, done)
         total = max(now, finish)
+        if attr.enabled:
+            drain = total - now
+            if drain > 0:
+                attr.charge("vsu", "drain", drain, node=self._drain_node)
+                vsu["drain"] += drain
         if tracer.enabled:
             tracer.span("Machine", f"execute:{trace.name}", 0.0, total,
                         system=self.config.name, instructions=instructions)
@@ -83,6 +109,21 @@ class DecoupledVectorMachine(VectorMachineBase):
             self.metrics.counter("sim.instructions").inc(result.instructions)
             self.mem.populate_metrics(result.cycles)
             result.metrics = self.metrics.snapshot()
+        if attr.enabled:
+            mem = self.mem
+            expected = {
+                "vsu": vsu,
+                "pipe": dict(self._pipe_cycles),
+                "core": {"busy": self._core_busy,
+                         "mem_stall": self._core_stall},
+                "dram": {"busy": mem.dram.busy_cycles},
+                "mshr": {pool.name: pool.stall_cycles
+                         for pool in (mem.l1d_mshrs, mem.l2_mshrs,
+                                      mem.llc_mshrs)},
+            }
+            attr.finish(total, expected, timeline_units=("vsu", "core"))
+            result.unit_cycles = {unit: dict(buckets)
+                                  for unit, buckets in expected.items()}
         return result
 
     # -- dependency helpers (chaining) ------------------------------------------
@@ -114,6 +155,9 @@ class DecoupledVectorMachine(VectorMachineBase):
         start = max(now, self._pipe_free[pipe],
                     self._source_ready(instr, chained=True))
         self._pipe_free[pipe] = start + occupancy
+        if self.attr.enabled:
+            self.attr.charge("pipe", pipe, occupancy)
+            self._pipe_cycles[pipe] += occupancy
         done = start + startup + occupancy
         # A chained consumer may start one startup behind this producer.
         self._set_times(instr.dest, start + startup + 1.0, done)
@@ -148,6 +192,9 @@ class DecoupledVectorMachine(VectorMachineBase):
         n_requests = (instr.mem.num_accesses if per_element
                       else len(instr.mem.line_addresses()))
         self._pipe_free["memory"] = addr_start + n_requests
+        if self.attr.enabled:
+            self.attr.charge("pipe", "memory", float(n_requests))
+            self._pipe_cycles["memory"] += float(n_requests)
         if instr.info.is_load:
             # Loads chain: a consumer can start once the first line is back.
             self._set_times(instr.dest, first_done + 1.0, last_done)

@@ -41,21 +41,31 @@ class IntegratedVectorMachine(VectorMachineBase):
     #: the in-flight load slots the O3 core can dedicate to the unit.
     VECTOR_MLP = 12
 
-    def __init__(self, config: SystemConfig, tracer=None, metrics=None) -> None:
+    def __init__(self, config: SystemConfig, tracer=None, metrics=None,
+                 attribution=None) -> None:
         if config.vector is None or config.vector.kind != "iv":
             raise SimulationError("IntegratedVectorMachine needs an 'iv' config")
-        super().__init__(config, tracer=tracer, metrics=metrics)
+        super().__init__(config, tracer=tracer, metrics=metrics,
+                         attribution=attribution)
         self.metrics.reserve("lsq", "IntegratedVectorMachine")
         self.vl = config.vector.hardware_vl
-        self._lsq_window = MshrPool(self.VECTOR_MLP, "iv-lsq")
+        self._lsq_window = MshrPool(self.VECTOR_MLP, "iv-lsq",
+                                    attribution=self.attr)
 
     def run(self, trace: Trace) -> SimResult:
         self.reset()
         tracer = self.tracer
+        attr = self.attr
+        self._core_busy = 0.0
+        self._core_stall = 0.0
+        self._drain_node = -1
+        vsu = {"busy": 0.0, "dep_stall": 0.0, "drain": 0.0}
         now = 0.0           # issue timeline of the shared pipes
         finish = 0.0
         instructions = 0
-        for event in trace:
+        for idx, event in enumerate(trace):
+            if attr.enabled:
+                attr.set_node(idx)
             if isinstance(event, ScalarBlock):
                 now = self.run_scalar_block(now, event)
                 finish = max(finish, now)
@@ -63,12 +73,32 @@ class IntegratedVectorMachine(VectorMachineBase):
             instr: VectorInstr = event
             instructions += 1
             done = self._vector_instr(instr, now)
+            if attr.enabled:
+                # Issue-timeline split: the wait for source operands, then
+                # the pipe occupancy of the instruction's uops.
+                gap = self._dispatch_start - now
+                if gap > 0:
+                    attr.charge("vsu", "dep_stall", gap, node=idx)
+                    vsu["dep_stall"] += gap
+                occupancy = self._issue_end - self._dispatch_start
+                if occupancy > 0:
+                    attr.charge("vsu", "busy", occupancy, node=idx)
+                    vsu["busy"] += occupancy
+                attr.span(now, max(done, self._issue_end), node=idx)
+                if done >= finish:
+                    self._drain_node = idx
             if tracer.enabled and self._issue_end > now:
                 tracer.span("VSU", instr.op, now, self._issue_end,
                             vl=instr.vl, done=done)
             now = max(now, self._issue_end)
             finish = max(finish, done)
         total = max(now, finish)
+        if attr.enabled:
+            # In-flight memory beyond the last issue slot: the drain tail.
+            drain = total - now
+            if drain > 0:
+                attr.charge("vsu", "drain", drain, node=self._drain_node)
+                vsu["drain"] += drain
         if tracer.enabled:
             tracer.span("Machine", f"execute:{trace.name}", 0.0, total,
                         system=self.config.name, instructions=instructions)
@@ -85,6 +115,20 @@ class IntegratedVectorMachine(VectorMachineBase):
             self.metrics.counter("lsq.stall_cycles").inc(lsq["stall_cycles"])
             self.mem.populate_metrics(result.cycles)
             result.metrics = self.metrics.snapshot()
+        if attr.enabled:
+            mem = self.mem
+            expected = {
+                "vsu": vsu,
+                "core": {"busy": self._core_busy,
+                         "mem_stall": self._core_stall},
+                "dram": {"busy": mem.dram.busy_cycles},
+                "mshr": {pool.name: pool.stall_cycles
+                         for pool in (mem.l1d_mshrs, mem.l2_mshrs,
+                                      mem.llc_mshrs, self._lsq_window)},
+            }
+            attr.finish(total, expected, timeline_units=("vsu", "core"))
+            result.unit_cycles = {unit: dict(buckets)
+                                  for unit, buckets in expected.items()}
         return result
 
     # -- one vector instruction ----------------------------------------------
@@ -96,6 +140,7 @@ class IntegratedVectorMachine(VectorMachineBase):
             start = max(now, self.reg_ready.get(instr.vidx, 0.0))
         else:
             start = max(now, self.deps_ready(instr))
+        self._dispatch_start = start
         self._issue_end = start
         if instr.category is Category.CTRL:
             self._issue_end = start + 1.0

@@ -71,6 +71,11 @@ class SimResult:
     #: Full :class:`~repro.obs.MetricsRegistry` snapshot, when the run was
     #: instrumented (``None`` otherwise — the common, uninstrumented case).
     metrics: Optional[Dict[str, object]] = None
+    #: Machine-reported per-unit busy+stall totals (``unit -> bucket ->
+    #: cycles``), populated only on attribution-instrumented runs — the
+    #: reference side of the cycle-attribution conservation invariant
+    #: (see :mod:`repro.obs.attribution`).
+    unit_cycles: Optional[Dict[str, Dict[str, float]]] = None
 
     @property
     def time_ns(self) -> float:
@@ -101,6 +106,10 @@ class SimResult:
                                 for key, value in self.mem_stats.items()}
         if self.metrics is not None:
             out["metrics"] = self.metrics
+        if self.unit_cycles is not None:
+            out["unit_cycles"] = {unit: dict(buckets)
+                                  for unit, buckets
+                                  in sorted(self.unit_cycles.items())}
         return out
 
 

@@ -17,6 +17,7 @@ from ..errors import SimulationError
 from ..isa.instructions import ScalarBlock
 from ..isa.trace import Trace
 from ..mem.hierarchy import MemorySystem
+from ..obs.attribution import NULL_ATTRIBUTION
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..obs.tracer import NULL_TRACER, SpanTracer
 from .result import SimResult
@@ -27,24 +28,32 @@ class ScalarCore:
 
     def __init__(self, config: SystemConfig,
                  tracer: Optional[SpanTracer] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 attribution=None) -> None:
         self.config = config
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.attr = (attribution if attribution is not None
+                     else NULL_ATTRIBUTION)
         self.metrics.reserve("sim", "ScalarCore")
         self.mem = MemorySystem(config, tracer=self.tracer,
-                                metrics=self.metrics)
+                                metrics=self.metrics, attribution=self.attr)
 
     def run(self, trace: Trace) -> SimResult:
         core = self.config.core
         tracer = self.tracer
+        attr = self.attr
         now = 0.0
         instructions = 0
-        for event in trace:
+        core_busy = 0.0
+        core_stall = 0.0
+        for idx, event in enumerate(trace):
             if not isinstance(event, ScalarBlock):
                 raise SimulationError(
                     f"scalar core {self.config.name} fed a vector trace; "
                     "run the workload's scalar_trace instead")
+            if attr.enabled:
+                attr.set_node(idx)
             instructions += event.n_instr
             issue_cycles = event.n_instr * core.base_cpi
             block_start = now
@@ -52,6 +61,13 @@ class ScalarCore:
                 now = self._run_block_blocking(now, event, issue_cycles)
             else:
                 now = self._run_block_overlapped(now, event, issue_cycles)
+            if attr.enabled:
+                stall = max(0.0, (now - block_start) - issue_cycles)
+                attr.charge("core", "busy", issue_cycles, node=idx)
+                core_busy += issue_cycles
+                attr.charge("core", "mem_stall", stall, node=idx)
+                core_stall += stall
+                attr.span(block_start, now, node=idx)
             if tracer.enabled and now > block_start:
                 tracer.span("Core", "scalar_block", block_start, now,
                             n_instr=event.n_instr)
@@ -68,6 +84,18 @@ class ScalarCore:
             self.metrics.counter("sim.instructions").inc(result.instructions)
             self.mem.populate_metrics(result.cycles)
             result.metrics = self.metrics.snapshot()
+        if attr.enabled:
+            mem = self.mem
+            expected = {
+                "core": {"busy": core_busy, "mem_stall": core_stall},
+                "dram": {"busy": mem.dram.busy_cycles},
+                "mshr": {pool.name: pool.stall_cycles
+                         for pool in (mem.l1d_mshrs, mem.l2_mshrs,
+                                      mem.llc_mshrs)},
+            }
+            attr.finish(now, expected, timeline_units=("core",))
+            result.unit_cycles = {unit: dict(buckets)
+                                  for unit, buckets in expected.items()}
         return result
 
     def _run_block_blocking(self, now: float, block: ScalarBlock,

@@ -16,6 +16,7 @@ import numpy as np
 from ..config import SystemConfig
 from ..isa.instructions import MemAccess, ScalarBlock, VectorInstr
 from ..mem.hierarchy import MemorySystem
+from ..obs.attribution import NULL_ATTRIBUTION
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..obs.tracer import NULL_TRACER, SpanTracer
 
@@ -25,19 +26,26 @@ class VectorMachineBase:
 
     def __init__(self, config: SystemConfig,
                  tracer: Optional[SpanTracer] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 attribution=None) -> None:
         self.config = config
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.attr = (attribution if attribution is not None
+                     else NULL_ATTRIBUTION)
         # Claim the machine-level metric namespaces up front so another
         # unit sharing this registry cannot silently collide with them.
         owner = type(self).__name__
         self.metrics.reserve("sim", owner)
         self.metrics.reserve("breakdown", owner)
         self.mem = MemorySystem(config, tracer=self.tracer,
-                                metrics=self.metrics)
+                                metrics=self.metrics, attribution=self.attr)
         #: vector register -> time its value is ready
         self.reg_ready: Dict[int, float] = {}
+        #: Control-processor attribution totals ("core" unit); reset per
+        #: run by the subclasses, accumulated in run_scalar_block.
+        self._core_busy = 0.0
+        self._core_stall = 0.0
 
     # -- scoreboard ------------------------------------------------------
 
@@ -66,6 +74,16 @@ class VectorMachineBase:
                 exposed = (completion.done - t) * (1.0 - core.miss_overlap)
                 end = max(end, t + exposed)
                 t += 1.0
+        if self.attr.enabled:
+            # Charge the block's issue slots as busy and any exposed miss
+            # latency beyond them as memory stall, to the current trace
+            # event (the machine loop set the context to this block).
+            stall = max(0.0, (end - now) - issue_cycles)
+            self.attr.charge("core", "busy", issue_cycles)
+            self._core_busy += issue_cycles
+            self.attr.charge("core", "mem_stall", stall)
+            self._core_stall += stall
+            self.attr.span(now, end)
         if self.tracer.enabled and end > now:
             self.tracer.span("Core", "scalar_block", now, end,
                              n_instr=block.n_instr)

@@ -86,3 +86,18 @@ class AnalysisError(ReproError):
 class FaultInjectionError(ReproError):
     """A fault-injection or fuzzing request is malformed (unknown fault
     model, unreplayable case file, or an unarmable fault target)."""
+
+
+class AttributionError(ReproError):
+    """The cycle-attribution conservation invariant is violated.
+
+    Raised by :meth:`repro.obs.attribution.AttributionCollector.\
+require_conserved` when a unit's attributed cycles do not sum bit-exactly
+    to the totals the machine model reported, or when the attributed
+    timeline fails to cover the achieved cycle count.  Carries the
+    per-(unit, bucket) deltas in :attr:`mismatches`.
+    """
+
+    def __init__(self, message: str, mismatches=()) -> None:
+        super().__init__(message)
+        self.mismatches = tuple(mismatches)

@@ -87,17 +87,20 @@ class ExperimentRunner:
 
     def run(self, system_name: str, workload_name: str,
             tracer: Optional[SpanTracer] = None,
-            metrics: Optional[MetricsRegistry] = None) -> SimResult:
+            metrics: Optional[MetricsRegistry] = None,
+            attribution=None) -> SimResult:
         # Canonicalize before the cache lookup so programmatic callers
         # spelling "io" and "IO" share one result/trace entry instead of
         # double-simulating (or crashing in make_system).
         system_name = canonical_system(system_name)
         workload_name = canonical_workload(workload_name)
-        instrumented = tracer is not None or metrics is not None
+        instrumented = (tracer is not None or metrics is not None
+                        or attribution is not None)
         key = (system_name, workload_name)
         if not instrumented and key in self._results:
             return self._results[key]
-        machine = build_machine(system_name, tracer=tracer, metrics=metrics)
+        machine = build_machine(system_name, tracer=tracer, metrics=metrics,
+                                attribution=attribution)
         vlmax = trace_vlmax(machine.config)
         trace = self._trace(workload_name, vlmax)
         with self.profiler.phase(f"sim:{system_name}"):

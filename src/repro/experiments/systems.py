@@ -33,23 +33,28 @@ def canonical_system(name: str) -> str:
     return _CANONICAL_SYSTEMS.get(name.lower(), name)
 
 
-def build_machine(name: str, tracer=None, metrics=None):
+def build_machine(name: str, tracer=None, metrics=None, attribution=None):
     """Build the simulator for one Table III system name.
 
-    ``tracer`` / ``metrics`` (a :class:`~repro.obs.SpanTracer` /
-    :class:`~repro.obs.MetricsRegistry`) instrument the run; both default
-    to the zero-cost null implementations.
+    ``tracer`` / ``metrics`` / ``attribution`` (a
+    :class:`~repro.obs.SpanTracer` / :class:`~repro.obs.MetricsRegistry` /
+    :class:`~repro.obs.AttributionCollector`) instrument the run; all
+    default to the zero-cost null implementations.
     """
     config = make_system(name)
     if config.vector is None:
-        return ScalarCore(config, tracer=tracer, metrics=metrics)
+        return ScalarCore(config, tracer=tracer, metrics=metrics,
+                          attribution=attribution)
     kind = config.vector.kind
     if kind == "iv":
-        return IntegratedVectorMachine(config, tracer=tracer, metrics=metrics)
+        return IntegratedVectorMachine(config, tracer=tracer, metrics=metrics,
+                                       attribution=attribution)
     if kind == "dv":
-        return DecoupledVectorMachine(config, tracer=tracer, metrics=metrics)
+        return DecoupledVectorMachine(config, tracer=tracer, metrics=metrics,
+                                      attribution=attribution)
     if kind == "eve":
-        return EveMachine(config, tracer=tracer, metrics=metrics)
+        return EveMachine(config, tracer=tracer, metrics=metrics,
+                          attribution=attribution)
     raise ConfigError(f"unknown vector engine kind {kind!r}")
 
 

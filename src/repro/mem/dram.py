@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from ..config import DramConfig
+from ..obs.attribution import NULL_ATTRIBUTION
 from ..obs.tracer import NULL_TRACER, SpanTracer
 
 
@@ -18,10 +19,12 @@ class DramChannel:
     """A bandwidth-limited, fixed-latency memory channel."""
 
     def __init__(self, config: DramConfig, line_bytes: int = 64,
-                 tracer: Optional[SpanTracer] = None) -> None:
+                 tracer: Optional[SpanTracer] = None,
+                 attribution=None) -> None:
         self.config = config
         self.line_bytes = line_bytes
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.attr = attribution if attribution is not None else NULL_ATTRIBUTION
         self._next_free = 0.0
         self.requests = 0
         self.writebacks = 0
@@ -43,9 +46,15 @@ class DramChannel:
         done = start + self.config.access_latency
         self.requests += 1
         self.busy_cycles += self.transfer_cycles
+        if self.attr.enabled:
+            self.attr.charge("dram", "busy", self.transfer_cycles)
         if self.tracer.enabled:
             self.tracer.span("DRAM", "service", start,
                              start + self.transfer_cycles, queued=start - now)
+            # Counter track: transfers still queued behind this one (the
+            # backlog the serialised channel has accumulated).
+            self.tracer.sample("DRAM", "dram_backlog", now,
+                               (self._next_free - now) / self.transfer_cycles)
         return start, done
 
     def writeback(self, now: float) -> float:
@@ -55,9 +64,13 @@ class DramChannel:
         self.requests += 1
         self.writebacks += 1
         self.busy_cycles += self.transfer_cycles
+        if self.attr.enabled:
+            self.attr.charge("dram", "busy", self.transfer_cycles)
         if self.tracer.enabled:
             self.tracer.span("DRAM", "writeback", start,
                              start + self.transfer_cycles)
+            self.tracer.sample("DRAM", "dram_backlog", now,
+                               (self._next_free - now) / self.transfer_cycles)
         return start + self.transfer_cycles
 
     def utilisation(self, elapsed: float) -> float:

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..config import SystemConfig
 from ..errors import MemoryModelError
+from ..obs.attribution import NULL_ATTRIBUTION
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..obs.tracer import NULL_TRACER, SpanTracer
 from .cache import CacheArray
@@ -49,20 +50,25 @@ class MemorySystem:
 
     def __init__(self, config: SystemConfig,
                  tracer: Optional[SpanTracer] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 attribution=None) -> None:
         self.config = config
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.attr = attribution if attribution is not None else NULL_ATTRIBUTION
         for prefix in ("mem", "mshr", "dram"):
             self.metrics.reserve(prefix, "MemorySystem")
         self.l1d = CacheArray(config.l1d)
         self.l2 = CacheArray(config.l2)
         self.llc = CacheArray(config.llc)
-        self.l1d_mshrs = MshrPool(config.l1d.mshrs, "l1d")
-        self.l2_mshrs = MshrPool(config.l2.mshrs, "l2")
-        self.llc_mshrs = MshrPool(config.llc.mshrs, "llc")
+        self.l1d_mshrs = MshrPool(config.l1d.mshrs, "l1d",
+                                  attribution=self.attr)
+        self.l2_mshrs = MshrPool(config.l2.mshrs, "l2",
+                                 attribution=self.attr)
+        self.llc_mshrs = MshrPool(config.llc.mshrs, "llc",
+                                  attribution=self.attr)
         self.dram = DramChannel(config.dram, config.llc.line_bytes,
-                                tracer=self.tracer)
+                                tracer=self.tracer, attribution=self.attr)
         self._l2_bank_free = np.zeros(config.l2.banks)
         #: Figure 8 accounting for the vector (LLC) port.
         self.vector_mshr_stall = 0.0
@@ -155,10 +161,15 @@ class MemorySystem:
                 f"{'st' if is_store else 'ld'}:{completion.level}",
                 now, completion.done, line=line_addr,
                 mshr_stall=completion.mshr_stall)
-            if port == "llc":
-                self.tracer.sample("MSHR", "llc_mshr_occupancy",
-                                   completion.grant,
-                                   self.llc_mshrs.outstanding)
+            # Counter tracks: the accessed chain's MSHR pool occupancy
+            # (every port ends up traversing l1d/l2/llc pools; sampling
+            # the entry pool keeps the trace compact and matches the HWM
+            # gauges in level_stats).
+            pool = (self.l1d_mshrs if port == "l1"
+                    else self.l2_mshrs if port == "l2"
+                    else self.llc_mshrs)
+            self.tracer.sample("MSHR", f"{pool.name}_mshr_occupancy",
+                               completion.grant, pool.outstanding)
         if self.metrics.enabled:
             self._latency_hist[port].observe(completion.done - now)
         return completion

@@ -12,16 +12,19 @@ import heapq
 from typing import List, Tuple
 
 from ..errors import MemoryModelError
+from ..obs.attribution import NULL_ATTRIBUTION
 
 
 class MshrPool:
     """A pool of ``size`` miss-status registers."""
 
-    def __init__(self, size: int, name: str = "mshr") -> None:
+    def __init__(self, size: int, name: str = "mshr",
+                 attribution=None) -> None:
         if size <= 0:
             raise MemoryModelError(f"{name}: pool size must be positive")
         self.size = size
         self.name = name
+        self.attr = attribution if attribution is not None else NULL_ATTRIBUTION
         self._busy: List[float] = []  # heap of release times
         self.acquires = 0
         self.stall_cycles = 0.0
@@ -48,6 +51,8 @@ class MshrPool:
             heapq.heappop(self._busy)
         stall = grant - now
         self.stall_cycles += stall
+        if self.attr.enabled:
+            self.attr.charge("mshr", self.name, stall)
         self.stalled_acquires += 1
         self.acquires += 1
         self._note_occupancy()

@@ -17,14 +17,30 @@
 * :mod:`repro.obs.scorecard` — paper-fidelity scorecard grading the
   reproduction against the paper's published numbers.
 * :mod:`repro.obs.render` — shared JSON/CSV emission for the CLI.
+* :mod:`repro.obs.attribution` — :class:`AttributionCollector` charging
+  every simulated cycle of every unit to a trace instruction and stall
+  bucket, with a bit-exact conservation gate
+  (:meth:`AttributionCollector.require_conserved`).
+* :mod:`repro.obs.critpath` — timed critical path, per-instruction
+  slack, and ranked bottleneck reports over the attributed timeline.
+* :mod:`repro.obs.flame` — folded-stack flamegraph / Perfetto counter
+  exports and the flattened record payload for drift gating.
 
 Everything is zero-cost when disabled: machine models hold the
 :data:`NULL_TRACER` / :data:`NULL_METRICS` singletons by default and guard
 hot hook sites with their ``enabled`` flags.
 """
 
+from .attribution import (AttributionCollector, NULL_ATTRIBUTION,
+                          NodeAttribution, NullAttribution, ROOT_NODE,
+                          collect_nodes)
+from .critpath import (BottleneckEntry, BottleneckReport, CriticalPath,
+                       build_bottleneck_report, classify_bucket,
+                       timed_critical_path)
 from .diff import (DiffEntry, RecordDiff, TolerancePolicy, default_policies,
                    diff_records, policy_for)
+from .flame import (attribution_record_payload, counter_trace_dict,
+                    folded_stacks, write_folded)
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                       NULL_METRICS, NullMetricsRegistry, bucket_index)
 from .runstore import (RunRecord, RunStore, SCHEMA_VERSION, flatten_record,
@@ -51,6 +67,22 @@ __all__ = [
     "flatten_record",
     "load_record_file",
     "make_record",
+    "AttributionCollector",
+    "NullAttribution",
+    "NULL_ATTRIBUTION",
+    "NodeAttribution",
+    "ROOT_NODE",
+    "collect_nodes",
+    "BottleneckEntry",
+    "BottleneckReport",
+    "CriticalPath",
+    "build_bottleneck_report",
+    "classify_bucket",
+    "timed_critical_path",
+    "attribution_record_payload",
+    "counter_trace_dict",
+    "folded_stacks",
+    "write_folded",
     "DiffEntry",
     "RecordDiff",
     "TolerancePolicy",

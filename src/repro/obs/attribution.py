@@ -1,0 +1,337 @@
+"""Cycle attribution: charge every simulated cycle to a trace instruction.
+
+The machine models report *aggregate* stall breakdowns — a cell can say it
+spent 42% of its cycles in ``vmu_stall`` but not which instructions bought
+those cycles.  This module closes that gap: an
+:class:`AttributionCollector` rides along a simulation and receives a
+``charge(unit, bucket, cycles)`` call at every accounting site in the
+machine models (VSU/core issue timeline, VMU streams, DTU transposes, VRU
+reductions, MSHR acquire stalls, DRAM channel transfers), each tagged with
+the trace-event index currently being simulated.
+
+Conservation invariant
+----------------------
+Every charge site is placed immediately adjacent to the machine's own
+accumulator update and charges the *same value in the same order*, so the
+collector's per-(unit, bucket) running sums are bit-identical floats to
+the totals the machine reports (e.g. ``StallBreakdown`` for the EVE VSU,
+``VmuModel.busy_cycles``, ``MshrPool.stall_cycles``).  At the end of the
+run the machine hands the collector its reported totals via
+:meth:`AttributionCollector.finish`; :meth:`~AttributionCollector.\
+require_conserved` then enforces
+
+* **bit-exactness** — for every unit the machine registered, the ledger
+  equals the reported total per bucket under ``==`` (no epsilon), and the
+  ledger contains no unit the machine did not register; and
+* **coverage** — the units the machine declared as *timeline* units (the
+  serialising resources whose buckets partition the run: the EVE VSU, the
+  scalar core) sum to the achieved cycle count within a 1e-6 relative
+  epsilon (their totals are accumulated in a different order than the
+  machine's single running clock, so bit-exact equality is not defined
+  there; the per-unit ledgers above are the bit-exact check).
+
+A violation raises :class:`repro.errors.AttributionError` — any new
+accounting statement in a machine model without a matching charge site
+fails the gate on the very first attributed run.
+
+The :data:`NULL_ATTRIBUTION` singleton is the disabled-mode stand-in
+(same pattern as ``NULL_TRACER`` / ``NULL_METRICS``): hot paths guard
+with ``if self.attr.enabled:`` so attribution off costs one attribute
+check per site.
+
+Node identity
+-------------
+Charges are tagged with the index of the trace event being simulated
+(``Trace.events[node]``), which is exactly the node numbering of the
+PR 6 dependence graph — :mod:`repro.obs.critpath` joins the two to
+compute the timed critical path.  Cycles charged outside any instruction
+(end-of-run drain with no identifiable culprit) use :data:`ROOT_NODE`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import AttributionError
+from ..isa.instructions import ScalarBlock, VectorInstr
+
+#: Pseudo-node for cycles not attributable to any single trace event.
+ROOT_NODE = -1
+
+#: Relative epsilon for the timeline-coverage check (see module docstring
+#: for why coverage is epsilon-bounded while per-unit ledgers are exact).
+COVERAGE_REL_EPS = 1e-6
+
+
+class AttributionCollector:
+    """Accumulates per-instruction, per-unit, per-bucket cycle charges."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        #: (unit, bucket) -> cycles, accumulated in machine charge order.
+        self._ledger: Dict[Tuple[str, str], float] = {}
+        #: node -> (unit, bucket) -> cycles.
+        self._node_charges: Dict[int, Dict[Tuple[str, str], float]] = {}
+        #: node -> (start, end) span on the simulated timeline.
+        self._spans: Dict[int, Tuple[float, float]] = {}
+        #: Current trace-event index (set by the machine main loop).
+        self._node: int = ROOT_NODE
+        #: Machine-reported totals: unit -> bucket -> cycles.
+        self.expected: Dict[str, Dict[str, float]] = {}
+        #: Units whose buckets partition the achieved cycle count.
+        self.timeline_units: Tuple[str, ...] = ()
+        #: Achieved cycles, as reported by the machine at finish().
+        self.total_cycles: float = 0.0
+        #: Free-form scalar metadata (e.g. ``spawn_cycles`` for EVE).
+        self.meta: Dict[str, float] = {}
+        self._finished = False
+
+    # -- recording (hot path) ---------------------------------------------
+
+    def set_node(self, node: int) -> None:
+        """Declare the trace event subsequent charges belong to."""
+        self._node = node
+
+    def charge(self, unit: str, bucket: str, cycles: float,
+               node: Optional[int] = None) -> None:
+        """Charge ``cycles`` on ``unit``/``bucket`` to a trace event.
+
+        ``node=None`` charges to the current :meth:`set_node` context —
+        the form deep components (MSHR pools, DRAM channels, the VMU) use.
+        """
+        if node is None:
+            node = self._node
+        key = (unit, bucket)
+        ledger = self._ledger
+        ledger[key] = ledger.get(key, 0.0) + cycles
+        per_node = self._node_charges.get(node)
+        if per_node is None:
+            per_node = self._node_charges[node] = {}
+        per_node[key] = per_node.get(key, 0.0) + cycles
+
+    def span(self, begin: float, end: float,
+             node: Optional[int] = None) -> None:
+        """Record (widening) the timeline span a trace event occupied."""
+        if node is None:
+            node = self._node
+        prior = self._spans.get(node)
+        if prior is None:
+            self._spans[node] = (begin, end)
+        else:
+            self._spans[node] = (min(prior[0], begin), max(prior[1], end))
+
+    # -- machine hand-off --------------------------------------------------
+
+    def finish(self, total_cycles: float,
+               expected: Dict[str, Dict[str, float]],
+               timeline_units: Iterable[str]) -> None:
+        """Machine hand-off at end of run: reported totals + timeline units.
+
+        ``expected`` maps each instrumented unit to its machine-reported
+        per-bucket totals (e.g. ``{"vsu": breakdown.as_dict(), ...}``);
+        ``timeline_units`` names the subset whose buckets partition
+        ``total_cycles``.
+        """
+        self.total_cycles = float(total_cycles)
+        self.expected = {unit: dict(buckets)
+                         for unit, buckets in expected.items()}
+        self.timeline_units = tuple(timeline_units)
+        self._finished = True
+
+    # -- conservation gate -------------------------------------------------
+
+    def require_conserved(self, context: str = "") -> None:
+        """Raise :class:`AttributionError` unless every cycle is accounted.
+
+        Checks (1) bit-exact per-(unit, bucket) equality between the
+        charge ledger and the machine-reported totals, (2) that the
+        ledger contains no unit the machine did not register, and (3)
+        that the timeline units cover ``total_cycles`` within
+        :data:`COVERAGE_REL_EPS` relative.
+        """
+        where = f" [{context}]" if context else ""
+        if not self._finished:
+            raise AttributionError(
+                f"attribution incomplete{where}: the machine never called "
+                f"finish() — attribution is not threaded through this model")
+        mismatches: List[Tuple[str, str, float, float]] = []
+        for unit, buckets in self.expected.items():
+            names = set(buckets)
+            names.update(b for (u, b) in self._ledger if u == unit)
+            for bucket in sorted(names):
+                attributed = self._ledger.get((unit, bucket), 0.0)
+                reported = buckets.get(bucket, 0.0)
+                if attributed != reported:
+                    mismatches.append((unit, bucket, attributed, reported))
+        known = set(self.expected)
+        for unit, _bucket in self._ledger:
+            if unit not in known:
+                mismatches.append((unit, _bucket,
+                                   self._ledger[(unit, _bucket)], 0.0))
+                known.add(unit)
+        if mismatches:
+            detail = "; ".join(
+                f"{unit}.{bucket}: attributed {attributed!r} != "
+                f"reported {reported!r} (delta {attributed - reported:+g})"
+                for unit, bucket, attributed, reported in mismatches[:8])
+            raise AttributionError(
+                f"cycle-attribution conservation violated{where}: {detail}"
+                + ("" if len(mismatches) <= 8
+                   else f" (+{len(mismatches) - 8} more)"),
+                mismatches=mismatches)
+        covered, total = self.coverage()
+        if abs(covered - total) > COVERAGE_REL_EPS * max(1.0, abs(total)):
+            raise AttributionError(
+                f"cycle-attribution coverage violated{where}: timeline "
+                f"units {list(self.timeline_units)} cover {covered!r} of "
+                f"{total!r} achieved cycles "
+                f"(delta {covered - total:+g})",
+                mismatches=[("<timeline>", "coverage", covered, total)])
+
+    # -- views -------------------------------------------------------------
+
+    def coverage(self) -> Tuple[float, float]:
+        """(cycles charged on timeline units, achieved total cycles)."""
+        covered = sum(cycles for (unit, _), cycles in self._ledger.items()
+                      if unit in self.timeline_units)
+        return covered, self.total_cycles
+
+    def unit_totals(self) -> Dict[str, Dict[str, float]]:
+        """Ledger as ``unit -> bucket -> cycles`` (attributed side)."""
+        out: Dict[str, Dict[str, float]] = {}
+        for (unit, bucket), cycles in self._ledger.items():
+            out.setdefault(unit, {})[bucket] = cycles
+        return out
+
+    def nodes(self) -> List[int]:
+        """Every node that received at least one charge, sorted
+        (ROOT_NODE, if charged, sorts first)."""
+        return sorted(self._node_charges)
+
+    def node_charges(self, node: int) -> Dict[Tuple[str, str], float]:
+        return dict(self._node_charges.get(node, {}))
+
+    def node_weight(self, node: int) -> float:
+        """Timeline cycles charged to ``node`` (its weight in the timed
+        dependence graph)."""
+        return sum(cycles
+                   for (unit, _), cycles
+                   in self._node_charges.get(node, {}).items()
+                   if unit in self.timeline_units)
+
+    def node_span(self, node: int) -> Optional[Tuple[float, float]]:
+        return self._spans.get(node)
+
+
+class NullAttribution(AttributionCollector):
+    """Disabled-mode collector: every hook is a no-op."""
+
+    enabled = False
+
+    def set_node(self, node: int) -> None:
+        pass
+
+    def charge(self, unit, bucket, cycles, node=None) -> None:
+        pass
+
+    def span(self, begin, end, node=None) -> None:
+        pass
+
+    def finish(self, total_cycles, expected, timeline_units) -> None:
+        pass
+
+    def require_conserved(self, context: str = "") -> None:
+        raise AttributionError(
+            "attribution is disabled (NULL_ATTRIBUTION); pass an "
+            "AttributionCollector into the run to verify conservation")
+
+
+#: Process-wide disabled collector; safe to share (it records nothing).
+NULL_ATTRIBUTION = NullAttribution()
+
+
+# -- joining charges with the trace ---------------------------------------
+
+#: Label metadata for the pseudo-node holding unattributable cycles.
+_ROOT_LABEL = ("(drain)", "machine", "MACHINE")
+
+
+@dataclass
+class NodeAttribution:
+    """One trace event's attributed cycles, labelled for reporting."""
+
+    node: int
+    label: str          #: opcode, ``scalar_block``, or ``(drain)``
+    macro: str          #: macro-op family (``add``, ``mul``, ``scalar``...)
+    category: str       #: ISA category name (``IALU``, ``MEM_UNIT``, ...)
+    vl: int             #: vector length in effect (0 for scalar blocks)
+    start: float        #: earliest timeline point charged to this node
+    end: float          #: latest timeline point charged to this node
+    weight: float       #: timeline cycles charged (node duration)
+    busy: float         #: timeline ``busy`` bucket cycles
+    stall: float        #: ``weight - busy`` (recoverable by a perfect fix)
+    charges: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: bucket -> cycles, restricted to the timeline units (sums to weight).
+    timeline: Dict[str, float] = field(default_factory=dict)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "node": self.node, "label": self.label, "macro": self.macro,
+            "category": self.category, "vl": self.vl,
+            "start": self.start, "end": self.end, "weight": self.weight,
+            "busy": self.busy, "stall": self.stall,
+            "charges": {unit: dict(buckets)
+                        for unit, buckets in sorted(self.charges.items())},
+            "timeline": dict(sorted(self.timeline.items())),
+        }
+
+
+def _event_labels(event) -> Tuple[str, str, str, int]:
+    """(label, macro, category, vl) for one trace event."""
+    if isinstance(event, VectorInstr):
+        return (event.op, event.info.macro, event.info.category.name,
+                int(event.vl))
+    if isinstance(event, ScalarBlock):
+        return ("scalar_block", "scalar", "SCALAR", 0)
+    return (type(event).__name__, "other", "OTHER", 0)
+
+
+def collect_nodes(collector: AttributionCollector,
+                  trace) -> List[NodeAttribution]:
+    """Join the collector's per-node charges with trace-event labels.
+
+    Returns one :class:`NodeAttribution` per charged node, in node order
+    (:data:`ROOT_NODE`, when charged, comes first with a ``(drain)``
+    label).  ``trace`` is the :class:`repro.isa.trace.Trace` the machine
+    ran; its event indices are the node identities.
+    """
+    events = trace.events
+    timeline = set(collector.timeline_units)
+    out: List[NodeAttribution] = []
+    for node in collector.nodes():
+        if 0 <= node < len(events):
+            label, macro, category, vl = _event_labels(events[node])
+        else:
+            label, macro, category = _ROOT_LABEL
+            vl = 0
+        charges: Dict[str, Dict[str, float]] = {}
+        timeline_split: Dict[str, float] = {}
+        weight = 0.0
+        busy = 0.0
+        for (unit, bucket), cycles in collector.node_charges(node).items():
+            charges.setdefault(unit, {})[bucket] = cycles
+            if unit in timeline:
+                weight += cycles
+                timeline_split[bucket] = (
+                    timeline_split.get(bucket, 0.0) + cycles)
+                if bucket == "busy":
+                    busy += cycles
+        span = collector.node_span(node) or (0.0, 0.0)
+        out.append(NodeAttribution(
+            node=node, label=label, macro=macro, category=category, vl=vl,
+            start=span[0], end=span[1], weight=weight, busy=busy,
+            stall=max(0.0, weight - busy), charges=charges,
+            timeline=timeline_split))
+    return out

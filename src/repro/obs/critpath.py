@@ -1,0 +1,302 @@
+"""Timed critical path, per-instruction slack, and bottleneck reports.
+
+Joins the attributed timeline (:mod:`repro.obs.attribution`) with the
+PR 6 dependence graph (:mod:`repro.analysis.depgraph`): each graph node
+is weighted by the timeline cycles attribution charged to it, and the
+longest latency-weighted chain through the graph is the *timed* critical
+path — the cycles a machine with infinite resources but the program's
+true dependences would still need.  Conservation guarantees the weights
+over all nodes sum to the achieved cycle count, so any dependence chain
+(a subset of nodes) is bounded above by it: ``cp_cycles <= cycles``.
+
+Per node, ``slack = cp_cycles - (longest chain through the node)`` — an
+instruction with zero slack is on the critical path and shortening it
+shortens the run; large slack means a local fix recovers nothing until
+the critical chain is dealt with.
+
+The **bound-by taxonomy** folds the timeline stall buckets into four
+coarse classes so cells can be compared at a glance:
+
+* ``compute`` — ``busy`` plus ``empty_stall`` (the unit was doing work,
+  or starved waiting for the scalar core to feed it);
+* ``dep``     — ``dep_stall`` and ``vru_stall`` (serialised on results);
+* ``memory``  — load/store memory and DTU stalls, VMU backpressure,
+  issue-side memory stalls, and end-of-run drain;
+* ``reconfig`` — EVE spawn/reconfiguration cycles.
+
+The :func:`build_bottleneck_report` entry point ranks instructions and
+macro-op families by their recoverable (stall) cycles and reports what a
+perfect fix of each would buy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.depgraph import DepGraph
+from .attribution import ROOT_NODE, AttributionCollector, NodeAttribution
+
+#: Timeline stall-bucket -> bound-by taxonomy class.  Buckets not listed
+#: fold into "memory" (the conservative default: unexplained waiting is
+#: almost always the memory system in this simulator).
+BOUND_BY_TAXONOMY = {
+    "busy": "compute",
+    "empty_stall": "compute",
+    "dep_stall": "dep",
+    "vru_stall": "dep",
+    "ld_mem_stall": "memory",
+    "st_mem_stall": "memory",
+    "ld_dt_stall": "memory",
+    "st_dt_stall": "memory",
+    "vmu_stall": "memory",
+    "mem_stall": "memory",
+    "drain": "memory",
+    "reconfig": "reconfig",
+}
+
+#: Canonical class order for rendering.
+TAXONOMY_CLASSES = ("compute", "dep", "memory", "reconfig")
+
+
+def classify_bucket(bucket: str) -> str:
+    return BOUND_BY_TAXONOMY.get(bucket, "memory")
+
+
+@dataclass
+class CriticalPath:
+    """Longest latency-weighted dependence chain in a cell."""
+
+    cycles: float                 #: weight of the heaviest chain
+    path: List[int]               #: node indices, program order
+    slack: Dict[int, float]       #: node -> cp_cycles - chain-through(node)
+
+    def to_json_dict(self) -> dict:
+        return {"cycles": self.cycles, "length": len(self.path),
+                "path": list(self.path)}
+
+
+def timed_critical_path(graph: DepGraph,
+                        weights: Dict[int, float]) -> CriticalPath:
+    """Longest weighted path through ``graph`` with per-node slack.
+
+    ``weights`` maps node index -> duration (cycles); missing nodes weigh
+    zero.  Dependence edges always point forward in program order, so
+    index order is a topological order and one forward plus one backward
+    sweep suffice.
+    """
+    n = graph.n_nodes
+    w = [weights.get(i, 0.0) for i in range(n)]
+    best_to = [0.0] * n          # heaviest chain ending at i (inclusive)
+    best_pred = [-1] * n
+    for node in range(n):
+        best = 0.0
+        pred = -1
+        for p in graph.preds.get(node, ()):
+            if best_to[p] > best:
+                best = best_to[p]
+                pred = p
+        best_to[node] = best + w[node]
+        best_pred[node] = pred
+    best_from = [0.0] * n        # heaviest chain starting at i (inclusive)
+    for node in range(n - 1, -1, -1):
+        best = 0.0
+        for s in graph.succs.get(node, ()):
+            if best_from[s] > best:
+                best = best_from[s]
+        best_from[node] = best + w[node]
+
+    if n == 0:
+        return CriticalPath(cycles=0.0, path=[], slack={})
+    tail = max(range(n), key=lambda i: best_to[i])
+    cp_cycles = best_to[tail]
+    path: List[int] = []
+    node = tail
+    while node != -1:
+        path.append(node)
+        node = best_pred[node]
+    path.reverse()
+    slack = {i: cp_cycles - (best_to[i] + best_from[i] - w[i])
+             for i in range(n)}
+    return CriticalPath(cycles=cp_cycles, path=path, slack=slack)
+
+
+@dataclass
+class BottleneckEntry:
+    """One ranked row of a bottleneck report (instruction or family)."""
+
+    rank: int
+    label: str            #: opcode (+node) or macro-family name
+    node: int             #: trace-event index (-2 for family rows)
+    count: int            #: instructions aggregated into this row
+    weight: float         #: timeline cycles charged
+    stall: float          #: recoverable cycles (weight minus busy)
+    slack: float          #: critical-path slack (min over members)
+    on_critical_path: bool
+    bound_by: str         #: dominant taxonomy class of the charges
+
+    def to_json_dict(self) -> dict:
+        return {
+            "rank": self.rank, "label": self.label, "node": self.node,
+            "count": self.count, "weight": self.weight, "stall": self.stall,
+            "slack": self.slack, "on_critical_path": self.on_critical_path,
+            "bound_by": self.bound_by,
+        }
+
+
+@dataclass
+class BottleneckReport:
+    """Ranked bottleneck report for one (system, workload) cell."""
+
+    system: str
+    workload: str
+    cycles: float
+    total_stall: float                    #: timeline non-busy cycles
+    bound_by: Dict[str, float]            #: taxonomy class -> share
+    dominant: str                         #: argmax of bound_by
+    critical_path: CriticalPath
+    instructions: List[BottleneckEntry] = field(default_factory=list)
+    families: List[BottleneckEntry] = field(default_factory=list)
+    instruction_coverage: float = 0.0     #: stall share of ranked instrs
+    family_coverage: float = 0.0          #: stall share of ranked families
+
+    def to_json_dict(self) -> dict:
+        return {
+            "system": self.system, "workload": self.workload,
+            "cycles": self.cycles, "total_stall": self.total_stall,
+            "bound_by": dict(self.bound_by), "dominant": self.dominant,
+            "critical_path": self.critical_path.to_json_dict(),
+            "critical_path_share": (self.critical_path.cycles / self.cycles
+                                    if self.cycles else 0.0),
+            "instructions": [e.to_json_dict() for e in self.instructions],
+            "families": [e.to_json_dict() for e in self.families],
+            "instruction_coverage": self.instruction_coverage,
+            "family_coverage": self.family_coverage,
+        }
+
+
+def _dominant_class(bucket_cycles: Dict[str, float]) -> str:
+    if not bucket_cycles:
+        return "compute"
+    totals = {cls: 0.0 for cls in TAXONOMY_CLASSES}
+    for bucket, cycles in bucket_cycles.items():
+        totals[classify_bucket(bucket)] += cycles
+    return max(TAXONOMY_CLASSES, key=lambda cls: totals[cls])
+
+
+def _stall_class(bucket_cycles: Dict[str, float]) -> str:
+    """Dominant taxonomy class of the *stall* (non-busy) charges."""
+    stalls = {b: c for b, c in bucket_cycles.items() if b != "busy"}
+    return _dominant_class(stalls or bucket_cycles)
+
+
+def build_bottleneck_report(collector: AttributionCollector,
+                            nodes: Sequence[NodeAttribution],
+                            graph: Optional[DepGraph],
+                            system: str, workload: str,
+                            top: int = 10,
+                            coverage_target: float = 0.8
+                            ) -> BottleneckReport:
+    """Rank instructions and macro-op families by recoverable cycles.
+
+    ``nodes`` is :func:`repro.obs.attribution.collect_nodes` output;
+    ``graph`` is the PR 6 dependence graph for the same trace (``None``
+    degenerates to a chain-free path of weighted nodes, used for scalar
+    traces where no vector dependence graph exists).
+
+    The instruction ranking always includes at least ``top`` rows but
+    keeps extending until the ranked rows cover ``coverage_target`` of
+    the total stall cycles — at paper-scale trace lengths the stall mass
+    spreads over hundreds of dynamic instructions, and a fixed-size
+    ranking would silently describe a sliver of the problem.  Renderers
+    that want a short table print the head and say how deep the
+    ranking goes.
+    """
+    total = collector.total_cycles
+    weights = {n.node: n.weight for n in nodes if n.node != ROOT_NODE}
+    if graph is not None:
+        cp = timed_critical_path(graph, weights)
+    else:
+        heaviest = max(weights, key=weights.get) if weights else None
+        cp = CriticalPath(
+            cycles=max(weights.values()) if weights else 0.0,
+            path=[heaviest] if heaviest is not None else [],
+            slack={})
+    on_path = set(cp.path)
+
+    # Cell-level taxonomy: every timeline bucket cycle, classified; EVE
+    # spawn cycles (folded into the residual by the machine) move to
+    # "reconfig".
+    spawn = collector.meta.get("spawn_cycles", 0.0)
+    class_cycles = {cls: 0.0 for cls in TAXONOMY_CLASSES}
+    for node in nodes:
+        for bucket, cycles in node.timeline.items():
+            class_cycles[classify_bucket(bucket)] += cycles
+    if spawn > 0.0:
+        donor = max(TAXONOMY_CLASSES, key=lambda cls: class_cycles[cls])
+        moved = min(spawn, class_cycles[donor])
+        class_cycles[donor] -= moved
+        class_cycles["reconfig"] += moved
+    shares = {cls: (cycles / total if total else 0.0)
+              for cls, cycles in class_cycles.items()}
+    dominant = max(TAXONOMY_CLASSES, key=lambda cls: shares[cls])
+
+    total_stall = sum(n.stall for n in nodes)
+
+    # Per-instruction ranking by recoverable (stall) cycles: at least
+    # ``top`` rows, extended until the coverage target is met.
+    ranked = sorted((n for n in nodes if n.stall > 0.0),
+                    key=lambda n: (-n.stall, n.node))
+    instructions: List[BottleneckEntry] = []
+    covered = 0.0
+    target = coverage_target * total_stall
+    for rank, node in enumerate(ranked, start=1):
+        if rank > top and covered >= target:
+            break
+        buckets = node.timeline
+        covered += node.stall
+        instructions.append(BottleneckEntry(
+            rank=rank,
+            label=(node.label if node.node == ROOT_NODE
+                   else f"{node.label}@{node.node}"),
+            node=node.node, count=1, weight=node.weight, stall=node.stall,
+            slack=cp.slack.get(node.node, 0.0),
+            on_critical_path=node.node in on_path,
+            bound_by=_stall_class(buckets)))
+    instruction_coverage = covered / total_stall if total_stall else 1.0
+
+    # Macro-family ranking: group by (macro, category).
+    families_acc: Dict[str, Dict[str, object]] = {}
+    for node in nodes:
+        fam = families_acc.setdefault(node.macro, {
+            "count": 0, "weight": 0.0, "stall": 0.0,
+            "slack": float("inf"), "on_path": False, "buckets": {}})
+        fam["count"] += 1
+        fam["weight"] += node.weight
+        fam["stall"] += node.stall
+        fam["slack"] = min(fam["slack"],
+                           cp.slack.get(node.node, float("inf")))
+        fam["on_path"] = fam["on_path"] or node.node in on_path
+        buckets = fam["buckets"]
+        for bucket, cycles in node.timeline.items():
+            buckets[bucket] = buckets.get(bucket, 0.0) + cycles
+    ranked_fams = sorted(families_acc.items(),
+                         key=lambda kv: (-kv[1]["stall"], kv[0]))
+    families: List[BottleneckEntry] = []
+    fam_covered = 0.0
+    for rank, (macro, fam) in enumerate(ranked_fams[:top], start=1):
+        fam_covered += fam["stall"]
+        families.append(BottleneckEntry(
+            rank=rank, label=macro, node=-2, count=fam["count"],
+            weight=fam["weight"], stall=fam["stall"],
+            slack=(0.0 if fam["slack"] == float("inf") else fam["slack"]),
+            on_critical_path=bool(fam["on_path"]),
+            bound_by=_stall_class(fam["buckets"])))
+    family_coverage = fam_covered / total_stall if total_stall else 1.0
+
+    return BottleneckReport(
+        system=system, workload=workload, cycles=total,
+        total_stall=total_stall, bound_by=shares, dominant=dominant,
+        critical_path=cp, instructions=instructions, families=families,
+        instruction_coverage=instruction_coverage,
+        family_coverage=family_coverage)

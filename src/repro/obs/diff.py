@@ -110,6 +110,11 @@ def default_policies(
         ("results.*.time_ns", exact(higher_is_better=False)),
         ("results.*.instructions", exact(higher_is_better=None)),
         ("metrics.*", exact(higher_is_better=None, gate=False)),
+        # Attribution shares are deterministic fractions of the (exact)
+        # cycle count; a small relative budget absorbs trace-content
+        # shifts while still flagging genuine bottleneck drift.  Gated,
+        # so ``repro diff --strict`` enforces golden-file discipline.
+        ("attribution.*", relative(0.05, higher_is_better=None, gate=True)),
         ("self_profile.*.seconds",
          relative(WALLCLOCK_EPSILON, higher_is_better=False, gate=False)),
         ("bench.*", relative(WALLCLOCK_EPSILON, higher_is_better=False,

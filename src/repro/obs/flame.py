@@ -1,0 +1,126 @@
+"""Flamegraph and Perfetto exports for the attributed timeline.
+
+Two render targets for :mod:`repro.obs.attribution` output:
+
+* **Folded stacks** — the classic ``a;b;c <count>`` format flamegraph.pl
+  / speedscope / inferno all read.  The stack hierarchy is
+  ``workload;macro-family;opcode;stall-bucket`` and the count is the
+  timeline cycles charged, so the flame width partitions the achieved
+  cycle count exactly (conservation guarantees it).
+* **Perfetto counter tracks** — a Chrome trace-event JSON document with
+  one cumulative counter per stall bucket, sampled at each instruction's
+  dispatch point; load it next to a ``repro trace`` span file to see
+  *where in the run* each stall class accumulated.
+
+Plus :func:`attribution_record_payload`, the flattened top-level shares
+stored in ``RunRecord.extra["attribution"]`` so ``repro diff`` can gate
+on bottleneck drift.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .attribution import ROOT_NODE, AttributionCollector, NodeAttribution
+from .critpath import BottleneckReport, classify_bucket
+
+
+def folded_stacks(nodes: Sequence[NodeAttribution],
+                  workload: str) -> List[str]:
+    """Render attributed nodes as folded-stack lines.
+
+    One line per ``workload;macro;opcode;bucket`` leaf with the summed
+    timeline cycles (rounded to integer "samples", the format's native
+    unit).  Lines are sorted for deterministic output; zero-cycle leaves
+    are dropped.
+    """
+    counts: Dict[Tuple[str, str, str], float] = {}
+    for node in nodes:
+        for bucket, cycles in node.timeline.items():
+            key = (node.macro, node.label, bucket)
+            counts[key] = counts.get(key, 0.0) + cycles
+    lines = []
+    for (macro, label, bucket), cycles in sorted(counts.items()):
+        samples = int(round(cycles))
+        if samples > 0:
+            lines.append(f"{workload};{macro};{label};{bucket} {samples}")
+    return lines
+
+
+def write_folded(path: str, lines: Sequence[str]) -> None:
+    with open(path, "w") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+
+
+def counter_trace_dict(nodes: Sequence[NodeAttribution],
+                       process: str = "repro-attribution") -> dict:
+    """Chrome trace-event document with cumulative stall-bucket counters.
+
+    One counter track per timeline bucket; each instruction contributes a
+    sample at its span start with the running total of cycles charged to
+    that bucket so far (in node order — program order).  Rendered by
+    Perfetto as stacked area graphs.
+    """
+    pid = 1
+    events: List[dict] = [{
+        "ph": "M", "pid": pid, "name": "process_name",
+        "args": {"name": process}}]
+    ordered = sorted((n for n in nodes if n.node != ROOT_NODE),
+                     key=lambda n: (n.start, n.node))
+    cumulative: Dict[str, float] = {}
+    tids: Dict[str, int] = {}
+    body: List[dict] = []
+    for node in ordered:
+        for bucket, cycles in sorted(node.timeline.items()):
+            cumulative[bucket] = cumulative.get(bucket, 0.0) + cycles
+            tid = tids.setdefault(bucket, len(tids) + 1)
+            body.append({
+                "ph": "C", "pid": pid, "tid": tid, "ts": node.start,
+                "name": f"attr:{bucket}",
+                "args": {bucket: cumulative[bucket]}})
+    for bucket, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        events.append({"ph": "M", "pid": pid, "tid": tid,
+                       "name": "thread_name",
+                       "args": {"name": f"attr:{bucket}"}})
+    events.extend(body)
+    return {"traceEvents": events, "displayTimeUnit": "ns",
+            "otherData": {"timestamp_unit": "simulated cycles"}}
+
+
+def attribution_record_payload(collector: AttributionCollector,
+                               report: Optional[BottleneckReport] = None
+                               ) -> dict:
+    """Flat attribution shares for ``RunRecord.extra["attribution"]``.
+
+    ``shares`` holds only scalars so ``flatten_record`` can expose them
+    as ``attribution.<key>`` for ``repro diff`` drift gating: per-unit
+    per-bucket shares of the achieved cycles, the bound-by taxonomy
+    split, and the critical-path summary.
+    """
+    total = collector.total_cycles or 1.0
+    shares: Dict[str, float] = {}
+    for unit, buckets in sorted(collector.unit_totals().items()):
+        for bucket, cycles in sorted(buckets.items()):
+            shares[f"{unit}.{bucket}"] = cycles / total
+    if report is not None:
+        for cls, share in sorted(report.bound_by.items()):
+            shares[f"bound_by.{cls}"] = share
+        shares["critical_path.cycles"] = report.critical_path.cycles
+        shares["critical_path.share"] = (
+            report.critical_path.cycles / total)
+        shares["stall.total"] = report.total_stall
+    payload = {"cycles": collector.total_cycles,
+               "timeline_units": list(collector.timeline_units),
+               "shares": shares}
+    if report is not None:
+        payload["dominant"] = report.dominant
+        payload["top_family"] = (report.families[0].label
+                                 if report.families else "")
+    return payload
+
+
+__all__ = [
+    "folded_stacks", "write_folded", "counter_trace_dict",
+    "attribution_record_payload", "classify_bucket",
+]

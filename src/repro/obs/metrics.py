@@ -134,6 +134,9 @@ class Histogram:
             "mean": self.mean,
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
             "buckets": buckets,
         }
 

@@ -178,7 +178,10 @@ def flatten_record(record: RunRecord) -> Dict[str, float]:
     * ``bench.<workload>.<field>`` — bench_smoke wall-clock;
     * ``faults.<field>`` / ``faults.<dim>.<bucket>.<field>`` — a
       fault-injection campaign's classification counts and SDC rates
-      (deterministic given the campaign seed).
+      (deterministic given the campaign seed);
+    * ``attribution.<unit>.<bucket>`` / ``attribution.bound_by.<class>``
+      — cycle-attribution shares of the achieved cycles (bottleneck
+      drift; see :mod:`repro.obs.flame`).
     """
     out: Dict[str, float] = {}
     for system, workloads in record.results.items():
@@ -207,6 +210,13 @@ def flatten_record(record: RunRecord) -> Dict[str, float]:
         for key, value in sweep.items():
             if isinstance(value, (int, float)):
                 out[f"bench.sweep.{key}"] = float(value)
+    attribution = record.extra.get("attribution")
+    if isinstance(attribution, dict):
+        shares = attribution.get("shares")
+        if isinstance(shares, dict):
+            for name, value in shares.items():
+                if isinstance(value, (int, float)):
+                    out[f"attribution.{name}"] = float(value)
     campaign = record.extra.get("campaign")
     if isinstance(campaign, dict):
         for key in ("count", "sdc_rate", "detected_rate"):
