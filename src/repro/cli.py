@@ -64,7 +64,9 @@ Commands
     segments, dropped/latched writebacks) and classify every injection
     as masked / detected / SDC against the oracle.
 ``history``
-    List the run records archived in the run store (``.eve-runs/``).
+    List the run records archived in the run store (``.eve-runs/``),
+    filterable by ``--limit`` / ``--kind`` / ``--workload`` /
+    ``--system``.
 ``diff BASELINE [CURRENT]``
     Compare two run records under per-metric tolerance policies (exact
     for cycle counts, relative-epsilon for wall-clock, direction-aware
@@ -72,6 +74,15 @@ Commands
 ``scorecard``
     Run the Figure 6 / Table IV / Figure 7 / Figure 8 harnesses and
     grade every datapoint against the paper's published values.
+``events``
+    Inspect a campaign event log (``--tail N``, ``--json``,
+    ``--campaign ID``); ``--check`` exits non-zero when any unit
+    violates the exactly-one-terminal-event conservation invariant.
+``report``
+    Render the self-contained offline HTML dashboard (run history,
+    scorecard grades, metric trend sparklines with regression badges,
+    campaign telemetry, attribution excerpt) from the run store and an
+    optional event log.
 
 System and workload names are matched case-insensitively (``o3+eve-4``
 works), and ``run`` / ``trace`` / ``stats`` accept ``--tiny`` to use the
@@ -84,13 +95,20 @@ on-disk cell cache (``--cache-dir`` / ``--no-cache``); results are
 bit-identical to a serial run.  ``run`` / ``compare`` / ``sweep`` accept
 ``--seed N`` to vary the generated workload inputs; the seed is folded
 into cache keys and record fingerprints so seeded runs never collide
-with the default-seed results.
+with the default-seed results.  ``sweep`` / ``compare`` / ``fuzz`` /
+``faults`` accept ``--events [FILE]`` (append the campaign's lifecycle
+events to a JSONL log), ``--progress`` (force the live progress line
+even without a TTY), and ``--quiet`` (suppress it); telemetry never
+changes simulation results — a telemetry-on sweep is byte-identical to
+a telemetry-off one.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from typing import List, Optional
 
 from . import __version__
@@ -98,14 +116,21 @@ from .config import all_system_names
 from .errors import MicroProgramError, ReproError, RunStoreError
 from .experiments import ExperimentRunner, ParallelRunner, format_table
 from .experiments.figures import ALL_APPS, area_table, figure2, table3
-from .experiments.parallel import DEFAULT_CACHE_ROOT, sweep_pairs
+from .experiments.parallel import (DEFAULT_CACHE_ROOT,
+                                   sweep_config_fingerprint, sweep_pairs)
 from .experiments.systems import canonical_system as _canonical_system
 from .faults.inject import FAULT_MODELS
 from .obs import MetricsRegistry, SelfProfiler, SpanTracer
 from .obs.diff import DEFAULT_SPEEDUP_BUDGET, diff_records
+from .obs.events import (DEFAULT_EVENTS_PATH, CampaignTelemetry, EventLog,
+                         NULL_TELEMETRY, Watchdog, campaign_summaries,
+                         check_conservation, read_events)
+from .obs.htmlreport import write_report
+from .obs.progress import make_progress
 from .obs.render import emit_csv, emit_json, findings_json, write_json
 from .obs.runstore import DEFAULT_ROOT, RunRecord, RunStore, make_record
 from .obs.scorecard import FIGURES, build_scorecard, scorecard_pairs
+from .obs.trend import filter_history, historical_cell_seconds
 from .uops import MacroOpRom, assemble, disassemble, lint_program, lint_rom
 from .workloads import DEFAULT_SEED, REGISTRY
 from .workloads import canonical_workload as _canonical_workload
@@ -113,21 +138,69 @@ from .workloads import canonical_workload as _canonical_workload
 EVE_FACTORS = (1, 2, 4, 8, 16, 32)
 
 
-def _make_runner(args, collect_metrics: bool = False) -> ExperimentRunner:
+def _make_runner(args, collect_metrics: bool = False,
+                 telemetry=None) -> ExperimentRunner:
     override = None
     if getattr(args, "tiny", False):
         override = {name: dict(wl.tiny_params) for name, wl in REGISTRY.items()}
     seed = getattr(args, "seed", None)
     if seed is None:
         seed = DEFAULT_SEED
+    telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
     jobs = getattr(args, "jobs", None)
     if jobs is not None and jobs != 1:
         cache_root = (None if getattr(args, "no_cache", False)
                       else getattr(args, "cache_dir", DEFAULT_CACHE_ROOT))
         return ParallelRunner(params_override=override, jobs=jobs or None,
                               cache_root=cache_root,
-                              collect_metrics=collect_metrics, seed=seed)
-    return ExperimentRunner(params_override=override, seed=seed)
+                              collect_metrics=collect_metrics, seed=seed,
+                              telemetry=telemetry)
+    return ExperimentRunner(params_override=override, seed=seed,
+                            telemetry=telemetry)
+
+
+def _make_telemetry(args, kind: str) -> Optional[CampaignTelemetry]:
+    """Build the campaign telemetry hub from ``--events`` / ``--progress``
+    / ``--quiet``, or return ``None`` (the zero-cost default) when
+    neither an event log nor a live progress display is wanted.
+
+    Progress auto-detects: on by default when stderr is a TTY, off
+    otherwise (scripts, tests, CI) unless ``--progress`` forces it.
+    """
+    events_path = getattr(args, "events", None)
+    quiet = getattr(args, "quiet", False)
+    force = getattr(args, "progress", False)
+    progress = make_progress(kind, quiet=quiet, force=force)
+    if events_path is None and progress is None:
+        return None
+    hint = None
+    try:
+        hint = historical_cell_seconds(
+            RunStore(getattr(args, "store", DEFAULT_ROOT)))
+    except RunStoreError:
+        hint = None  # a corrupt store must not kill the campaign
+    if progress is not None:
+        progress.hint_seconds = hint
+    log = EventLog(events_path) if events_path else None
+    return CampaignTelemetry(kind, log=log, progress=progress,
+                             watchdog=Watchdog(hint_seconds=hint),
+                             fingerprint=sweep_config_fingerprint())
+
+
+def _finalize_telemetry(telemetry: Optional[CampaignTelemetry]) -> None:
+    """Seal the campaign (idempotent); called from ``finally`` blocks so
+    even an aborted campaign persists the events it buffered."""
+    if telemetry is None:
+        return
+    summary = telemetry.finalize()
+    if summary.get("written"):
+        print(f"events: {summary['written']} event(s) "
+              f"[campaign {summary['campaign']}] -> {summary['log_path']}",
+              file=sys.stderr)
+    if summary.get("stalled"):
+        print(f"WARNING: {len(summary['stalled'])} unit(s) exceeded the "
+              f"watchdog threshold: {', '.join(summary['stalled'][:5])}",
+              file=sys.stderr)
 
 
 def _fingerprint_extra(runner: ExperimentRunner):
@@ -142,10 +215,12 @@ def _fingerprint_extra(runner: ExperimentRunner):
 def _prefetch(runner: ExperimentRunner, pairs) -> None:
     """Fan the cells out before the (serial) reporting loops run.
 
-    Only the parallel runner actually prefetches here; the serial runner
-    simulates lazily inside the harnesses exactly as before.
+    The parallel runner always prefetches here; the serial runner only
+    does when campaign telemetry is attached (prefetching is what emits
+    the per-cell events) and otherwise simulates lazily inside the
+    harnesses exactly as before.
     """
-    if isinstance(runner, ParallelRunner):
+    if isinstance(runner, ParallelRunner) or runner.telemetry.enabled:
         stats = runner.prefetch(pairs)
         print(f"sweep: {stats['cells']} cells ({stats['simulated']} "
               f"simulated, {stats['cached']} cached) with "
@@ -262,9 +337,14 @@ def _cmd_run(args) -> int:
 
 def _cmd_compare(args) -> int:
     want_metrics = bool(args.metrics_out) or _recording(args)
-    runner = _make_runner(args, collect_metrics=want_metrics)
-    _prefetch(runner, [(system, args.workload)
-                       for system in all_system_names()])
+    telemetry = _make_telemetry(args, "compare")
+    runner = _make_runner(args, collect_metrics=want_metrics,
+                          telemetry=telemetry)
+    try:
+        _prefetch(runner, [(system, args.workload)
+                           for system in all_system_names()])
+    finally:
+        _finalize_telemetry(telemetry)
     base = runner.run("IO", args.workload)
     per_system = {}
     metrics_out = {}
@@ -328,15 +408,32 @@ def _cmd_compare(args) -> int:
     return _finish_record(args, record)
 
 
+def _sweep_cache_stats(stats) -> dict:
+    """The sweep's explicit cache telemetry: disk hit/miss/corrupt for
+    the parallel executor, warm/cold in-memory counts for the serial
+    runner (which has no disk cache)."""
+    return {"hits": stats.get("cache_hits", stats["cached"]),
+            "misses": stats.get("cache_misses", stats["simulated"]),
+            "corrupt": stats.get("cache_corrupt", 0)}
+
+
 def _cmd_sweep(args) -> int:
-    runner = _make_runner(args)
+    telemetry = _make_telemetry(args, "sweep")
+    runner = _make_runner(args, telemetry=telemetry)
     systems = args.systems or all_system_names()
     workloads = args.workloads or sorted(REGISTRY)
     pairs = sweep_pairs(systems, workloads)
-    stats = runner.prefetch(pairs)
+    try:
+        stats = runner.prefetch(pairs)
+    finally:
+        _finalize_telemetry(telemetry)
     print(f"sweep: {stats['cells']} cells ({stats['simulated']} simulated, "
           f"{stats['cached']} cached) with {stats['jobs']} worker(s) in "
           f"{stats['seconds']:.2f}s", file=sys.stderr)
+    cache_stats = _sweep_cache_stats(stats)
+    if cache_stats["corrupt"]:
+        print(f"sweep cache: {cache_stats['corrupt']} corrupt entr(y/ies) "
+              f"quarantined (*.corrupt) and re-simulated", file=sys.stderr)
     base_results = ({workload: runner.run("IO", workload)
                      for workload in workloads} if "IO" in systems else {})
     cells: dict = {}
@@ -356,7 +453,8 @@ def _cmd_sweep(args) -> int:
     if args.json:
         payload = {"systems": list(systems), "workloads": list(workloads),
                    "baseline": "IO" if base_results else None,
-                   "cells": cells, "speedups": speedups}
+                   "cells": cells, "speedups": speedups,
+                   "cache": cache_stats}
         emit_json(payload)
     else:
         headers = ["workload", "system", "cycles", "time_us"]
@@ -381,7 +479,8 @@ def _cmd_sweep(args) -> int:
         record.self_profile = runner.profiler.as_dict()
         record.extra["sweep"] = {k: stats[k] for k in
                                  ("cells", "simulated", "cached", "jobs",
-                                  "seconds")}
+                                  "seconds", "cache_hits", "cache_misses",
+                                  "cache_corrupt") if k in stats}
     return _finish_record(args, record)
 
 
@@ -626,13 +725,20 @@ def _cmd_stats(args) -> int:
 
 def _cmd_history(args) -> int:
     store = RunStore(args.store)
-    rows_data = store.history(limit=args.limit, kind=args.kind)
+    # The workload/system filters share the trend analytics' helpers, so
+    # `repro history --workload vvadd` selects exactly the records a
+    # vvadd trend line would be computed over.
+    rows_data = filter_history(store, kind=args.kind,
+                               workload=args.workload, system=args.system,
+                               limit=args.limit)
     if args.json:
         emit_json(rows_data)
         return 0
     if not rows_data:
-        print(f"run store {store.root} is empty "
-              f"(record one with: repro run SYSTEM WORKLOAD --record)")
+        filtered = args.kind or args.workload or args.system
+        print(f"run store {store.root} is empty"
+              + (" for these filters" if filtered else "")
+              + " (record one with: repro run SYSTEM WORKLOAD --record)")
         return 0
     rows = [[r["record_id"], r["kind"], r["label"] or "-", r["created"],
              r["git_sha"] + ("*" if r.get("dirty") else ""),
@@ -878,14 +984,22 @@ def _cmd_fuzz(args) -> int:
                   f"{len(case.ops)} ops) at n in {list(widths)}: {verdict}")
         return 1 if failures else 0
 
+    telemetry = _make_telemetry(args, "fuzz")
+
     def progress(done: int, total: int, found: int) -> None:
+        if telemetry is not None:
+            return  # the live renderer owns stderr
         if done % 50 == 0 or done == total:
             print(f"fuzz: {done}/{total} seeds checked, "
                   f"{found} mismatch(es)", file=sys.stderr)
 
-    mismatches = fuzz_many(args.seeds, master_seed=args.seed, widths=widths,
-                           vlmax=args.vlmax, num_ops=args.ops,
-                           out_dir=args.out_dir, progress=progress)
+    try:
+        mismatches = fuzz_many(args.seeds, master_seed=args.seed,
+                               widths=widths, vlmax=args.vlmax,
+                               num_ops=args.ops, out_dir=args.out_dir,
+                               progress=progress, telemetry=telemetry)
+    finally:
+        _finalize_telemetry(telemetry)
     if args.json:
         emit_json({"seeds": args.seeds, "master_seed": args.seed,
                    "widths": list(widths),
@@ -914,9 +1028,15 @@ def _cmd_faults(args) -> int:
     models = None if args.model == "all" else [args.model]
     metrics = MetricsRegistry() if _recording(args) else None
     profiler = SelfProfiler()
-    report = run_campaign(args.count, models=models, factors=factors,
-                          seed=args.seed, jobs=args.jobs,
-                          profiler=profiler, metrics=metrics)
+    telemetry = _make_telemetry(args, "faults")
+    try:
+        report = run_campaign(args.count, models=models, factors=factors,
+                              seed=args.seed, jobs=args.jobs,
+                              profiler=profiler, metrics=metrics,
+                              telemetry=(telemetry if telemetry is not None
+                                         else NULL_TELEMETRY))
+    finally:
+        _finalize_telemetry(telemetry)
     payload = report.to_json_dict()
     if args.json:
         emit_json(payload)
@@ -958,6 +1078,52 @@ def _cmd_faults(args) -> int:
     return _finish_record(args, record)
 
 
+def _cmd_events(args) -> int:
+    events = read_events(args.log, campaign=args.campaign)
+    violations = check_conservation(events)
+    summaries = campaign_summaries(events)
+    shown = events[-args.tail:] if args.tail else events
+    if args.json:
+        emit_json({"log": args.log, "total": len(events),
+                   "campaigns": summaries,
+                   "conserved": not violations, "violations": violations,
+                   "events": [e.to_json_dict() for e in shown]})
+    else:
+        rows = [[s["campaign"], s["kind"] or "-", s["units"], s["events"],
+                 f"{s['cache']['hits']}/{s['cache']['corrupt']}",
+                 len(s["stalled_units"]),
+                 "ok" if s["conserved"] else "VIOLATED"]
+                for s in summaries]
+        print(format_table(
+            ["campaign", "kind", "units", "events", "cache hit/corrupt",
+             "stalls", "conservation"], rows))
+        print()
+        for event in shown:
+            detail = f"  {event.detail}" if event.detail else ""
+            print(f"{event.t:9.3f}  {event.event:<17} {event.unit:<28} "
+                  f"[{event.worker}]{detail}")
+        if args.tail and len(events) > len(shown):
+            print(f"  (showing last {len(shown)} of {len(events)} "
+                  f"event(s); --tail 0 for all)")
+    if violations:
+        for violation in violations:
+            print(f"conservation: {violation}", file=sys.stderr)
+    if args.check:
+        return 1 if violations else 0
+    return 0
+
+
+def _cmd_report(args) -> int:
+    store = RunStore(args.store)
+    events = read_events(args.log) if os.path.exists(args.log) else []
+    size = write_report(args.output, store, events, last=args.last,
+                        generated=time.strftime("%Y-%m-%dT%H:%M:%S"))
+    records = len(list(store.records()))
+    print(f"report: {args.output} ({size} bytes; {records} record(s), "
+          f"{len(events)} event(s)) — self-contained, open in any browser")
+    return 0
+
+
 def _add_jobs_arguments(sub) -> None:
     sub.add_argument("--jobs", type=int, default=1, metavar="N",
                      help="simulate (system, workload) cells on N worker "
@@ -978,6 +1144,20 @@ def _add_record_arguments(sub) -> None:
                           "exits non-zero on regression")
     sub.add_argument("--store", default=DEFAULT_ROOT, metavar="DIR",
                      help=f"run-store directory (default: {DEFAULT_ROOT})")
+
+
+def _add_telemetry_arguments(sub) -> None:
+    sub.add_argument("--events", nargs="?", const=DEFAULT_EVENTS_PATH,
+                     default=None, metavar="FILE",
+                     help="append campaign lifecycle events to a JSONL log "
+                          f"(default FILE: {DEFAULT_EVENTS_PATH}; inspect "
+                          f"with 'repro events')")
+    live = sub.add_mutually_exclusive_group()
+    live.add_argument("--progress", action="store_true",
+                      help="force the live progress line even when stderr "
+                           "is not a TTY (default: auto-detect)")
+    live.add_argument("--quiet", action="store_true",
+                      help="suppress the live progress display")
 
 
 def _add_seed_argument(sub) -> None:
@@ -1028,6 +1208,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_seed_argument(compare)
     _add_jobs_arguments(compare)
     _add_record_arguments(compare)
+    _add_telemetry_arguments(compare)
 
     sweep = sub.add_parser(
         "sweep", help="simulate a systems x workloads cross-product, "
@@ -1048,6 +1229,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_seed_argument(sweep)
     _add_jobs_arguments(sweep)
     _add_record_arguments(sweep)
+    _add_telemetry_arguments(sweep)
 
     trace = sub.add_parser(
         "trace", help="export a Perfetto/Chrome timeline trace of one run")
@@ -1117,6 +1299,14 @@ def build_parser() -> argparse.ArgumentParser:
     history.add_argument("--kind", default=None,
                          help="restrict to one record kind "
                               "(run/compare/stats/bench/scorecard)")
+    history.add_argument("--workload", default=None, metavar="WORKLOAD",
+                         type=_canonical_workload, choices=sorted(REGISTRY),
+                         help="only records carrying results or speedups "
+                              "for this workload")
+    history.add_argument("--system", default=None, metavar="SYSTEM",
+                         type=_canonical_system, choices=all_system_names(),
+                         help="only records carrying results or speedups "
+                              "for this system")
     history.add_argument("--json", action="store_true",
                          help="machine-readable record summaries")
     history.add_argument("--store", default=DEFAULT_ROOT, metavar="DIR",
@@ -1243,6 +1433,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "JSON under DIR")
     fuzz.add_argument("--json", action="store_true",
                       help="machine-readable mismatch report")
+    _add_telemetry_arguments(fuzz)
 
     faults = sub.add_parser(
         "faults", help="run a seeded fault-injection campaign and "
@@ -1269,6 +1460,38 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--json-out", default=None, metavar="FILE",
                         help="also write the JSON report to FILE")
     _add_record_arguments(faults)
+    _add_telemetry_arguments(faults)
+
+    events = sub.add_parser(
+        "events", help="inspect a campaign event log (conservation check, "
+                       "per-campaign rollups, raw tail)")
+    events.add_argument("--log", default=DEFAULT_EVENTS_PATH, metavar="FILE",
+                        help="event log to read "
+                             f"(default: {DEFAULT_EVENTS_PATH})")
+    events.add_argument("--tail", type=int, default=None, metavar="N",
+                        help="show only the last N events "
+                             "(default: all of them)")
+    events.add_argument("--campaign", default=None, metavar="ID",
+                        help="restrict to one campaign id")
+    events.add_argument("--json", action="store_true",
+                        help="machine-readable events + campaign rollups")
+    events.add_argument("--check", action="store_true",
+                        help="exit non-zero when any unit violates the "
+                             "exactly-one-terminal-event invariant")
+
+    report = sub.add_parser(
+        "report", help="render the self-contained offline HTML dashboard "
+                       "from the run store and event log")
+    report.add_argument("-o", "--output", default="report.html",
+                        metavar="FILE",
+                        help="HTML file to write (default: report.html)")
+    report.add_argument("--log", default=DEFAULT_EVENTS_PATH, metavar="FILE",
+                        help="event log to include, if present "
+                             f"(default: {DEFAULT_EVENTS_PATH})")
+    report.add_argument("--last", type=int, default=20, metavar="N",
+                        help="records per trend line (default: 20)")
+    report.add_argument("--store", default=DEFAULT_ROOT, metavar="DIR",
+                        help=f"run-store directory (default: {DEFAULT_ROOT})")
     return parser
 
 
@@ -1291,6 +1514,8 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "fuzz": _cmd_fuzz,
     "faults": _cmd_faults,
+    "events": _cmd_events,
+    "report": _cmd_report,
 }
 
 

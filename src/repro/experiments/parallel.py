@@ -32,6 +32,7 @@ identical content and the last rename wins.
 from __future__ import annotations
 
 import contextlib
+import functools
 import hashlib
 import json
 import multiprocessing
@@ -41,6 +42,7 @@ import time
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..config import all_system_names
+from ..obs.events import NULL_TELEMETRY, TelemetryMonitor
 from ..obs.metrics import MetricsRegistry
 from ..obs.selfprof import SelfProfiler
 from ..workloads import DEFAULT_SEED, REGISTRY, canonical_workload, get_workload
@@ -108,9 +110,17 @@ class CellCache:
         <root>/traces/<workload>-vl<N>-<params_fp>.pkl
         <root>/results/<config_fp>/<system>--<workload>-<params_fp>[-m].pkl
 
-    Loads tolerate missing/corrupt files (a miss, never an error);
-    stores are atomic (unique temp + ``os.replace``).
+    Loads tolerate missing files (a miss, never an error); *corrupt*
+    entries — present but unreadable pickles — are distinguished from
+    misses, quarantined in place (renamed to ``<path>.corrupt``, never
+    deleted, so the evidence survives for a post-mortem), and reported
+    to the caller so the sweep's cache telemetry can count them.
+    Stores are atomic (unique temp + ``os.replace``).
     """
+
+    #: A present-but-unreadable pickle raises one of these.
+    _CORRUPT_ERRORS = (pickle.UnpicklingError, EOFError, AttributeError,
+                       ImportError, IndexError, ValueError)
 
     def __init__(self, root: str = DEFAULT_CACHE_ROOT) -> None:
         self.root = root
@@ -126,13 +136,36 @@ class CellCache:
             self.root, "results", config_fp,
             f"{_slug(system)}--{_slug(workload)}-{params_fp}{suffix}.pkl")
 
-    def load(self, path: str):
+    def load_entry(self, path: str) -> Tuple[object, str]:
+        """Load one entry: ``(obj, status)`` with status ``hit`` /
+        ``miss`` / ``corrupt``.  Corrupt entries come back as a miss
+        (``obj is None``) after being quarantined."""
         try:
             with open(path, "rb") as handle:
-                return pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
-            return None
+                return pickle.load(handle), "hit"
+        except FileNotFoundError:
+            return None, "miss"
+        except OSError:
+            # Unreadable for environmental reasons (permissions, I/O):
+            # a miss, not corruption — do not quarantine.
+            return None, "miss"
+        except self._CORRUPT_ERRORS:
+            self.quarantine(path)
+            return None, "corrupt"
+
+    def quarantine(self, path: str) -> str:
+        """Move a corrupt entry aside (rename, don't delete) so the next
+        run re-simulates instead of tripping over it again."""
+        target = f"{path}.corrupt"
+        try:
+            os.replace(path, target)
+        except OSError:  # pragma: no cover - raced with another worker
+            pass
+        return target
+
+    def load(self, path: str):
+        """Back-compat load: any unreadable entry is simply a miss."""
+        return self.load_entry(path)[0]
 
     def store(self, path: str, obj) -> None:
         os.makedirs(os.path.dirname(path), exist_ok=True)
@@ -148,9 +181,54 @@ class CellCache:
 
 # -- the generic fan-out -------------------------------------------------------
 
+def _observed_call(func: Callable, spec) -> Dict[str, object]:
+    """Run one unit inside a worker, capturing what telemetry needs.
+
+    This is the "workers stream events over the pool's result channel"
+    half of the telemetry design: rather than opening a side channel,
+    each worker wraps its return value with raw monotonic start/end
+    timestamps (system-wide on the hosts we target, so directly
+    comparable to the parent's clock), its pid, and any exception — the
+    parent replays these as ``started`` / terminal events.  Exceptions
+    are captured, not raised, so one failed unit cannot tear down the
+    pool before its siblings report.
+    """
+    t0 = time.monotonic()
+    value = error = None
+    try:
+        value = func(spec)
+    except Exception as exc:  # replayed + re-raised by the parent
+        error = exc
+    return {"value": value, "error": error, "t0": t0,
+            "t1": time.monotonic(), "pid": os.getpid()}
+
+
+def _drain_observed(results: List, monitor,
+                    poll_seconds: float = 0.05) -> List[Dict[str, object]]:
+    """Collect ``apply_async`` observations, feeding the monitor live.
+
+    Completions are reported to ``monitor.on_complete`` *as they land*
+    (completion order — only live progress/heartbeat state depends on
+    it); the returned list is input-ordered, so the downstream merge
+    stays deterministic.
+    """
+    observed: List[Optional[Dict[str, object]]] = [None] * len(results)
+    pending = set(range(len(results)))
+    while pending:
+        landed = [i for i in sorted(pending) if results[i].ready()]
+        for i in landed:
+            pending.discard(i)
+            observed[i] = results[i].get()
+            monitor.on_complete(i, observed[i])
+        monitor.poll()
+        if pending and not landed:
+            time.sleep(poll_seconds)
+    return observed
+
+
 def fan_out(func: Callable, specs: Sequence, jobs: int,
             profiler: Optional[SelfProfiler] = None,
-            phase: str = "fan_out") -> List:
+            phase: str = "fan_out", monitor=None) -> List:
     """Map a picklable ``func`` over ``specs`` with a process pool.
 
     The shared executor behind :meth:`ParallelRunner.prefetch` and the
@@ -158,18 +236,51 @@ def fan_out(func: Callable, specs: Sequence, jobs: int,
     (never completion order), ``jobs=1`` or a single spec runs in-process
     with no pool, and ``chunksize=1`` deals work finely because specs can
     differ in cost by orders of magnitude.
+
+    ``monitor`` (e.g. :class:`repro.obs.events.TelemetryMonitor`) opts a
+    call into observed execution: every unit is wrapped by
+    :func:`_observed_call`, ``monitor.on_dispatch(i)`` fires as specs
+    are submitted, ``monitor.on_complete(i, observation)`` as results
+    land, and ``monitor.poll()`` between completion checks (heartbeats,
+    stall detection).  Worker exceptions are re-raised parent-side after
+    the monitor has seen every unit's fate, preserving the unmonitored
+    path's error semantics.  With ``monitor=None`` the pre-telemetry
+    code path runs unchanged (``pool.map``) — the zero-cost guarantee.
     """
     if not specs:
         return []
     span = (profiler.phase(phase) if profiler is not None
             else contextlib.nullcontext())
-    if jobs <= 1 or len(specs) == 1:
+    if monitor is None:
+        if jobs <= 1 or len(specs) == 1:
+            with span:
+                return [func(spec) for spec in specs]
+        ctx = multiprocessing.get_context(START_METHOD)
         with span:
-            return [func(spec) for spec in specs]
-    ctx = multiprocessing.get_context(START_METHOD)
+            with ctx.Pool(processes=min(jobs, len(specs))) as pool:
+                return pool.map(func, specs, chunksize=1)
+    wrapped = functools.partial(_observed_call, func)
     with span:
-        with ctx.Pool(processes=min(jobs, len(specs))) as pool:
-            return pool.map(func, specs, chunksize=1)
+        if jobs <= 1 or len(specs) == 1:
+            observed = []
+            for i, spec in enumerate(specs):
+                monitor.on_dispatch(i)
+                obs = wrapped(spec)
+                observed.append(obs)
+                monitor.on_complete(i, obs)
+                monitor.poll()
+        else:
+            ctx = multiprocessing.get_context(START_METHOD)
+            with ctx.Pool(processes=min(jobs, len(specs))) as pool:
+                handles = []
+                for i, spec in enumerate(specs):
+                    handles.append(pool.apply_async(wrapped, (spec,)))
+                    monitor.on_dispatch(i)
+                observed = _drain_observed(handles, monitor)
+    for obs in observed:  # first failure wins, in input order
+        if obs["error"] is not None:
+            raise obs["error"]
+    return [obs["value"] for obs in observed]
 
 
 # -- the worker ----------------------------------------------------------------
@@ -195,14 +306,24 @@ def simulate_cell(spec: tuple) -> Dict[str, object]:
     params_fp = params_fingerprint(workload, params_override, seed=seed)
     config_fp = sweep_config_fingerprint()
 
+    # Cache telemetry for this cell: entry statuses plus the quarantined
+    # paths of any corrupt pickles (merged parent-side into per-sweep
+    # hit/miss/corrupt counters and ``cache_corrupt`` events).
+    cache_info: Dict[str, object] = {"result": None, "trace": None,
+                                     "corrupt_paths": []}
     cached = None
     if cache is not None:
-        cached = cache.load(cache.result_path(
-            system, workload, params_fp, config_fp,
-            instrumented=collect_metrics))
+        result_path = cache.result_path(system, workload, params_fp,
+                                        config_fp,
+                                        instrumented=collect_metrics)
+        cached, status = cache.load_entry(result_path)
+        cache_info["result"] = status
+        if status == "corrupt":
+            cache_info["corrupt_paths"].append(result_path)
     if cached is not None:
         cached.update({"system": system, "workload": workload,
-                       "cached": True, "profile": profiler.as_dict()})
+                       "cached": True, "profile": profiler.as_dict(),
+                       "cache": cache_info})
         return cached
 
     metrics = MetricsRegistry() if collect_metrics else None
@@ -212,7 +333,10 @@ def simulate_cell(spec: tuple) -> Dict[str, object]:
     trace_path = None
     if cache is not None:
         trace_path = cache.trace_path(workload, vlmax, params_fp)
-        trace = cache.load(trace_path)
+        trace, status = cache.load_entry(trace_path)
+        cache_info["trace"] = status
+        if status == "corrupt":
+            cache_info["corrupt_paths"].append(trace_path)
     if trace is None:
         wl = get_workload(workload)
         params = (params_override or {}).get(workload)
@@ -243,7 +367,8 @@ def simulate_cell(spec: tuple) -> Dict[str, object]:
                                       instrumented=collect_metrics),
                     dict(payload))
     payload.update({"system": system, "workload": workload,
-                    "cached": False, "profile": profiler.as_dict()})
+                    "cached": False, "profile": profiler.as_dict(),
+                    "cache": cache_info})
     return payload
 
 
@@ -261,6 +386,27 @@ def sweep_pairs(systems: Optional[Iterable[str]] = None,
     workloads = [canonical_workload(w)
                  for w in (workloads or sorted(REGISTRY))]
     return [(s, w) for w in workloads for s in systems]
+
+
+def cell_unit(system: str, workload: str) -> str:
+    """The telemetry unit id for one sweep cell."""
+    return f"{system}/{workload}"
+
+
+def describe_cell(payload: Dict[str, object]):
+    """Telemetry view of one :func:`simulate_cell` payload:
+    ``(cached, extra_events, detail)`` for
+    :meth:`repro.obs.events.CampaignTelemetry.unit_finished`."""
+    cache_info = payload.get("cache") or {}
+    extra = tuple(("cache_corrupt", {"path": path})
+                  for path in cache_info.get("corrupt_paths", ()))
+    result = payload.get("result")
+    detail = {"system": payload.get("system"),
+              "workload": payload.get("workload")}
+    cycles = getattr(result, "cycles", None)
+    if isinstance(cycles, (int, float)):
+        detail["cycles"] = cycles
+    return bool(payload.get("cached")), extra, detail
 
 
 class ParallelRunner(ExperimentRunner):
@@ -282,9 +428,10 @@ class ParallelRunner(ExperimentRunner):
                  jobs: Optional[int] = None,
                  cache_root: Optional[str] = DEFAULT_CACHE_ROOT,
                  collect_metrics: bool = False,
-                 seed: int = DEFAULT_SEED) -> None:
+                 seed: int = DEFAULT_SEED,
+                 telemetry=NULL_TELEMETRY) -> None:
         super().__init__(params_override=params_override, verify=verify,
-                         profiler=profiler, seed=seed)
+                         profiler=profiler, seed=seed, telemetry=telemetry)
         self.jobs = max(1, jobs if jobs is not None
                         else (os.cpu_count() or 1))
         self.cache_root = cache_root
@@ -319,10 +466,19 @@ class ParallelRunner(ExperimentRunner):
         start = time.perf_counter()
         if not specs:
             return {"cells": len(ordered), "simulated": 0, "cached": 0,
-                    "jobs": self.jobs, "seconds": 0.0}
+                    "jobs": self.jobs, "seconds": 0.0,
+                    "cache_hits": 0, "cache_misses": 0, "cache_corrupt": 0}
+        monitor = None
+        if self.telemetry.enabled:
+            units = [cell_unit(system, workload) for system, workload in todo]
+            self.telemetry.begin(units)
+            monitor = TelemetryMonitor(self.telemetry, units,
+                                       describe=describe_cell,
+                                       jobs=self.jobs)
         outs = fan_out(simulate_cell, specs, self.jobs,
-                       profiler=self.profiler, phase="sweep")
-        cached = 0
+                       profiler=self.profiler, phase="sweep",
+                       monitor=monitor)
+        cached = corrupt = 0
         for out in outs:  # input order: the merge is deterministic
             key = (out["system"], out["workload"])
             self._results[key] = out["result"]
@@ -330,7 +486,11 @@ class ParallelRunner(ExperimentRunner):
                 self._prefetched_metrics[key] = (out["metrics_flat"],
                                                  out["metrics_snapshot"])
             cached += bool(out["cached"])
+            corrupt += len((out.get("cache") or {}).get("corrupt_paths", ()))
             self.profiler.absorb(out["profile"], prefix="worker:")
         return {"cells": len(ordered), "simulated": len(specs) - cached,
                 "cached": cached, "jobs": self.jobs,
-                "seconds": time.perf_counter() - start}
+                "seconds": time.perf_counter() - start,
+                "cache_hits": cached,
+                "cache_misses": len(specs) - cached,
+                "cache_corrupt": corrupt}

@@ -20,6 +20,7 @@ from typing import Dict, Optional, Tuple
 
 from ..cores.result import SimResult
 from ..isa.trace import Trace
+from ..obs.events import NULL_TELEMETRY
 from ..obs.metrics import MetricsRegistry
 from ..obs.selfprof import SelfProfiler
 from ..obs.tracer import SpanTracer
@@ -44,12 +45,18 @@ class ExperimentRunner:
                  verify: bool = True,
                  profiler: Optional[SelfProfiler] = None,
                  seed: int = DEFAULT_SEED,
-                 strict_check: Optional[bool] = None) -> None:
+                 strict_check: Optional[bool] = None,
+                 telemetry=NULL_TELEMETRY) -> None:
         #: workload name -> params override (benchmarks use smaller inputs).
         self.params_override = params_override or {}
         self.verify = verify
         self.seed = seed
         self.profiler = profiler or SelfProfiler()
+        #: Campaign telemetry hub (:data:`~repro.obs.events.NULL_TELEMETRY`
+        #: by default — the zero-cost null-hook pattern; pass a
+        #: :class:`~repro.obs.events.CampaignTelemetry` to stream
+        #: per-cell lifecycle events from :meth:`prefetch`).
+        self.telemetry = telemetry
         #: Run the static hazard checkers on every freshly built vector
         #: trace and refuse to simulate a failing one.  ``None`` defers to
         #: the ``EVE_STRICT_CHECK`` environment variable (off by default
@@ -124,19 +131,38 @@ class ExperimentRunner:
         this with a worker fan-out.  Returns summary stats either way.
         """
         start = time.perf_counter()
+        ordered = []
         seen = set()
-        simulated = cached = 0
         for system, workload in pairs:
             key = (canonical_system(system), canonical_workload(workload))
-            if key in seen:
+            if key not in seen:
+                seen.add(key)
+                ordered.append(key)
+        if self.telemetry.enabled:
+            self.telemetry.begin([f"{s}/{w}" for s, w in ordered])
+        simulated = cached = 0
+        for system, workload in ordered:
+            was_warm = (system, workload) in self._results
+            cached += was_warm
+            simulated += not was_warm
+            if not self.telemetry.enabled:
+                self.run(system, workload)
                 continue
-            seen.add(key)
-            if key in self._results:
-                cached += 1
-            else:
-                simulated += 1
-            self.run(*key)
-        return {"cells": len(seen), "simulated": simulated,
+            unit = f"{system}/{workload}"
+            t0 = time.monotonic()
+            try:
+                result = self.run(system, workload)
+            except Exception as exc:
+                self.telemetry.unit_finished(
+                    unit, ok=False, t_start=t0, t_end=time.monotonic(),
+                    detail={"error": f"{type(exc).__name__}: {exc}"})
+                raise
+            self.telemetry.unit_finished(
+                unit, ok=True, cached=was_warm, t_start=t0,
+                t_end=time.monotonic(),
+                detail={"system": system, "workload": workload,
+                        "cycles": result.cycles})
+        return {"cells": len(ordered), "simulated": simulated,
                 "cached": cached, "jobs": 1,
                 "seconds": time.perf_counter() - start}
 

@@ -25,10 +25,21 @@
   slack, and ranked bottleneck reports over the attributed timeline.
 * :mod:`repro.obs.flame` — folded-stack flamegraph / Perfetto counter
   exports and the flattened record payload for drift gating.
+* :mod:`repro.obs.events` — campaign telemetry: schema-versioned JSONL
+  :class:`EventLog` of per-unit lifecycle events, the
+  :class:`CampaignTelemetry` hub with deterministic merge, the stall
+  :class:`Watchdog`, and the conservation checker.
+* :mod:`repro.obs.progress` — TTY-aware live :class:`ProgressRenderer`
+  with ETA from historical per-cell wall-clock.
+* :mod:`repro.obs.trend` — longitudinal per-metric trends over the run
+  store, classified under the diff gate's tolerance policies.
+* :mod:`repro.obs.htmlreport` — the self-contained offline HTML
+  dashboard behind ``repro report``.
 
 Everything is zero-cost when disabled: machine models hold the
 :data:`NULL_TRACER` / :data:`NULL_METRICS` singletons by default and guard
-hot hook sites with their ``enabled`` flags.
+hot hook sites with their ``enabled`` flags; campaign drivers hold
+:data:`NULL_TELEMETRY` the same way.
 """
 
 from .attribution import (AttributionCollector, NULL_ATTRIBUTION,
@@ -39,14 +50,23 @@ from .critpath import (BottleneckEntry, BottleneckReport, CriticalPath,
                        timed_critical_path)
 from .diff import (DiffEntry, RecordDiff, TolerancePolicy, default_policies,
                    diff_records, policy_for)
+from .events import (CampaignTelemetry, EVENT_SCHEMA_VERSION, Event,
+                     EventLog, NULL_TELEMETRY, NullTelemetry,
+                     TERMINAL_EVENTS, TelemetryMonitor, Watchdog,
+                     campaign_summaries, check_conservation, read_events)
 from .flame import (attribution_record_payload, counter_trace_dict,
                     folded_stacks, write_folded)
+from .htmlreport import build_report, write_report
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                       NULL_METRICS, NullMetricsRegistry, bucket_index)
+from .progress import ProgressRenderer, make_progress
 from .runstore import (RunRecord, RunStore, SCHEMA_VERSION, flatten_record,
                        load_record_file, make_record)
 from .selfprof import SelfProfiler
 from .tracer import CANONICAL_TRACKS, NULL_TRACER, NullTracer, SpanTracer
+from .trend import (MetricTrend, TrendReport, compute_trends,
+                    filter_history, historical_cell_seconds, record_matches,
+                    select_records, sparkline, trend_report)
 
 __all__ = [
     "Counter",
@@ -89,6 +109,31 @@ __all__ = [
     "default_policies",
     "diff_records",
     "policy_for",
+    "Event",
+    "EventLog",
+    "EVENT_SCHEMA_VERSION",
+    "TERMINAL_EVENTS",
+    "CampaignTelemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "TelemetryMonitor",
+    "Watchdog",
+    "campaign_summaries",
+    "check_conservation",
+    "read_events",
+    "ProgressRenderer",
+    "make_progress",
+    "MetricTrend",
+    "TrendReport",
+    "compute_trends",
+    "filter_history",
+    "historical_cell_seconds",
+    "record_matches",
+    "select_records",
+    "sparkline",
+    "trend_report",
+    "build_report",
+    "write_report",
     "Scorecard",
     "build_scorecard",
 ]

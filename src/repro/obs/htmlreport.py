@@ -1,0 +1,319 @@
+"""Offline HTML dashboard: run store + events + scorecard + attribution.
+
+``repro report`` renders **one self-contained HTML file** — inline CSS,
+inline SVG sparklines, zero scripts, zero external fetches — so the
+artifact can be archived by CI, attached to a PR, or opened from a
+tarball years later and still work.  Sections (each skipped gracefully
+when its source payload is absent):
+
+* header card: latest record's git SHA / fingerprint, store totals;
+* run history table (newest first);
+* latest scorecard: per-figure grade tables plus the global checks;
+* metric trends: per-key SVG sparklines with regression badges, driven
+  by :mod:`repro.obs.trend` under the diff gate's tolerance policies;
+* campaign telemetry: per-campaign event rollups (cache hit/corrupt
+  counters, stall flags, conservation verdict) and a tail excerpt of
+  the raw event stream;
+* attribution excerpt: the latest record's cycle-attribution shares
+  and dominant bottleneck.
+
+Everything here is pure string building over already-loaded payloads;
+no simulation imports, so the report stays importable anywhere.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional, Sequence
+
+from .events import Event, campaign_summaries
+from .runstore import RunRecord, RunStore
+from .trend import MetricTrend, TrendReport, trend_report
+
+#: How many rows each section shows before truncating.
+HISTORY_ROWS = 15
+TREND_ROWS = 40
+EVENT_TAIL_ROWS = 30
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 70rem; color: #1a2233;
+       background: #f7f8fa; }
+h1 { font-size: 1.5rem; } h2 { font-size: 1.15rem; margin-top: 2rem; }
+table { border-collapse: collapse; width: 100%; background: #fff;
+        font-size: 0.85rem; }
+th, td { border: 1px solid #d8dce3; padding: 0.3rem 0.55rem;
+         text-align: left; }
+th { background: #eceff4; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.card { background: #fff; border: 1px solid #d8dce3; border-radius: 6px;
+        padding: 0.8rem 1rem; margin: 0.6rem 0; }
+.badge { display: inline-block; border-radius: 3px; padding: 0 0.4rem;
+         font-size: 0.75rem; font-weight: 600; }
+.badge.ok { background: #d9f2e0; color: #19633a; }
+.badge.warn { background: #fdeccc; color: #8a5a00; }
+.badge.bad { background: #fbdddd; color: #9d1c1c; }
+.badge.info { background: #dde7fb; color: #1c3f9d; }
+.mono { font-family: ui-monospace, 'SF Mono', Menlo, monospace;
+        font-size: 0.8rem; }
+.muted { color: #6a7385; }
+svg.spark { vertical-align: middle; }
+footer { margin-top: 2.5rem; font-size: 0.75rem; color: #6a7385; }
+"""
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _badge(text: str, tone: str) -> str:
+    return f'<span class="badge {tone}">{_esc(text)}</span>'
+
+
+def _status_badge(status: str) -> str:
+    tone = {"regressed": "bad", "changed": "warn", "improved": "ok",
+            "same": "info", "new": "info"}.get(status, "info")
+    return _badge(status, tone)
+
+
+def spark_svg(values: Sequence[float], width: int = 120,
+              height: int = 24) -> str:
+    """An inline SVG polyline sparkline (empty string for <2 points)."""
+    if len(values) < 2:
+        return ""
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    pad = 2
+    step = (width - 2 * pad) / (len(values) - 1)
+    points = " ".join(
+        f"{pad + i * step:.1f},"
+        f"{height - pad - (v - lo) / span * (height - 2 * pad):.1f}"
+        for i, v in enumerate(values))
+    return (f'<svg class="spark" width="{width}" height="{height}" '
+            f'viewBox="0 0 {width} {height}">'
+            f'<polyline fill="none" stroke="#3558c0" stroke-width="1.5" '
+            f'points="{points}"/></svg>')
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Rows are pre-escaped/pre-rendered HTML cell strings."""
+    head = "".join(f"<th>{_esc(h)}</th>" for h in headers)
+    body = "".join("<tr>" + "".join(f"<td>{cell}</td>" for cell in row)
+                   + "</tr>" for row in rows)
+    return f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+
+
+# -- sections ------------------------------------------------------------------
+
+def _header_section(records: List[RunRecord], store_root: str,
+                    generated: str) -> str:
+    latest = records[-1] if records else None
+    bits = [f"<p class='muted'>store <span class='mono'>{_esc(store_root)}"
+            f"</span> &middot; {len(records)} record(s)"
+            f" &middot; generated {_esc(generated)}</p>"]
+    if latest is not None:
+        sha = str(latest.git.get("sha", "unknown"))[:12]
+        dirty = " (dirty)" if latest.git.get("dirty") else ""
+        bits.append(
+            f"<div class='card'>latest: <span class='mono'>"
+            f"{_esc(latest.record_id)}</span> [{_esc(latest.kind)}] "
+            f"&middot; git <span class='mono'>{_esc(sha)}{_esc(dirty)}"
+            f"</span> &middot; config <span class='mono'>"
+            f"{_esc(latest.config_fingerprint)}</span></div>")
+    return "\n".join(bits)
+
+
+def _history_section(records: List[RunRecord]) -> str:
+    if not records:
+        return "<p class='muted'>run store is empty.</p>"
+    rows = []
+    for record in reversed(records[-HISTORY_ROWS:]):
+        sha = str(record.git.get("sha", "unknown"))[:12]
+        rows.append([
+            f"<span class='mono'>{_esc(record.record_id)}</span>",
+            _esc(record.kind), _esc(record.label or "-"),
+            _esc(record.created), f"<span class='mono'>{_esc(sha)}</span>",
+            _badge("tiny", "info") if record.tiny else "",
+        ])
+    note = ("" if len(records) <= HISTORY_ROWS else
+            f"<p class='muted'>showing newest {HISTORY_ROWS} "
+            f"of {len(records)}.</p>")
+    return _table(("record", "kind", "label", "created", "git", ""),
+                  rows) + note
+
+
+def _scorecard_section(records: List[RunRecord]) -> str:
+    payload = None
+    source = None
+    for record in reversed(records):
+        candidate = record.extra.get("scorecard")
+        if isinstance(candidate, dict) and candidate.get("entries"):
+            payload, source = candidate, record
+            break
+    if payload is None:
+        return ("<p class='muted'>no scorecard recorded yet "
+                "(run: repro scorecard --record).</p>")
+    by_figure: Dict[str, List[dict]] = {}
+    for entry in payload["entries"]:
+        by_figure.setdefault(str(entry.get("figure", "?")), []).append(entry)
+    parts = [f"<p class='muted'>from <span class='mono'>"
+             f"{_esc(source.record_id)}</span></p>"]
+    for figure in sorted(by_figure):
+        rows = []
+        for entry in by_figure[figure]:
+            grade = str(entry.get("grade", "?"))
+            tone = {"A": "ok", "B": "ok", "C": "warn"}.get(grade, "bad")
+            error = entry.get("error")
+            rows.append([
+                _esc(entry.get("kernel", "-")),
+                _esc(entry.get("metric", "-")),
+                _esc(entry.get("paper", "-")),
+                _esc(entry.get("measured", "-")),
+                "-" if not isinstance(error, (int, float))
+                else f"{error:+.1%}",
+                _badge(grade, tone)
+                + (" " + _badge("known dev.", "info")
+                   if entry.get("known_deviation") else ""),
+            ])
+        parts.append(f"<h3>{_esc(figure)}</h3>")
+        parts.append(_table(("kernel", "metric", "paper", "measured",
+                             "error", "grade"), rows))
+    checks = payload.get("checks")
+    if isinstance(checks, list) and checks:
+        rows = [[_esc(c.get("name", "-")),
+                 _badge("pass" if c.get("ok") else "FAIL",
+                        "ok" if c.get("ok") else "bad"),
+                 _esc(c.get("note", ""))] for c in checks]
+        parts.append("<h3>global checks</h3>")
+        parts.append(_table(("check", "status", "note"), rows))
+    return "\n".join(parts)
+
+
+def _trend_section(report: TrendReport) -> str:
+    if report.records < 2:
+        return (f"<p class='muted'>{report.records} record(s) — trends "
+                f"need at least 2 comparable runs.</p>")
+    regressions = report.regressions()
+    parts = []
+    if regressions:
+        names = ", ".join(f"<span class='mono'>{_esc(t.name)}</span>"
+                          for t in regressions[:8])
+        parts.append(f"<div class='card'>{_badge('REGRESSED', 'bad')} "
+                     f"{len(regressions)} gated metric(s) moved beyond "
+                     f"the diff budget: {names}</div>")
+    else:
+        parts.append(f"<div class='card'>{_badge('clean', 'ok')} no gated "
+                     f"metric regressed beyond the diff budget across "
+                     f"{report.records} records.</div>")
+    shown: List[MetricTrend] = report.moving()[:TREND_ROWS]
+    if not shown:
+        shown = [t for t in report.trends if len(t.values) >= 2][:12]
+    rows = []
+    for trend in shown:
+        rel = trend.rel_delta
+        rows.append([
+            f"<span class='mono'>{_esc(trend.name)}</span>",
+            spark_svg(trend.values),
+            f"{trend.latest:g}",
+            "-" if rel is None else f"{rel:+.1%}",
+            _status_badge(trend.status)
+            + ("" if trend.gate else " " + _badge("advisory", "info")),
+        ])
+    parts.append(_table(("metric", "trend", "latest", "step", "status"),
+                        rows))
+    return "\n".join(parts)
+
+
+def _events_section(events: List[Event]) -> str:
+    if not events:
+        return ("<p class='muted'>no event log supplied "
+                "(record one with: repro sweep --events).</p>")
+    rows = []
+    for summary in campaign_summaries(events):
+        cache = summary["cache"]
+        stalled = summary["stalled_units"]
+        rows.append([
+            f"<span class='mono'>{_esc(summary['campaign'])}</span>",
+            _esc(summary["kind"] or "-"),
+            f"{summary['units']}",
+            f"{summary['events']}",
+            f"{cache['hits']} hit / {cache['corrupt']} corrupt",
+            _badge(f"{len(stalled)} stalled", "warn") if stalled else "-",
+            _badge("conserved", "ok") if summary["conserved"]
+            else _badge("VIOLATED", "bad"),
+        ])
+    parts = [_table(("campaign", "kind", "units", "events", "cache",
+                     "stalls", "conservation"), rows)]
+    tail = events[-EVENT_TAIL_ROWS:]
+    tail_rows = [[f"{e.t:9.3f}", _esc(e.event), _esc(e.unit),
+                  _esc(e.worker),
+                  f"<span class='mono'>{_esc(e.detail) if e.detail else ''}"
+                  f"</span>"] for e in tail]
+    parts.append(f"<h3>event tail (last {len(tail)})</h3>")
+    parts.append(_table(("t [s]", "event", "unit", "worker", "detail"),
+                        tail_rows))
+    return "\n".join(parts)
+
+
+def _attribution_section(records: List[RunRecord]) -> str:
+    payload = None
+    source = None
+    for record in reversed(records):
+        candidate = record.extra.get("attribution")
+        if isinstance(candidate, dict) and candidate.get("shares"):
+            payload, source = candidate, record
+            break
+    if payload is None:
+        return ("<p class='muted'>no attribution recorded yet "
+                "(run: repro attribute --record).</p>")
+    shares = payload["shares"]
+    top = sorted(shares.items(), key=lambda kv: -float(kv[1]))[:10]
+    rows = [[f"<span class='mono'>{_esc(name)}</span>",
+             f"{float(value):.1%}"] for name, value in top]
+    head = (f"<p class='muted'>from <span class='mono'>"
+            f"{_esc(source.record_id)}</span> &middot; dominant: "
+            f"{_badge(str(payload.get('dominant', '?')), 'info')}"
+            f" &middot; top family: "
+            f"{_badge(str(payload.get('top_family', '?')), 'info')}</p>")
+    return head + _table(("bucket", "share of cycles"), rows)
+
+
+# -- assembly ------------------------------------------------------------------
+
+def build_report(store: RunStore, events: Optional[List[Event]] = None, *,
+                 title: str = "EVE reproduction report", last: int = 20,
+                 generated: str = "") -> str:
+    """The full dashboard as one HTML string."""
+    records = list(store.records())
+    trends = trend_report(store, last=last)
+    sections = [
+        ("Run history", _history_section(records)),
+        ("Fidelity scorecard", _scorecard_section(records)),
+        ("Metric trends", _trend_section(trends)),
+        ("Campaign telemetry", _events_section(events or [])),
+        ("Cycle attribution", _attribution_section(records)),
+    ]
+    body = [f"<h1>{_esc(title)}</h1>",
+            _header_section(records, store.root, generated)]
+    for heading, content in sections:
+        body.append(f"<h2>{_esc(heading)}</h2>")
+        body.append(content)
+    body.append("<footer>self-contained report — no scripts, no external "
+                "resources; regenerate with: repro report</footer>")
+    return ("<!DOCTYPE html>\n<html lang=\"en\"><head>"
+            f"<meta charset=\"utf-8\"><title>{_esc(title)}</title>"
+            f"<style>{_CSS}</style></head>\n<body>\n"
+            + "\n".join(body) + "\n</body></html>\n")
+
+
+def write_report(path: str, store: RunStore,
+                 events: Optional[List[Event]] = None, *,
+                 title: str = "EVE reproduction report", last: int = 20,
+                 generated: str = "") -> int:
+    """Render and write the report; returns the byte count written."""
+    markup = build_report(store, events, title=title, last=last,
+                          generated=generated)
+    data = markup.encode("utf-8")
+    with open(path, "wb") as handle:
+        handle.write(data)
+    return len(data)

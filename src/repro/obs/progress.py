@@ -1,0 +1,191 @@
+"""Live campaign progress: TTY single-line bar, plain periodic lines.
+
+The renderer is deliberately dumb terminal code with every dependency
+injected (clock, output stream, mode) so tests can drive it
+deterministically.  Mode resolution:
+
+``auto``
+    Single-line ``\\r`` bar when the stream is a TTY, otherwise a
+    periodic plain log line (CI-safe).
+``tty`` / ``plain``
+    Force one of the above.
+``off``
+    Render nothing (``--quiet``).
+
+ETA blends two estimators: the historical median per-unit wall-clock
+from past run-store records (supplied as ``hint_seconds`` so the very
+first update already has an ETA) and the observed per-unit rate of the
+current campaign, which takes over as units complete.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, List, Optional, Sequence, TextIO
+
+
+def format_duration(seconds: float) -> str:
+    """``73.2`` -> ``"1m13s"`` (compact, no sub-second noise past 10s)."""
+    if seconds < 0:
+        return "?"
+    if seconds < 10:
+        return f"{seconds:.1f}s"
+    seconds = int(round(seconds))
+    if seconds < 3600:
+        return (f"{seconds // 60}m{seconds % 60:02d}s" if seconds >= 60
+                else f"{seconds}s")
+    return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+
+
+def format_bar(fraction: float, width: int = 20) -> str:
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    return "#" * filled + "-" * (width - filled)
+
+
+class ProgressRenderer:
+    """Renders campaign progress to a stream.
+
+    Not thread-safe and not meant to be: the parent's polling loop is
+    the only writer.
+    """
+
+    def __init__(self, label: str = "sweep", mode: str = "auto",
+                 stream: Optional[TextIO] = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 hint_seconds: Optional[float] = None,
+                 plain_every: float = 5.0) -> None:
+        if mode not in ("auto", "tty", "plain", "off"):
+            raise ValueError(f"unknown progress mode {mode!r}")
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.clock = clock
+        self.hint_seconds = hint_seconds
+        self.plain_every = plain_every
+        if mode == "auto":
+            mode = "tty" if self._stream_is_tty() else "plain"
+        self.mode = mode
+        self.total = 0
+        self.done = 0
+        self._start = 0.0
+        self._last_plain = -float("inf")
+        self._line_open = False
+
+    def _stream_is_tty(self) -> bool:
+        isatty = getattr(self.stream, "isatty", None)
+        try:
+            return bool(isatty()) if isatty is not None else False
+        except (ValueError, OSError):
+            return False
+
+    @property
+    def enabled(self) -> bool:
+        return self.mode != "off"
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def begin(self, total: int) -> None:
+        self.total = max(0, total)
+        self.done = 0
+        self._start = self.clock()
+        self._last_plain = -float("inf")
+        if self.mode == "plain" and self.total:
+            self._emit_plain(cached=0, failed=0, stalled=0, active=())
+
+    def update(self, done: int, *, cached: int = 0, failed: int = 0,
+               stalled: int = 0, active: Sequence[str] = ()) -> None:
+        self.done = min(done, self.total) if self.total else done
+        if self.mode == "off":
+            return
+        if self.mode == "tty":
+            self._emit_tty(cached, failed, stalled, active)
+        else:
+            now = self.clock()
+            final = self.total and self.done >= self.total
+            if final or now - self._last_plain >= self.plain_every:
+                self._last_plain = now
+                self._emit_plain(cached=cached, failed=failed,
+                                 stalled=stalled, active=active)
+
+    def finish(self) -> None:
+        if self._line_open:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._line_open = False
+
+    # -- estimation ------------------------------------------------------------
+
+    def eta_seconds(self) -> Optional[float]:
+        """Remaining seconds, or ``None`` when there is nothing to base
+        an estimate on yet."""
+        remaining = self.total - self.done
+        if remaining <= 0:
+            return 0.0
+        if self.done > 0:
+            per_unit = (self.clock() - self._start) / self.done
+            return per_unit * remaining
+        if self.hint_seconds is not None:
+            return self.hint_seconds * remaining
+        return None
+
+    # -- rendering -------------------------------------------------------------
+
+    def render(self, cached: int = 0, failed: int = 0, stalled: int = 0,
+               active: Sequence[str] = ()) -> str:
+        """The current status line (shared by both modes; exposed for
+        tests)."""
+        parts: List[str] = [f"{self.label}:"]
+        if self.total:
+            fraction = self.done / self.total
+            parts.append(f"[{format_bar(fraction)}]")
+            parts.append(f"{self.done}/{self.total}")
+        else:
+            parts.append(f"{self.done} done")
+        extras = []
+        if cached:
+            extras.append(f"{cached} cached")
+        if failed:
+            extras.append(f"{failed} FAILED")
+        if stalled:
+            extras.append(f"{stalled} stalled")
+        if extras:
+            parts.append("(" + ", ".join(extras) + ")")
+        eta = self.eta_seconds()
+        if eta is not None and self.done < self.total:
+            parts.append(f"eta {format_duration(eta)}")
+        if active and self.done < self.total:
+            shown = ", ".join(list(active)[:2])
+            if len(active) > 2:
+                shown += f", +{len(active) - 2}"
+            parts.append(f"<{shown}>")
+        return " ".join(parts)
+
+    def _emit_tty(self, cached: int, failed: int, stalled: int,
+                  active: Sequence[str]) -> None:
+        line = self.render(cached, failed, stalled, active)
+        self.stream.write("\r\x1b[2K" + line[:200])
+        self.stream.flush()
+        self._line_open = True
+
+    def _emit_plain(self, *, cached: int, failed: int, stalled: int,
+                    active: Sequence[str]) -> None:
+        self.stream.write(self.render(cached, failed, stalled, active) + "\n")
+        self.stream.flush()
+
+
+def make_progress(label: str, *, quiet: bool = False, force: bool = False,
+                  stream: Optional[TextIO] = None,
+                  hint_seconds: Optional[float] = None
+                  ) -> Optional[ProgressRenderer]:
+    """CLI helper: ``--quiet`` kills progress, ``--progress`` forces the
+    plain renderer even without a TTY, otherwise auto-detect (and return
+    ``None`` when auto-detection lands on a non-TTY, keeping the default
+    path silent for scripts and tests)."""
+    if quiet:
+        return None
+    renderer = ProgressRenderer(label, mode="auto", stream=stream,
+                                hint_seconds=hint_seconds)
+    if renderer.mode == "plain" and not force:
+        return None
+    return renderer

@@ -321,3 +321,148 @@ class TestSeedOption:
         default = records.resolve("latest~1")
         seeded = records.resolve("latest")
         assert default.config_fingerprint != seeded.config_fingerprint
+
+
+class TestTelemetryOptions:
+    SWEEP = ["sweep", "--tiny", "--systems", "IO", "O3+EVE-4",
+             "--workloads", "vvadd", "--jobs", "2", "--no-cache", "--json"]
+
+    def test_sweep_json_identical_with_and_without_events(self, capsys,
+                                                          tmp_path):
+        log = str(tmp_path / "events.jsonl")
+        store = ["--store", str(tmp_path / "runs")]
+        assert main(self.SWEEP + store) == 0
+        bare = capsys.readouterr().out
+        assert main(self.SWEEP + store + ["--events", log]) == 0
+        observed = capsys.readouterr().out
+        assert observed == bare  # byte-identical results, telemetry or not
+        import json
+        payload = json.loads(bare)
+        assert payload["cache"] == {"hits": 0, "misses": 2, "corrupt": 0}
+
+    def test_sweep_events_log_passes_the_conservation_gate(self, capsys,
+                                                           tmp_path):
+        log = str(tmp_path / "events.jsonl")
+        assert main(self.SWEEP + ["--store", str(tmp_path / "runs"),
+                                  "--events", log]) == 0
+        err = capsys.readouterr().err
+        assert "events: " in err and "campaign" in err
+        assert main(["events", "--log", log, "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep" in out and "ok" in out
+
+    def test_fuzz_events_conserved(self, capsys, tmp_path):
+        log = str(tmp_path / "events.jsonl")
+        assert main(["fuzz", "--seeds", "2", "--n-widths", "8", "--ops", "6",
+                     "--events", log]) == 0
+        capsys.readouterr()
+        assert main(["events", "--log", log, "--check", "--json"]) == 0
+        import json
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["conserved"] is True
+        assert payload["campaigns"][0]["kind"] == "fuzz"
+        assert payload["campaigns"][0]["units"] == 2
+
+    def test_faults_events_conserved(self, capsys, tmp_path):
+        log = str(tmp_path / "events.jsonl")
+        assert main(["faults", "--count", "2", "--n-widths", "8",
+                     "--jobs", "2", "--events", log]) == 0
+        capsys.readouterr()
+        assert main(["events", "--log", log, "--check"]) == 0
+
+    def test_quiet_and_progress_conflict(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--progress", "--quiet"])
+
+
+class TestEventsCommand:
+    def test_missing_log_is_a_diagnostic(self, capsys, tmp_path):
+        assert main(["events", "--log", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no event log" in capsys.readouterr().err
+
+    def test_check_fails_on_violation(self, capsys, tmp_path):
+        from repro.obs.events import Event, EventLog
+        log = str(tmp_path / "events.jsonl")
+        EventLog(log).append([Event(event="queued", unit="u", t=0.0,
+                                    campaign="c", seq=0)])
+        assert main(["events", "--log", log, "--check"]) == 1
+        captured = capsys.readouterr()
+        assert "conservation" in captured.err
+        assert main(["events", "--log", log]) == 0  # report-only mode
+
+    def test_tail_limits_the_listing(self, capsys, tmp_path):
+        from repro.obs.events import Event, EventLog
+        log = str(tmp_path / "events.jsonl")
+        EventLog(log).append(
+            [Event(event="queued", unit=f"u{i}", t=0.0, campaign="c", seq=i)
+             for i in range(5)]
+            + [Event(event="finished", unit=f"u{i}", t=1.0, campaign="c",
+                     seq=5 + i) for i in range(5)])
+        assert main(["events", "--log", log, "--tail", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "showing last 3 of 10" in out
+
+
+class TestReportCommand:
+    def test_report_is_written_and_self_contained(self, capsys, tmp_path):
+        store = str(tmp_path / "runs")
+        log = str(tmp_path / "events.jsonl")
+        assert main(["run", "IO", "vvadd", "--tiny", "--record",
+                     "--store", store]) == 0
+        assert main(["sweep", "--tiny", "--systems", "IO", "O3+EVE-4",
+                     "--workloads", "vvadd", "--jobs", "2", "--no-cache",
+                     "--store", store, "--events", log]) == 0
+        out_file = str(tmp_path / "report.html")
+        assert main(["report", "-o", out_file, "--store", store,
+                     "--log", log]) == 0
+        assert "self-contained" in capsys.readouterr().out
+        html = open(out_file).read()
+        assert html.startswith("<!DOCTYPE html>")
+        for forbidden in ("http://", "https://", "<script"):
+            assert forbidden not in html
+
+    def test_report_without_event_log(self, capsys, tmp_path):
+        out_file = str(tmp_path / "report.html")
+        assert main(["report", "-o", out_file,
+                     "--store", str(tmp_path / "runs"),
+                     "--log", str(tmp_path / "absent.jsonl")]) == 0
+        assert os.path.exists(out_file)
+
+
+class TestHistoryFilters:
+    def _seed_store(self, store):
+        assert main(["run", "IO", "vvadd", "--tiny", "--record",
+                     "--store", store]) == 0
+        assert main(["run", "O3+EVE-4", "pathfinder", "--tiny", "--record",
+                     "--store", store]) == 0
+
+    def test_workload_filter(self, capsys, tmp_path):
+        store = str(tmp_path / "runs")
+        self._seed_store(store)
+        capsys.readouterr()
+        assert main(["history", "--store", store,
+                     "--workload", "vvadd"]) == 0
+        out = capsys.readouterr().out
+        assert "000001-run" in out and "000002-run" not in out
+
+    def test_system_filter_with_limit(self, capsys, tmp_path):
+        store = str(tmp_path / "runs")
+        self._seed_store(store)
+        capsys.readouterr()
+        assert main(["history", "--store", store, "--system", "O3+EVE-4",
+                     "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "000002-run" in out and "000001-run" not in out
+
+    def test_empty_filter_mentions_filters(self, capsys, tmp_path):
+        store = str(tmp_path / "runs")
+        self._seed_store(store)
+        capsys.readouterr()
+        assert main(["history", "--store", store, "--workload", "sw"]) == 0
+        assert "for these filters" in capsys.readouterr().out
+
+    def test_rejects_unknown_filter_names(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["history", "--workload", "linpack"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["history", "--system", "CRAY-1"])
