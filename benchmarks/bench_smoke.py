@@ -75,16 +75,29 @@ ATTRIBUTION_BUDGET = 1.10
 #: cells, so it should be nearly free.
 TELEMETRY_BUDGET = 1.05
 
+#: Systems timed by the compiler-speedup leg (interpreter / compiled
+#: host seconds on the compiler-leg workload), and the advisory floor the
+#: ratio should clear even at tiny problem sizes.  Full-scale backprop
+#: clears 5x; tiny runs are milliseconds, so per-run constant costs
+#: leave less headroom.
+COMPILER_WORKLOAD = "backprop"
+COMPILER_SYSTEMS = ("IO", "O3+EVE-4")
+COMPILER_SPEEDUP_MIN = 3.0
+
 
 def time_attribution(full: bool):
     """Wall-clock the cycle-attribution overhead on O3+EVE-4.
 
-    Min-of-3 uninstrumented simulations vs min-of-3 attributed ones
-    (conservation gate included) on pre-built traces, per workload in
-    :data:`ATTRIBUTION_WORKLOADS`.  The ratio must stay within
-    :data:`ATTRIBUTION_BUDGET`; like all wall-clock numbers here it is
-    advisory (diffed, not gated), but the benchmark prints a WARNING so
-    a hot-loop regression is visible in the CI log.
+    Three *interleaved* (plain, attributed) measurement pairs on
+    pre-built traces, per workload in :data:`ATTRIBUTION_WORKLOADS`,
+    with the ratio taken from the paired minima.  Interleaving matters:
+    timing all plain rounds first and all attributed rounds after lets
+    host-frequency drift (turbo decay, a background process spinning up
+    mid-benchmark) land entirely on one side, which once produced a
+    nonsensical 0.69x "overhead" for k-means.  The ratio must stay
+    within :data:`ATTRIBUTION_BUDGET`; like all wall-clock numbers here
+    it is advisory (diffed, not gated), but the benchmark prints a
+    WARNING so a hot-loop regression is visible in the CI log.
     """
     override = None if full else _tiny_override()
     out = {}
@@ -94,14 +107,12 @@ def time_attribution(full: bool):
         # Time the machines directly on the pre-built trace so neither
         # trace construction nor the runner's result cache skews either
         # side of the ratio.
-        plain = float("inf")
+        plain = attributed = float("inf")
         for _ in range(3):
             machine = build_machine("O3+EVE-4")
             start = time.perf_counter()
             machine.run(trace)
             plain = min(plain, time.perf_counter() - start)
-        attributed = float("inf")
-        for _ in range(3):
             collector = AttributionCollector()
             machine = build_machine("O3+EVE-4", attribution=collector)
             start = time.perf_counter()
@@ -120,6 +131,58 @@ def time_attribution(full: bool):
 
 def _tiny_override():
     return {name: dict(wl.tiny_params) for name, wl in REGISTRY.items()}
+
+
+def time_compiler(full: bool):
+    """Wall-clock the trace compiler's simulation speedup.
+
+    Interleaved (interpreted, compiled) measurement pairs per system in
+    :data:`COMPILER_SYSTEMS` on one pre-built, pre-compiled
+    :data:`COMPILER_WORKLOAD` trace, ratio from the paired minima —
+    the same protocol as :func:`time_attribution`, for the same
+    host-frequency-drift reason.  Compile time is reported separately
+    (it is paid once per trace, amortised across every system at that
+    vlmax).  Cycle counts and memory statistics are cross-checked: a
+    compiled run that drifts from the interpreter is a bug, not a
+    benchmark result.
+    """
+    from repro.compiler import compile_trace
+
+    override = None if full else _tiny_override()
+    rounds = 3 if full else 5
+    out = {}
+    for system in COMPILER_SYSTEMS:
+        runner = ExperimentRunner(params_override=override)
+        trace = runner.trace_for(system, COMPILER_WORKLOAD)
+        start = time.perf_counter()
+        compiled = compile_trace(trace)
+        compile_seconds = time.perf_counter() - start
+        build_machine(system).run(trace)  # warm shared ROM caches
+        interpreted = batched = float("inf")
+        interp_result = compiled_result = None
+        for _ in range(rounds):
+            machine = build_machine(system)
+            start = time.perf_counter()
+            interp_result = machine.run(trace)
+            interpreted = min(interpreted, time.perf_counter() - start)
+            machine = build_machine(system)
+            start = time.perf_counter()
+            compiled_result = machine.run(trace, compiled=compiled)
+            batched = min(batched, time.perf_counter() - start)
+        speedup = interpreted / batched
+        out[system] = {
+            "workload": COMPILER_WORKLOAD,
+            "compile_seconds": compile_seconds,
+            "interpreted_seconds": interpreted,
+            "compiled_seconds": batched,
+            "speedup": speedup,
+            "meets_advisory": speedup >= COMPILER_SPEEDUP_MIN,
+            "cycles_identical": (
+                interp_result.cycles == compiled_result.cycles
+                and interp_result.mem_stats == compiled_result.mem_stats
+                and interp_result.instructions == compiled_result.instructions),
+        }
+    return out
 
 
 def time_telemetry(full: bool):
@@ -302,6 +365,8 @@ def main(argv=None) -> int:
     record = run_benchmark(args.full)
     attribution = time_attribution(args.full)
     record.extra["attribution_overhead"] = attribution
+    compiler = time_compiler(args.full)
+    record.extra["compiler_speedup"] = compiler
     telemetry = time_telemetry(args.full)
     record.extra["telemetry_overhead"] = telemetry
     if not args.skip_sweep:
@@ -324,6 +389,21 @@ def main(argv=None) -> int:
         if not row["within_budget"]:
             print(f"WARNING: attribution overhead for {name} exceeds "
                   f"the {ATTRIBUTION_BUDGET:.2f}x budget", file=sys.stderr)
+    for system, row in sorted(compiler.items()):
+        print(f"compiler {system}/{row['workload']}: interpreted "
+              f"{row['interpreted_seconds'] * 1e3:.1f} ms, compiled "
+              f"{row['compiled_seconds'] * 1e3:.1f} ms "
+              f"({row['speedup']:.2f}x, advisory floor "
+              f"{COMPILER_SPEEDUP_MIN:.1f}x; compile "
+              f"{row['compile_seconds'] * 1e3:.1f} ms), "
+              f"identical={row['cycles_identical']}")
+        if not row["meets_advisory"]:
+            print(f"WARNING: compiler speedup for {system} fell below "
+                  f"the {COMPILER_SPEEDUP_MIN:.1f}x advisory floor",
+                  file=sys.stderr)
+        if not row["cycles_identical"]:
+            print(f"WARNING: compiled-path results for {system} diverged "
+                  "from the interpreter", file=sys.stderr)
     print(f"telemetry ({telemetry['cells']} cells): off "
           f"{telemetry['plain_seconds'] * 1e3:.1f} ms, on "
           f"{telemetry['telemetry_seconds'] * 1e3:.1f} ms "

@@ -111,17 +111,28 @@ class DepGraph:
         }
 
 
-def build_depgraph(trace: Trace, columns: Optional[TraceColumns] = None,
-                   footprint: Optional[MemoryFootprint] = None) -> DepGraph:
-    """Assemble the dependence DAG from the columnar def-use facts and
-    the footprint pass's memory dependence relation."""
+def dependence_edge_groups(
+        trace: Trace, columns: Optional[TraceColumns] = None,
+        footprint: Optional[MemoryFootprint] = None
+) -> List[Tuple[np.ndarray, np.ndarray, str]]:
+    """The raw dependence relation as ``(src, dst, kind)`` array groups.
+
+    This is the bulk form :func:`build_depgraph` dedups into
+    :class:`DepEdge` objects; duplicates across groups are possible.
+    The trace compiler's block scheduler consumes it directly — on
+    hundred-thousand-event traces, materialising per-edge objects costs
+    more than the whole simulation it is meant to speed up.
+    """
     cols = columns if columns is not None else TraceColumns(trace)
     if footprint is None or not footprint.has_deps:
         footprint = build_footprint(trace, cols, with_deps=True)
-    raw_edges: List[Tuple[int, int, str]] = []
+    groups: List[Tuple[np.ndarray, np.ndarray, str]] = []
 
     def _pairs(src: np.ndarray, dst: np.ndarray, kind: str) -> None:
-        raw_edges.extend(zip(src.tolist(), dst.tolist(), (kind,) * len(src)))
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if len(src):
+            groups.append((src, dst, kind))
 
     # Register dependences, straight off the use->def bindings: RAW from
     # the reaching definition, WAR from each reader to the def that kills
@@ -148,7 +159,22 @@ def build_depgraph(trace: Trace, columns: Optional[TraceColumns] = None,
                cols.setvl_event[nxt[fenced]], "vl")
         _pairs(cols.setvl_event[:-1], cols.setvl_event[1:], "vl")
 
-    raw_edges.extend(footprint.edges)
+    by_kind: Dict[str, List[Tuple[int, int]]] = {}
+    for src, dst, kind in footprint.edges:
+        by_kind.setdefault(kind, []).append((src, dst))
+    for kind, pairs in by_kind.items():
+        arr = np.asarray(pairs, dtype=np.int64)
+        groups.append((arr[:, 0], arr[:, 1], kind))
+    return groups
+
+
+def build_depgraph(trace: Trace, columns: Optional[TraceColumns] = None,
+                   footprint: Optional[MemoryFootprint] = None) -> DepGraph:
+    """Assemble the dependence DAG from the columnar def-use facts and
+    the footprint pass's memory dependence relation."""
+    raw_edges: List[Tuple[int, int, str]] = []
+    for src, dst, kind in dependence_edge_groups(trace, columns, footprint):
+        raw_edges.extend(zip(src.tolist(), dst.tolist(), (kind,) * len(src)))
 
     edges = [DepEdge(src, dst, kind)
              for src, dst, kind in sorted(set(raw_edges))]

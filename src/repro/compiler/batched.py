@@ -1,0 +1,176 @@
+"""Numpy-batched word-level datapath for macro-operation blocks.
+
+The bit-exact :class:`~repro.uops.executor.MicroEngine` evaluates one VLIW
+tuple per simulated cycle — hundreds of Python iterations per macro-op at
+factor 1.  But the macro-ops' *word-level* effects are the shared ISA
+semantic tables in :mod:`repro.isa.intrinsics`, and their cycle counts are
+data-independent (that is the point of the function/timing split), so a
+block of macro-ops can be evaluated as one numpy expression per macro with
+cycles charged from :meth:`MacroOpRom.cycles` — the same timing-only run
+the bit engine's dynamic count reduces to.
+
+:class:`WordDatapath` is the batched backend behind
+``EveFunctionalEngine(batched=True)``: the engine's register allocator,
+spill/reload protocol, and macro emission order are untouched, so the
+cycle totals and spill counts come out identical to the bit path, while
+each macro costs one vectorised numpy op instead of a micro-program
+interpretation.  ``tests/test_compiler.py`` replays the fuzz corpus at all
+six widths asserting byte-identical cycles and live-out state.
+
+Values are stored the way :meth:`EveSram.read_vreg` would return them:
+sign-extended ``int64`` arrays of 32-bit values, one entry per element,
+full register capacity.  Lanes a macro never writes in one mode but does
+in the other (the div scratch register, masked-off tails) are
+unobservable through the engine's handle API, which is the only read
+path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..isa.intrinsics import BINARY_SEMANTICS, COMPARE_SEMANTICS, wrap32
+from ..uops.rom import MacroOpRom
+
+_MASK32 = 0xFFFFFFFF
+
+#: macro (op param) -> intrinsics semantic key.  ``rsub`` maps directly:
+#: the macro computes vs2 - vs1 and the table's ``vrsub(x, y)`` is y - x.
+_BINARY_KEYS = {
+    ("add", None): "vadd",
+    ("sub", None): "vsub",
+    ("rsub", None): "vrsub",
+    ("logic", "and"): "vand",
+    ("logic", "or"): "vor",
+    ("logic", "xor"): "vxor",
+    ("logic", "not"): "vnot",
+    ("shift_scalar", "sll"): "vsll",
+    ("shift_scalar", "srl"): "vsrl",
+    ("shift_scalar", "sra"): "vsra",
+    ("shift_variable", "sll"): "vsll",
+    ("shift_variable", "srl"): "vsrl",
+    ("shift_variable", "sra"): "vsra",
+    ("div", "div"): "vdiv",
+    ("div", "rem"): "vrem",
+    ("div", "divu"): "vdivu",
+    ("div", "remu"): "vremu",
+}
+
+#: Logic forms the ROM serves but the intrinsics table has no vx name for.
+_EXTRA_LOGIC = {
+    "nand": lambda x, y: ~(x & y),
+    "nor": lambda x, y: ~(x | y),
+    "xnor": lambda x, y: ~(x ^ y),
+}
+
+#: One macro emission: (macro, regs, scalar, params).
+MacroOp = Tuple[str, dict, int, dict]
+
+
+class WordDatapath:
+    """Executes macro-op blocks as vectorised word arithmetic.
+
+    Drop-in peer of the engine's bit datapath: ``execute`` runs a block
+    and returns its cycle total; ``read_vreg``/``write_vreg`` are the
+    spill/observation ports (sign-extended int64, like the SRAM's).
+    """
+
+    def __init__(self, rom: MacroOpRom, capacity: int) -> None:
+        if rom.element_bits != 32:
+            raise SimulationError(
+                "batched word datapath supports 32-bit elements only")
+        self.rom = rom
+        self.capacity = capacity
+        self._regs: Dict[int, np.ndarray] = {}
+
+    # -- spill / observation ports ------------------------------------------
+
+    def _reg(self, reg: int) -> np.ndarray:
+        values = self._regs.get(reg)
+        if values is None:
+            values = np.zeros(self.capacity, dtype=np.int64)
+            self._regs[reg] = values
+        return values
+
+    def read_vreg(self, reg: int) -> np.ndarray:
+        return self._reg(reg).copy()
+
+    def write_vreg(self, reg: int, values: np.ndarray) -> None:
+        full = np.zeros(self.capacity, dtype=np.int64)
+        data = np.asarray(values, dtype=np.int64)[: self.capacity]
+        full[: len(data)] = wrap32(data)
+        self._regs[reg] = full
+
+    # -- block execution ------------------------------------------------------
+
+    def execute(self, block: List[MacroOp]) -> int:
+        """Run one macro block; returns its total cycle count."""
+        cycles = 0
+        rom_cycles = self.rom.cycles
+        for macro, regs, scalar, params in block:
+            cycles += rom_cycles(macro, **params)
+            self._apply(macro, regs, scalar, params)
+        return cycles
+
+    def _apply(self, macro: str, regs: dict, scalar: int,
+               params: dict) -> None:
+        if macro == "splat":
+            value = int(wrap32(np.asarray([scalar], dtype=np.int64))[0])
+            result = np.full(self.capacity, value, dtype=np.int64)
+        elif macro == "move":
+            result = self._reg(regs["vs1"]).copy()
+        elif macro == "merge":
+            mask = self._reg(regs["vm"])
+            result = np.where(mask != 0, self._reg(regs["vs1"]),
+                              self._reg(regs["vs2"]))
+        elif macro == "compare":
+            x = self._reg(regs["vs1"])
+            y = self._reg(regs["vs2"])
+            if not params.get("signed", True):
+                x = x & _MASK32
+                y = y & _MASK32
+            result = COMPARE_SEMANTICS["vms" + params["op"]](x, y).astype(np.int64)
+        elif macro == "minmax":
+            x = self._reg(regs["vs1"])
+            y = self._reg(regs["vs2"])
+            fold = np.minimum if params["op"] == "min" else np.maximum
+            if params.get("signed", True):
+                result = fold(x, y)
+            else:
+                result = wrap32(fold(x & _MASK32, y & _MASK32)).astype(np.int64)
+        elif macro == "mul":
+            if params.get("high"):
+                raise SimulationError(
+                    "mulh is a timing proxy only; the word datapath does "
+                    "not implement the high half (see DESIGN.md)")
+            x = self._reg(regs["vs1"])
+            y = self._reg(regs["vs2"])
+            result = wrap32(x * y).astype(np.int64)
+        elif macro == "shift_scalar":
+            x = self._reg(regs["vs1"])
+            semantics = BINARY_SEMANTICS[_BINARY_KEYS[(macro, params["op"])]]
+            result = wrap32(semantics(x, int(params["amount"]))).astype(np.int64)
+        else:
+            x = self._reg(regs["vs1"])
+            y = self._reg(regs["vs2"]) if "vs2" in regs else np.int64(0)
+            op = params.get("op")
+            key = _BINARY_KEYS.get((macro, op if macro != "add" else None))
+            if macro in ("add", "sub", "rsub"):
+                key = _BINARY_KEYS[(macro, None)]
+            if key is not None:
+                semantics = BINARY_SEMANTICS[key]
+            elif macro == "logic" and op in _EXTRA_LOGIC:
+                semantics = _EXTRA_LOGIC[op]
+            else:
+                raise SimulationError(
+                    f"word datapath has no semantics for macro {macro!r} "
+                    f"(params {params!r})")
+            result = wrap32(semantics(x, y)).astype(np.int64)
+        vd = regs["vd"]
+        if params.get("masked"):
+            mask = self._reg(regs["vm"])
+            result = np.where(mask != 0, result, self._reg(vd))
+        self._regs[vd] = result

@@ -35,6 +35,11 @@ from ..cores.vector_base import VectorMachineBase
 from .units import DtuPool, VmuModel, VruModel
 
 
+def _NO_LINES(index):
+    """Interpreted path: no hoisted line list for any event."""
+    return None
+
+
 @dataclass
 class _RegInfo:
     """Scoreboard entry: when a register is ready and who produced it."""
@@ -112,11 +117,13 @@ class EveMachine(VectorMachineBase):
 
     # -- main loop -----------------------------------------------------------------
 
-    def run(self, trace: Trace) -> SimResult:
+    def run(self, trace: Trace, compiled=None) -> SimResult:
         tracer = self.tracer
         attr = self.attr
-        self.mem = MemorySystem(self.config, tracer=tracer,
-                                metrics=self.metrics, attribution=attr)
+        compiled = self._prepare_compiled(compiled)  # installs fast mem
+        if compiled is None:
+            self.mem = MemorySystem(self.config, tracer=tracer,
+                                    metrics=self.metrics, attribution=attr)
         self.vmu = VmuModel(self.mem)
         self.dtu = DtuPool(self.num_dtus, self.segments,
                            bit_parallel=(self.factor == 32), tracer=tracer,
@@ -154,11 +161,22 @@ class EveMachine(VectorMachineBase):
         if attr.enabled:
             attr.meta["spawn_cycles"] = float(setup.cycles)
 
-        for idx, event in enumerate(trace):
+        if compiled is None:
+            events = enumerate(trace)
+            lines_for = _NO_LINES
+        else:
+            # Block-at-a-time replay: the scheduler's packs drive the
+            # event stream (program order, so cycle accounting matches
+            # the interpreted loop byte for byte) and each memory event
+            # uses its hoisted line list instead of re-deriving it.
+            events = compiled.iter_events()
+            lines_for = compiled.lines_for
+        for idx, event in events:
             if attr.enabled:
                 attr.set_node(idx)
             if isinstance(event, ScalarBlock):
-                core_time = self.run_scalar_block(core_time, event)
+                core_time = self.run_scalar_block(core_time, event,
+                                                  lines_for(idx))
                 continue
             instr: VectorInstr = event
             instructions += 1
@@ -198,13 +216,13 @@ class EveMachine(VectorMachineBase):
                 vmu_ready = max(t, self.vmu.free_at,
                                 max(causes.values(), default=0.0))
                 if instr.info.is_load:
-                    done = self._load(vmu_ready, instr)
+                    done = self._load(vmu_ready, instr, lines_for(idx))
                     self._regs[instr.vd] = _RegInfo(
                         ready=done, kind="ld",
                         dt_limited=self._last_dt_limited, node=idx)
                     vmu_last_was_store = False
                 else:
-                    done = self._store(vmu_ready, instr)
+                    done = self._store(vmu_ready, instr, lines_for(idx))
                     if done >= store_drain:
                         self._drain_node = idx
                     store_drain = max(store_drain, done)
@@ -332,24 +350,31 @@ class EveMachine(VectorMachineBase):
 
     # -- per-class timing ----------------------------------------------------------
 
-    def _load(self, start: float, instr: VectorInstr) -> float:
+    def _load(self, start: float, instr: VectorInstr,
+              lines=None) -> float:
         """VMU fetch -> DTU transpose -> rows written."""
         per_element = instr.category in (Category.MEM_STRIDE, Category.MEM_INDEX)
-        stream = self.vmu.stream(start, instr.mem, per_element)
+        stream = self.vmu.stream(start, instr.mem, per_element, lines=lines)
         dt_done = self.dtu.process(stream.first_done, stream.n_lines)
         done = max(stream.last_done, dt_done)
         self._last_dt_limited = dt_done > stream.last_done
         return done
 
-    def _store(self, start: float, instr: VectorInstr) -> float:
+    def _store(self, start: float, instr: VectorInstr,
+               lines=None) -> float:
         """Rows read -> DTU detranspose -> VMU write stream."""
         per_element = instr.category in (Category.MEM_STRIDE, Category.MEM_INDEX)
-        n_lines = (instr.mem.num_accesses if per_element
-                   else len(instr.mem.line_addresses()))
+        if lines is not None:
+            # The hoisted list is one entry per request in both modes.
+            n_lines = len(lines)
+        else:
+            n_lines = (instr.mem.num_accesses if per_element
+                       else len(instr.mem.line_addresses()))
         dt_done = self.dtu.process(start, n_lines)
         # The VMU starts writing once the first line is detransposed.
         first_data = start + self.dtu.cycles_per_line
-        stream = self.vmu.stream(max(first_data, start), instr.mem, per_element)
+        stream = self.vmu.stream(max(first_data, start), instr.mem,
+                                 per_element, lines=lines)
         return max(stream.last_done, dt_done)
 
     def _vru_instr(self, start: float, instr: VectorInstr) -> Tuple[float, float]:

@@ -66,12 +66,52 @@ class EveMask(EveVec):
 Operand = Union[EveVec, int, np.integer]
 
 
+class _BitDatapath:
+    """Macro-block execution on the bit-exact EVE SRAM.
+
+    The default backend: each macro in a block resolves to its ROM
+    micro-program and runs on the :class:`MicroEngine`
+    (:meth:`~repro.uops.executor.MicroEngine.run_block`).
+    """
+
+    def __init__(self, rom: MacroOpRom, engine: MicroEngine, sram: EveSram,
+                 layout: RegisterLayout) -> None:
+        self.rom = rom
+        self.engine = engine
+        self.sram = sram
+        self.layout = layout
+
+    def execute(self, block) -> int:
+        return self.engine.run_block(
+            [(self.rom.program(macro, **params),
+              Binding(layout=self.layout, regs=regs, scalar=scalar))
+             for macro, regs, scalar, params in block],
+            self.sram)
+
+    def read_vreg(self, reg: int) -> np.ndarray:
+        return self.sram.read_vreg(self.layout, reg)
+
+    def write_vreg(self, reg: int, values: np.ndarray) -> None:
+        self.sram.write_vreg(self.layout, reg, values)
+
+
 class EveFunctionalEngine:
-    """Bit-exact vector execution on the EVE SRAM pool."""
+    """Bit-exact vector execution on the EVE SRAM pool.
+
+    With ``batched=True`` the per-μop bit datapath is swapped for the
+    compiler's :class:`~repro.compiler.batched.WordDatapath`: macro blocks
+    evaluate as vectorised word arithmetic with cycles charged from the
+    ROM's (data-independent) timing runs.  Register allocation, spilling,
+    and macro emission are identical either way, so cycle counts, spill
+    counts, and every observable value match the bit path exactly —
+    ``tests/test_compiler.py`` holds the two modes bit-for-bit together
+    over the fuzz corpus.  Fault injection hooks into the μop stream, so
+    the batched mode refuses an enabled fault plan.
+    """
 
     def __init__(self, factor: int, capacity: int = 64,
                  num_vregs: int = 32, element_bits: int = 32,
-                 faults=None) -> None:
+                 faults=None, batched: bool = False) -> None:
         segments = element_bits // factor
         rows = max(256, num_vregs * segments)
         cols = capacity * factor
@@ -87,6 +127,18 @@ class EveFunctionalEngine:
         self.engine = MicroEngine(faults=self.faults)
         self.vm = VirtualMemory()
         self.capacity = capacity
+        self.batched = batched
+        if batched:
+            if self.faults.enabled:
+                raise SimulationError(
+                    "batched evaluation cannot model μop-level fault "
+                    "injection; use the bit datapath for fault campaigns")
+            from ..compiler.batched import WordDatapath
+            self._dp = WordDatapath(self.rom, capacity)
+        else:
+            self._dp = _BitDatapath(self.rom, self.engine, self.sram,
+                                    self.layout)
+        self._pending: list = []     # macro ops awaiting block execution
         self.vl = 0
         self.cycles = 0
         self.spills = 0
@@ -109,7 +161,7 @@ class EveFunctionalEngine:
             holder = self._bound.get(reg)
             handle = holder() if holder is not None else None
             if handle is not None and handle.reg == reg and handle.spilled is None:
-                handle.spilled = self.sram.read_vreg(self.layout, reg)
+                handle.spilled = self._dp_read(reg)
                 handle.reg = -1
                 self.spills += 1
             if owner is not None:
@@ -134,7 +186,7 @@ class EveFunctionalEngine:
             raise SimulationError(
                 "stale register handle (overwritten without a spill)")
         reg = self._alloc(owner=handle)
-        self.sram.write_vreg(self.layout, reg, handle.spilled)
+        self._dp_write(reg, handle.spilled)
         handle.reg = reg
         handle.spilled = None
         return reg
@@ -154,16 +206,35 @@ class EveFunctionalEngine:
         return temp.reg, temp
 
     def _run(self, macro: str, regs: dict, scalar: int = 0, **params) -> None:
+        """Queue one macro-operation for block execution.
+
+        Emission order is execution order: any datapath read or write
+        (spill, reload, host observation) flushes the pending block first,
+        so the macro stream the datapath sees is byte-for-byte the
+        sequence the per-macro interpreter executed.
+        """
         if self.faults.enabled:
             self.faults.on_macro(macro)
-        binding = Binding(layout=self.layout, regs=regs, scalar=int(scalar))
-        self.cycles += self.engine.run(self.rom.program(macro, **params),
-                                       self.sram, binding)
+        self._pending.append((macro, regs, int(scalar), params))
+
+    def _flush(self) -> None:
+        """Execute the pending macro block on the active datapath."""
+        if self._pending:
+            block, self._pending = self._pending, []
+            self.cycles += self._dp.execute(block)
+
+    def _dp_read(self, reg: int) -> np.ndarray:
+        self._flush()
+        return self._dp.read_vreg(reg)
+
+    def _dp_write(self, reg: int, values: np.ndarray) -> None:
+        self._flush()
+        self._dp.write_vreg(reg, values)
 
     def _read(self, handle_or_reg) -> np.ndarray:
         reg = (self._ensure(handle_or_reg)
                if isinstance(handle_or_reg, EveVec) else handle_or_reg)
-        return self.sram.read_vreg(self.layout, reg)[: self.vl]
+        return self._dp_read(reg)[: self.vl]
 
     def peek(self, handle: EveVec) -> np.ndarray:
         """Host-side read of a handle's current value (``vl`` elements).
@@ -177,7 +248,7 @@ class EveFunctionalEngine:
         handle = self._new_handle(cls)
         full = np.zeros(self.capacity, dtype=np.int64)
         full[: len(values)] = np.asarray(values, dtype=np.int64)
-        self.sram.write_vreg(self.layout, handle.reg, full)
+        self._dp_write(handle.reg, full)
         return handle
 
     # -- control ----------------------------------------------------------------
@@ -250,6 +321,7 @@ class EveFunctionalEngine:
             self._run(macro, {"vs1": a_reg, "vs2": b_reg, "vd": vd.reg},
                       **params)
         finally:
+            self._flush()
             self._pinned.clear()
         return vd
 
@@ -273,6 +345,7 @@ class EveFunctionalEngine:
             self._run(macro, {"vs1": a_reg, "vs2": b_reg, "vd": vd.reg,
                               "vm": m_reg}, masked=True)
         finally:
+            self._flush()
             self._pinned.clear()
         return vd
 
@@ -377,6 +450,7 @@ class EveFunctionalEngine:
             self._run("div", {"vs1": a_reg, "vs2": b_reg, "vd": vd.reg,
                               "vm": scratch}, op=op)
         finally:
+            self._flush()
             self._pinned.clear()
         return vd
 
@@ -409,6 +483,7 @@ class EveFunctionalEngine:
                 self._run("shift_scalar", {"vs1": a_reg, "vd": vd.reg},
                           scalar=amount, op=op, amount=amount)
         finally:
+            self._flush()
             self._pinned.clear()
         return vd
 
@@ -454,6 +529,7 @@ class EveFunctionalEngine:
             self._run("merge", {"vs1": a_reg, "vs2": b_reg, "vd": vd.reg,
                                 "vm": m_reg})
         finally:
+            self._flush()
             self._pinned.clear()
         return vd
 
@@ -470,6 +546,7 @@ class EveFunctionalEngine:
                 vd = self._new_handle()
                 self._run("splat", {"vd": vd.reg}, scalar=int(value))
         finally:
+            self._flush()
             self._pinned.clear()
         return vd
 

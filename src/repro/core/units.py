@@ -54,19 +54,29 @@ class VmuModel:
         self.streams = 0
 
     def stream(self, start: float, pattern: MemAccess,
-               per_element: bool) -> StreamResult:
-        """Issue all line requests of one memory macro-operation."""
-        import numpy as np
-        if per_element:
-            lines = pattern.element_addresses() // 64 * 64
-        else:
-            lines = pattern.line_addresses()
+               per_element: bool, lines=None) -> StreamResult:
+        """Issue all line requests of one memory macro-operation.
+
+        ``lines`` is the compiled path's hoisted request list (plain
+        ints, precomputed by the trace compiler); when ``None`` the
+        stream is derived from the pattern exactly as the compiler
+        would have.
+        """
+        if lines is None:
+            import numpy as np
+            if per_element:
+                raw = pattern.element_addresses() // 64 * 64
+            else:
+                raw = pattern.line_addresses()
+            lines = [int(line) for line in np.asarray(raw, dtype=np.int64)]
         t = start
         first_done = start
         last_done = start
         stall_total = 0.0
-        for i, line in enumerate(np.asarray(lines, dtype=np.int64)):
-            completion = self.mem.access(t, int(line), pattern.is_store, port="llc")
+        is_store = pattern.is_store
+        access = self.mem.access
+        for i, line in enumerate(lines):
+            completion = access(t, line, is_store, port="llc")
             if i == 0:
                 first_done = completion.done
             last_done = max(last_done, completion.done)

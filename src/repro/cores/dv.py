@@ -51,12 +51,19 @@ class DecoupledVectorMachine(VectorMachineBase):
         #: register -> (chain-ready time, fully-done time)
         self._chain: Dict[int, Tuple[float, float]] = {}
 
-    def run(self, trace: Trace) -> SimResult:
+    def run(self, trace: Trace, compiled=None) -> SimResult:
         self.reset()
         self._pipe_free = {name: 0.0 for name in PIPES}
         self._chain.clear()
         tracer = self.tracer
         attr = self.attr
+        compiled = self._prepare_compiled(compiled)  # installs fast mem
+        if compiled is None:
+            events = enumerate(trace)
+            lines_for = None
+        else:
+            events = compiled.iter_events()
+            lines_for = compiled.lines_for
         self._core_busy = 0.0
         self._core_stall = 0.0
         self._drain_node = -1
@@ -65,16 +72,20 @@ class DecoupledVectorMachine(VectorMachineBase):
         now = 0.0
         finish = 0.0
         instructions = 0
-        for idx, event in enumerate(trace):
+        for idx, event in events:
             if attr.enabled:
                 attr.set_node(idx)
             if isinstance(event, ScalarBlock):
-                now = self.run_scalar_block(now, event)
+                now = self.run_scalar_block(
+                    now, event,
+                    lines_for(idx) if lines_for is not None else None)
                 finish = max(finish, now)
                 continue
             instr: VectorInstr = event
             instructions += 1
-            issue_end, done = self._vector_instr(instr, now)
+            issue_end, done = self._vector_instr(
+                instr, now,
+                lines_for(idx) if lines_for is not None else None)
             if attr.enabled:
                 # In-order issue: each vector instruction holds the issue
                 # stage for one cycle; pipe occupancy is charged inside
@@ -142,12 +153,13 @@ class DecoupledVectorMachine(VectorMachineBase):
 
     # -- one vector instruction -----------------------------------------------------
 
-    def _vector_instr(self, instr: VectorInstr, now: float) -> Tuple[float, float]:
+    def _vector_instr(self, instr: VectorInstr, now: float,
+                      lines=None) -> Tuple[float, float]:
         category = instr.category
         if category is Category.CTRL:
             return now + 1.0, now + 1.0
         if category.is_memory:
-            return self._memory_instr(instr, now)
+            return self._memory_instr(instr, now, lines)
 
         pipe, startup, occupancy = self._compute_timing(instr)
         # Issue is dispatch-to-pipe-queue: one cycle, independent of
@@ -173,7 +185,8 @@ class DecoupledVectorMachine(VectorMachineBase):
             return "iterative", PIPES["iterative"], vl / (LANES * ITERATIVE_RATE)
         return "int_simple", PIPES["int_simple"], vl / LANES
 
-    def _memory_instr(self, instr: VectorInstr, now: float) -> Tuple[float, float]:
+    def _memory_instr(self, instr: VectorInstr, now: float,
+                      lines=None) -> Tuple[float, float]:
         per_element = instr.category in (Category.MEM_STRIDE, Category.MEM_INDEX)
         # Address generation occupies the memory pipe as soon as the index
         # register (if any) is ready; store *data* may arrive later — the
@@ -186,11 +199,14 @@ class DecoupledVectorMachine(VectorMachineBase):
         # *completes* once its data has arrived from the producer.
         first_done, last_done, _ = self.stream_lines(
             addr_start, instr.mem, port="l2", per_element=per_element,
-            issue_interval=1.0)
+            issue_interval=1.0, lines=lines)
         if instr.info.is_store and instr.vd >= 0:
             last_done = max(last_done, self._chain.get(instr.vd, (0.0, 0.0))[1])
-        n_requests = (instr.mem.num_accesses if per_element
-                      else len(instr.mem.line_addresses()))
+        if lines is not None:
+            n_requests = len(lines)
+        else:
+            n_requests = (instr.mem.num_accesses if per_element
+                          else len(instr.mem.line_addresses()))
         self._pipe_free["memory"] = addr_start + n_requests
         if self.attr.enabled:
             self.attr.charge("pipe", "memory", float(n_requests))

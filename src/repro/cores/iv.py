@@ -52,10 +52,17 @@ class IntegratedVectorMachine(VectorMachineBase):
         self._lsq_window = MshrPool(self.VECTOR_MLP, "iv-lsq",
                                     attribution=self.attr)
 
-    def run(self, trace: Trace) -> SimResult:
+    def run(self, trace: Trace, compiled=None) -> SimResult:
         self.reset()
         tracer = self.tracer
         attr = self.attr
+        compiled = self._prepare_compiled(compiled)  # installs fast mem
+        if compiled is None:
+            events = enumerate(trace)
+            lines_for = None
+        else:
+            events = compiled.iter_events()
+            lines_for = compiled.lines_for
         self._core_busy = 0.0
         self._core_stall = 0.0
         self._drain_node = -1
@@ -63,16 +70,20 @@ class IntegratedVectorMachine(VectorMachineBase):
         now = 0.0           # issue timeline of the shared pipes
         finish = 0.0
         instructions = 0
-        for idx, event in enumerate(trace):
+        for idx, event in events:
             if attr.enabled:
                 attr.set_node(idx)
             if isinstance(event, ScalarBlock):
-                now = self.run_scalar_block(now, event)
+                now = self.run_scalar_block(
+                    now, event,
+                    lines_for(idx) if lines_for is not None else None)
                 finish = max(finish, now)
                 continue
             instr: VectorInstr = event
             instructions += 1
-            done = self._vector_instr(instr, now)
+            done = self._vector_instr(
+                instr, now,
+                lines_for(idx) if lines_for is not None else None)
             if attr.enabled:
                 # Issue-timeline split: the wait for source operands, then
                 # the pipe occupancy of the instruction's uops.
@@ -133,7 +144,8 @@ class IntegratedVectorMachine(VectorMachineBase):
 
     # -- one vector instruction ----------------------------------------------
 
-    def _vector_instr(self, instr: VectorInstr, now: float) -> float:
+    def _vector_instr(self, instr: VectorInstr, now: float,
+                      lines=None) -> float:
         if instr.category.is_memory and instr.info.is_store:
             # The LSQ accepts stores before their data is ready; only the
             # index register gates address generation.
@@ -147,7 +159,7 @@ class IntegratedVectorMachine(VectorMachineBase):
             return start + 1.0
         n_uops = max(1, math.ceil(instr.vl / self.vl))
         if instr.category.is_memory:
-            done = self._memory_instr(instr, start)
+            done = self._memory_instr(instr, start, lines)
         else:
             startup, per_uop = self._timing_for(instr)
             self._issue_end = start + n_uops * per_uop
@@ -164,16 +176,19 @@ class IntegratedVectorMachine(VectorMachineBase):
             return _PIPE_TIMING["xelem"]
         return _PIPE_TIMING["ialu"]
 
-    def _memory_instr(self, instr: VectorInstr, start: float) -> float:
+    def _memory_instr(self, instr: VectorInstr, start: float,
+                      lines=None) -> float:
         # Unit-stride ops move a 4-element (16B) chunk per μop; the LSQ
         # coalesces them, so one line request per distinct line.  Strided
         # and indexed ops become one scalar request per element.  Each
         # in-flight request holds one of the shared LSQ window's slots.
         per_element = instr.category in (Category.MEM_STRIDE, Category.MEM_INDEX)
-        if per_element:
-            lines = instr.mem.element_addresses() // 64 * 64
-        else:
-            lines = instr.mem.line_addresses()
+        if lines is None:
+            if per_element:
+                raw = instr.mem.element_addresses() // 64 * 64
+            else:
+                raw = instr.mem.line_addresses()
+            lines = [int(line) for line in np.asarray(raw, dtype=np.int64)]
         # Indexed accesses also extract each address from a vector register
         # (an extra scalar μop per element).
         interval = 1.0 / self.LSQ_PORTS
@@ -181,10 +196,11 @@ class IntegratedVectorMachine(VectorMachineBase):
             interval = 2.0 / self.LSQ_PORTS
         t = start
         last_done = start
-        for line in np.asarray(lines, dtype=np.int64):
+        is_store = instr.mem.is_store
+        for line in lines:
             slot_at, _ = self._lsq_window.acquire(t)
-            completion = self.mem.access(slot_at, int(line),
-                                         instr.mem.is_store, port="l1")
+            completion = self.mem.access(slot_at, line,
+                                         is_store, port="l1")
             self._lsq_window.release(completion.done)
             last_done = max(last_done, completion.done)
             t = max(slot_at, completion.grant) + interval

@@ -39,15 +39,27 @@ class ScalarCore:
         self.mem = MemorySystem(config, tracer=self.tracer,
                                 metrics=self.metrics, attribution=self.attr)
 
-    def run(self, trace: Trace) -> SimResult:
+    def run(self, trace: Trace, compiled=None) -> SimResult:
         core = self.config.core
         tracer = self.tracer
         attr = self.attr
+        if compiled is not None and (tracer.enabled or self.metrics.enabled
+                                     or attr.enabled):
+            # Instrumented runs take the reference interpreter path.
+            compiled = None
+        if compiled is None:
+            events = enumerate(trace)
+            lines_for = None
+        else:
+            from ..compiler.memengine import FastMemorySystem
+            self.mem = FastMemorySystem(self.config)
+            events = compiled.iter_events()
+            lines_for = compiled.lines_for
         now = 0.0
         instructions = 0
         core_busy = 0.0
         core_stall = 0.0
-        for idx, event in enumerate(trace):
+        for idx, event in events:
             if not isinstance(event, ScalarBlock):
                 raise SimulationError(
                     f"scalar core {self.config.name} fed a vector trace; "
@@ -57,10 +69,13 @@ class ScalarCore:
             instructions += event.n_instr
             issue_cycles = event.n_instr * core.base_cpi
             block_start = now
+            lines = lines_for(idx) if lines_for is not None else None
             if core.kind == "io":
-                now = self._run_block_blocking(now, event, issue_cycles)
+                now = self._run_block_blocking(now, event, issue_cycles,
+                                               lines)
             else:
-                now = self._run_block_overlapped(now, event, issue_cycles)
+                now = self._run_block_overlapped(now, event, issue_cycles,
+                                                 lines)
             if attr.enabled:
                 stall = max(0.0, (now - block_start) - issue_cycles)
                 attr.charge("core", "busy", issue_cycles, node=idx)
@@ -99,18 +114,24 @@ class ScalarCore:
         return result
 
     def _run_block_blocking(self, now: float, block: ScalarBlock,
-                            issue_cycles: float) -> float:
+                            issue_cycles: float, lines=None) -> float:
         """In-order: every miss stalls the pipeline for its full latency."""
         l1_hit = self.config.l1d.hit_latency
         now += issue_cycles
-        for pattern in block.accesses:
-            for line in pattern.line_addresses():
-                completion = self.mem.access(now, int(line), pattern.is_store)
-                now = max(now, completion.done - l1_hit)
+        if lines is None:
+            lines = [[int(line) for line in pattern.line_addresses()]
+                     for pattern in block.accesses]
+        access = self.mem.access
+        for pattern, pattern_lines in zip(block.accesses, lines):
+            is_store = pattern.is_store
+            for line in pattern_lines:
+                completion = access(now, line, is_store)
+                if completion.done - l1_hit > now:
+                    now = completion.done - l1_hit
         return now
 
     def _run_block_overlapped(self, now: float, block: ScalarBlock,
-                              issue_cycles: float) -> float:
+                              issue_cycles: float, lines=None) -> float:
         """Out-of-order: misses overlap with issue and with each other.
 
         Each request is launched along the issue timeline; the block
@@ -120,13 +141,18 @@ class ScalarCore:
         core = self.config.core
         l1_hit = self.config.l1d.hit_latency
         end_issue = now + issue_cycles
-        n_lines = sum(len(p.line_addresses()) for p in block.accesses) or 1
+        if lines is None:
+            lines = [[int(line) for line in pattern.line_addresses()]
+                     for pattern in block.accesses]
+        n_lines = sum(len(pattern_lines) for pattern_lines in lines) or 1
         spacing = issue_cycles / n_lines
         exposed_end = now
         t_issue = now
-        for pattern in block.accesses:
-            for line in pattern.line_addresses():
-                completion = self.mem.access(t_issue, int(line), pattern.is_store)
+        access = self.mem.access
+        for pattern, pattern_lines in zip(block.accesses, lines):
+            is_store = pattern.is_store
+            for line in pattern_lines:
+                completion = access(t_issue, line, is_store)
                 latency = completion.done - t_issue
                 exposed = (latency - l1_hit) * (1.0 - core.miss_overlap)
                 exposed_end = max(exposed_end, t_issue + l1_hit + max(0.0, exposed))

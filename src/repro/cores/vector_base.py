@@ -47,6 +47,29 @@ class VectorMachineBase:
         self._core_busy = 0.0
         self._core_stall = 0.0
 
+    # -- compiled-trace support ------------------------------------------
+
+    def _prepare_compiled(self, compiled):
+        """Gate a compiled trace on instrumentation and install the fast
+        memory model.
+
+        Instrumented runs (tracer, metrics, attribution, fault
+        injection) always take the reference interpreter path — the
+        observability stack hooks the layered hierarchy, and equivalence
+        there is guaranteed by running identical code, not by argument.
+        Returns the compiled trace to use, or ``None``.
+        """
+        if compiled is None:
+            return None
+        faults = getattr(self, "faults", None)
+        if (self.tracer.enabled or self.metrics.enabled
+                or self.attr.enabled
+                or (faults is not None and faults.enabled)):
+            return None
+        from ..compiler.memengine import FastMemorySystem
+        self.mem = FastMemorySystem(self.config)
+        return compiled
+
     # -- scoreboard ------------------------------------------------------
 
     def deps_ready(self, instr: VectorInstr) -> float:
@@ -62,15 +85,24 @@ class VectorMachineBase:
 
     # -- scalar control blocks -----------------------------------------------
 
-    def run_scalar_block(self, now: float, block: ScalarBlock) -> float:
-        """Out-of-order control processor running bookkeeping code."""
+    def run_scalar_block(self, now: float, block: ScalarBlock,
+                         lines=None) -> float:
+        """Out-of-order control processor running bookkeeping code.
+
+        ``lines`` is the compiled path's hoisted per-pattern line lists;
+        ``None`` derives them from the patterns as usual.
+        """
         core = self.config.core
         issue_cycles = block.n_instr * core.base_cpi
         end = now + issue_cycles
         t = now
-        for pattern in block.accesses:
-            for line in pattern.line_addresses():
-                completion = self.mem.access(t, int(line), pattern.is_store)
+        if lines is None:
+            lines = [[int(line) for line in pattern.line_addresses()]
+                     for pattern in block.accesses]
+        for pattern, pattern_lines in zip(block.accesses, lines):
+            is_store = pattern.is_store
+            for line in pattern_lines:
+                completion = self.mem.access(t, line, is_store)
                 exposed = (completion.done - t) * (1.0 - core.miss_overlap)
                 end = max(end, t + exposed)
                 t += 1.0
@@ -92,28 +124,35 @@ class VectorMachineBase:
     # -- memory streams ---------------------------------------------------------
 
     def stream_lines(self, start: float, pattern: MemAccess, port: str,
-                     per_element: bool,
-                     issue_interval: float = 1.0) -> Tuple[float, float, float]:
+                     per_element: bool, issue_interval: float = 1.0,
+                     lines=None) -> Tuple[float, float, float]:
         """Issue a memory pattern as a pipelined request stream.
 
         ``per_element`` issues one request per element (strided / indexed
         decomposition); otherwise one request per distinct cache line.
-        Returns ``(first_done, last_done, mshr_stall_total)``.
+        ``lines`` is the compiled path's hoisted request list; ``None``
+        derives it from the pattern.  Returns
+        ``(first_done, last_done, mshr_stall_total)``.
         """
-        if per_element:
-            # One request per element, at the line its address falls in
-            # (duplicates intentionally kept: each element is a request).
-            lines = pattern.element_addresses() // 64 * 64
-        else:
-            lines = pattern.line_addresses()
+        if lines is None:
+            if per_element:
+                # One request per element, at the line its address falls
+                # in (duplicates intentionally kept: each element is a
+                # request).
+                raw = pattern.element_addresses() // 64 * 64
+            else:
+                raw = pattern.line_addresses()
+            lines = [int(line) for line in np.asarray(raw, dtype=np.int64)]
         if len(lines) == 0:
             return start, start, 0.0
         t = start
         first_done = None
         last_done = start
         stall_total = 0.0
-        for line in np.asarray(lines, dtype=np.int64):
-            completion = self.mem.access(t, int(line), pattern.is_store, port=port)
+        is_store = pattern.is_store
+        access = self.mem.access
+        for line in lines:
+            completion = access(t, line, is_store, port=port)
             if first_done is None:
                 first_done = completion.done
             last_done = max(last_done, completion.done)

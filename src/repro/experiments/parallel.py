@@ -55,7 +55,10 @@ DEFAULT_CACHE_ROOT = ".eve-cache"
 #: Bump to invalidate every cached pickle when the cache layout changes.
 #: v2: traces carry ``vlmax``/``buffers`` metadata, the ``vid`` opcode,
 #: and free-list register allocation.
-CACHE_VERSION = 2
+#: v3: result-cell keys fold the trace-compiler configuration (pass list
+#: + compiler version), so compiled and ``--no-compile`` sweeps can never
+#: collide on one cache entry.
+CACHE_VERSION = 3
 
 #: ``fork`` keeps worker start-up cheap where the OS offers it; spawn is
 #: the portable fallback (all cell inputs are picklable primitives).
@@ -67,15 +70,24 @@ START_METHOD = ("fork" if "fork" in multiprocessing.get_all_start_methods()
 
 def params_fingerprint(workload_name: str,
                        params_override: Optional[Dict[str, dict]],
-                       seed: int = DEFAULT_SEED) -> str:
+                       seed: int = DEFAULT_SEED,
+                       compiler: Optional[dict] = None) -> str:
     """Digest of the workload's *resolved* parameters plus the input
     seed, so tiny and paper-scale runs of the same kernel — and runs of
     the same kernel with different ``--seed`` inputs — occupy distinct
-    cache cells."""
+    cache cells.
+
+    ``compiler`` is the :func:`repro.compiler.compiler_descriptor` of the
+    execution path (``None`` for the reference interpreter): folding it in
+    keeps compiled and ``--no-compile`` results on distinct cells, so a
+    compiler bug can never poison an interpreter baseline (or vice versa).
+    """
     workload = get_workload(canonical_workload(workload_name))
     resolved = workload.resolve(
         (params_override or {}).get(workload.name))
     resolved["__seed__"] = seed
+    if compiler is not None:
+        resolved["__compiler__"] = compiler
     blob = json.dumps(resolved, sort_keys=True, default=str)
     return hashlib.sha256(blob.encode()).hexdigest()[:12]
 
@@ -289,9 +301,10 @@ def simulate_cell(spec: tuple) -> Dict[str, object]:
     """Simulate one (system, workload) cell; runs inside a pool worker.
 
     ``spec`` is a picklable tuple ``(system, workload, params_override,
-    cache_root, collect_metrics, verify[, seed])`` — the trailing seed
-    defaults to :data:`~repro.workloads.DEFAULT_SEED` so pre-existing
-    six-element specs keep working.  Returns the
+    cache_root, collect_metrics, verify[, seed[, compile]])`` — the
+    trailing seed defaults to :data:`~repro.workloads.DEFAULT_SEED` and
+    the trailing compile flag to ``True``, so pre-existing shorter specs
+    keep working.  Returns the
     :class:`~repro.cores.result.SimResult` plus the worker's
     self-profiler phases and (optionally) its metrics-registry snapshot,
     all picklable for the parent-side merge.
@@ -299,11 +312,19 @@ def simulate_cell(spec: tuple) -> Dict[str, object]:
     system, workload, params_override, cache_root, collect_metrics, \
         verify = spec[:6]
     seed = spec[6] if len(spec) > 6 else DEFAULT_SEED
+    compile_traces = spec[7] if len(spec) > 7 else True
     system = canonical_system(system)
     workload = canonical_workload(workload)
     profiler = SelfProfiler()
     cache = CellCache(cache_root) if cache_root else None
-    params_fp = params_fingerprint(workload, params_override, seed=seed)
+    from ..compiler import compiler_descriptor
+    # Instrumented cells always run the reference interpreter, so their
+    # cells carry no compiler descriptor either way.
+    use_compiler = compile_traces and not collect_metrics
+    trace_fp = params_fingerprint(workload, params_override, seed=seed)
+    params_fp = params_fingerprint(
+        workload, params_override, seed=seed,
+        compiler=compiler_descriptor(use_compiler))
     config_fp = sweep_config_fingerprint()
 
     # Cache telemetry for this cell: entry statuses plus the quarantined
@@ -332,7 +353,9 @@ def simulate_cell(spec: tuple) -> Dict[str, object]:
     trace = None
     trace_path = None
     if cache is not None:
-        trace_path = cache.trace_path(workload, vlmax, params_fp)
+        # Traces are compiler-independent, so the trace cache keys on the
+        # bare params fingerprint and stays shared across compile modes.
+        trace_path = cache.trace_path(workload, vlmax, trace_fp)
         trace, status = cache.load_entry(trace_path)
         cache_info["trace"] = status
         if status == "corrupt":
@@ -352,8 +375,14 @@ def simulate_cell(spec: tuple) -> Dict[str, object]:
                                   context=f"strict check, vlmax={vlmax}")
         if trace_path is not None:
             cache.store(trace_path, trace)
+    compiled = None
+    if use_compiler:
+        from ..compiler import CompilerConfig, compile_trace
+        with profiler.phase("compile"):
+            compiled = compile_trace(
+                trace, CompilerConfig(strict=strict_check_enabled()))
     with profiler.phase(f"sim:{system}"):
-        result = machine.run(trace)
+        result = machine.run(trace, compiled=compiled)
 
     payload: Dict[str, object] = {
         "result": result,
@@ -429,9 +458,11 @@ class ParallelRunner(ExperimentRunner):
                  cache_root: Optional[str] = DEFAULT_CACHE_ROOT,
                  collect_metrics: bool = False,
                  seed: int = DEFAULT_SEED,
-                 telemetry=NULL_TELEMETRY) -> None:
+                 telemetry=NULL_TELEMETRY,
+                 compile_traces: bool = True) -> None:
         super().__init__(params_override=params_override, verify=verify,
-                         profiler=profiler, seed=seed, telemetry=telemetry)
+                         profiler=profiler, seed=seed, telemetry=telemetry,
+                         compile_traces=compile_traces)
         self.jobs = max(1, jobs if jobs is not None
                         else (os.cpu_count() or 1))
         self.cache_root = cache_root
@@ -461,7 +492,8 @@ class ParallelRunner(ExperimentRunner):
                 ordered.append(key)
         todo = [key for key in ordered if key not in self._results]
         specs = [(system, workload, self.params_override, self.cache_root,
-                  self.collect_metrics, self.verify, self.seed)
+                  self.collect_metrics, self.verify, self.seed,
+                  self.compile_traces)
                  for system, workload in todo]
         start = time.perf_counter()
         if not specs:

@@ -46,7 +46,8 @@ class ExperimentRunner:
                  profiler: Optional[SelfProfiler] = None,
                  seed: int = DEFAULT_SEED,
                  strict_check: Optional[bool] = None,
-                 telemetry=NULL_TELEMETRY) -> None:
+                 telemetry=NULL_TELEMETRY,
+                 compile_traces: bool = True) -> None:
         #: workload name -> params override (benchmarks use smaller inputs).
         self.params_override = params_override or {}
         self.verify = verify
@@ -63,7 +64,12 @@ class ExperimentRunner:
         #: in sweeps, on in CI).
         self.strict_check = (strict_check_enabled() if strict_check is None
                              else strict_check)
+        #: Run uninstrumented simulations through the trace compiler
+        #: (``--no-compile`` turns this off; instrumented runs always take
+        #: the reference interpreter path regardless).
+        self.compile_traces = compile_traces
         self._traces: Dict[Tuple[str, int], Trace] = {}
+        self._compiled: Dict[Tuple[str, int], object] = {}
         self._results: Dict[Tuple[str, str], SimResult] = {}
 
     def _trace(self, workload_name: str, vlmax: int) -> Trace:
@@ -82,6 +88,18 @@ class ExperimentRunner:
                         require_clean(self._traces[key],
                                       context=f"strict check, vlmax={vlmax}")
         return self._traces[key]
+
+    def _compiled_for(self, workload_name: str, vlmax: int):
+        """The :class:`~repro.compiler.CompiledTrace` for one trace-cache
+        cell, built once and shared by every system at that vlmax."""
+        key = (workload_name, vlmax)
+        if key not in self._compiled:
+            from ..compiler import CompilerConfig, compile_trace
+            trace = self._trace(workload_name, vlmax)
+            config = CompilerConfig(strict=self.strict_check)
+            with self.profiler.phase("compile"):
+                self._compiled[key] = compile_trace(trace, config)
+        return self._compiled[key]
 
     def trace_for(self, system_name: str, workload_name: str) -> Trace:
         """The trace ``system_name`` would simulate for ``workload_name``
@@ -110,8 +128,13 @@ class ExperimentRunner:
                                 attribution=attribution)
         vlmax = trace_vlmax(machine.config)
         trace = self._trace(workload_name, vlmax)
+        # The compiled path is only valid (and only faster) uninstrumented;
+        # the machines also gate on this, but skipping the compile here
+        # avoids paying for a CompiledTrace an instrumented run ignores.
+        compiled = (self._compiled_for(workload_name, vlmax)
+                    if self.compile_traces and not instrumented else None)
         with self.profiler.phase(f"sim:{system_name}"):
-            result = machine.run(trace)
+            result = machine.run(trace, compiled=compiled)
         if not instrumented:
             self._results[key] = result
         return result

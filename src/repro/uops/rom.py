@@ -199,13 +199,23 @@ class MacroOpRom:
     surfacing as a wrong cycle count or a hang mid-simulation.
     """
 
+    #: Process-wide cycle table shared by every ROM of the same design.
+    #: Timing-only replay is deterministic and control flow is
+    #: data-independent, so ROMs for the same (factor, element_bits) —
+    #: e.g. every freshly built EVE-4 machine in a sweep — share one
+    #: cycle table instead of re-replaying per machine.  Programs stay
+    #: per-instance: building one is cheap, and the generator table can
+    #: legitimately differ between ROMs (tests patch it).
+    _shared_cycles: Dict[tuple, Dict[tuple, int]] = {}
+
     def __init__(self, factor: int, element_bits: int = 32,
                  strict: bool = False) -> None:
         self.factor = factor
         self.element_bits = element_bits
         self.strict = strict
         self._programs: Dict[tuple, MicroProgram] = {}
-        self._cycles: Dict[tuple, int] = {}
+        self._cycles = self._shared_cycles.setdefault(
+            (factor, element_bits), {})
         self._engine = MicroEngine()
 
     def program(self, macro: str, **params: object) -> MicroProgram:
