@@ -77,12 +77,28 @@ Commands
 ``events``
     Inspect a campaign event log (``--tail N``, ``--json``,
     ``--campaign ID``); ``--check`` exits non-zero when any unit
-    violates the exactly-one-terminal-event conservation invariant.
+    violates the exactly-one-terminal-event conservation invariant;
+    ``--follow`` streams events as campaigns append them (tail -f).
 ``report``
     Render the self-contained offline HTML dashboard (run history,
     scorecard grades, metric trend sparklines with regression badges,
     campaign telemetry, attribution excerpt) from the run store and an
     optional event log.
+``cache``
+    Inspect the on-disk cell cache (entry/byte census incl. quarantined
+    ``*.corrupt`` files) and prune it least-recently-used-first to a
+    byte budget (``--prune --max-bytes N``).
+``serve``
+    Run the multi-tenant simulation job service: an asyncio HTTP API
+    over the sweep engine with per-client fair scheduling, priority
+    lanes, in-flight cell dedup (overlapping jobs simulate each unique
+    cell exactly once), a crash-safe job journal, and graceful SIGTERM
+    drain.
+``submit KIND`` / ``jobs`` / ``cancel JOB``
+    Talk to a running service: submit a sweep/compare/fuzz/faults job
+    (``--wait --json`` prints a result byte-identical to the direct CLI
+    run minus its wall-clock cache block), list jobs and dedup/cache
+    counters, or cancel a queued/running job.
 
 System and workload names are matched case-insensitively (``o3+eve-4``
 works), and ``run`` / ``trace`` / ``stats`` accept ``--tiny`` to use the
@@ -115,17 +131,19 @@ from . import __version__
 from .compiler import compiler_descriptor
 from .config import all_system_names
 from .errors import MicroProgramError, ReproError, RunStoreError
-from .experiments import ExperimentRunner, ParallelRunner, format_table
+from .experiments import (ExperimentRunner, ParallelRunner, format_table,
+                          sweep_result_payload)
 from .experiments.figures import ALL_APPS, area_table, figure2, table3
-from .experiments.parallel import (DEFAULT_CACHE_ROOT,
-                                   sweep_config_fingerprint, sweep_pairs)
+from .experiments.parallel import (DEFAULT_CACHE_ROOT, cache_stats,
+                                   prune_cache, sweep_config_fingerprint,
+                                   sweep_pairs)
 from .experiments.systems import canonical_system as _canonical_system
 from .faults.inject import FAULT_MODELS
 from .obs import MetricsRegistry, SelfProfiler, SpanTracer
 from .obs.diff import DEFAULT_SPEEDUP_BUDGET, diff_records
 from .obs.events import (DEFAULT_EVENTS_PATH, CampaignTelemetry, EventLog,
                          NULL_TELEMETRY, Watchdog, campaign_summaries,
-                         check_conservation, read_events)
+                         check_conservation, follow_events, read_events)
 from .obs.htmlreport import write_report
 from .obs.progress import make_progress
 from .obs.render import emit_csv, emit_json, findings_json, write_json
@@ -133,7 +151,7 @@ from .obs.runstore import DEFAULT_ROOT, RunRecord, RunStore, make_record
 from .obs.scorecard import FIGURES, build_scorecard, scorecard_pairs
 from .obs.trend import filter_history, historical_cell_seconds
 from .uops import MacroOpRom, assemble, disassemble, lint_program, lint_rom
-from .workloads import DEFAULT_SEED, REGISTRY
+from .workloads import DEFAULT_SEED, REGISTRY, tiny_overrides
 from .workloads import canonical_workload as _canonical_workload
 
 EVE_FACTORS = (1, 2, 4, 8, 16, 32)
@@ -141,9 +159,7 @@ EVE_FACTORS = (1, 2, 4, 8, 16, 32)
 
 def _make_runner(args, collect_metrics: bool = False,
                  telemetry=None) -> ExperimentRunner:
-    override = None
-    if getattr(args, "tiny", False):
-        override = {name: dict(wl.tiny_params) for name, wl in REGISTRY.items()}
+    override = tiny_overrides() if getattr(args, "tiny", False) else None
     seed = getattr(args, "seed", None)
     if seed is None:
         seed = DEFAULT_SEED
@@ -440,35 +456,28 @@ def _cmd_sweep(args) -> int:
     print(f"sweep: {stats['cells']} cells ({stats['simulated']} simulated, "
           f"{stats['cached']} cached) with {stats['jobs']} worker(s) in "
           f"{stats['seconds']:.2f}s", file=sys.stderr)
-    cache_stats = _sweep_cache_stats(stats)
-    if cache_stats["corrupt"]:
-        print(f"sweep cache: {cache_stats['corrupt']} corrupt entr(y/ies) "
+    disk_cache = _sweep_cache_stats(stats)
+    if disk_cache["corrupt"]:
+        print(f"sweep cache: {disk_cache['corrupt']} corrupt entr(y/ies) "
               f"quarantined (*.corrupt) and re-simulated", file=sys.stderr)
-    base_results = ({workload: runner.run("IO", workload)
-                     for workload in workloads} if "IO" in systems else {})
-    cells: dict = {}
-    speedups: dict = {}
+    # The deterministic document core is shared with the job service
+    # (repro submit sweep --wait --json must be byte-identical to this
+    # payload minus the wall-clock "cache" block appended below).
+    payload = sweep_result_payload(runner, systems, workloads)
+    cells = payload["cells"]
+    speedups = payload["speedups"]
     rows = []
     for system, workload in pairs:
-        result = runner.run(system, workload)
-        cell = {"cycles": result.cycles, "time_ns": result.time_ns,
-                "instructions": result.instructions}
-        cells.setdefault(workload, {})[system] = cell
-        row = [workload, system, result.cycles, result.time_ns / 1e3]
-        if base_results:
-            speedup = base_results[workload].time_ns / result.time_ns
-            speedups.setdefault(workload, {})[system] = speedup
-            row.append(speedup)
+        cell = cells[workload][system]
+        row = [workload, system, cell["cycles"], cell["time_ns"] / 1e3]
+        if payload["baseline"]:
+            row.append(speedups[workload][system])
         rows.append(row)
     if args.json:
-        payload = {"systems": list(systems), "workloads": list(workloads),
-                   "baseline": "IO" if base_results else None,
-                   "cells": cells, "speedups": speedups,
-                   "cache": cache_stats}
-        emit_json(payload)
+        emit_json(dict(payload, cache=disk_cache))
     else:
         headers = ["workload", "system", "cycles", "time_us"]
-        if base_results:
+        if payload["baseline"]:
             headers.append("speedup_vs_IO")
         print(format_table(headers, rows))
     record = None
@@ -482,7 +491,7 @@ def _cmd_sweep(args) -> int:
                 record.add_result(system, workload, cycles=cell["cycles"],
                                   time_ns=cell["time_ns"],
                                   instructions=cell["instructions"])
-        if base_results:
+        if payload["baseline"]:
             record.speedup_baseline = "IO"
             record.speedups = {workload: dict(per_system)
                                for workload, per_system in speedups.items()}
@@ -1089,6 +1098,17 @@ def _cmd_faults(args) -> int:
 
 
 def _cmd_events(args) -> int:
+    if args.follow:
+        # Tail-mode: stream events as campaigns append them (the service
+        # writes each job's events at finalize; a long-running sweep with
+        # --events shows up the same way).  Ctrl-C exits via main's
+        # KeyboardInterrupt handler (130).
+        print(f"following {args.log} (Ctrl-C to stop)...", file=sys.stderr)
+        for event in follow_events(args.log, campaign=args.campaign):
+            detail = f"  {event.detail}" if event.detail else ""
+            print(f"{event.t:9.3f}  {event.event:<17} {event.unit:<28} "
+                  f"[{event.worker}]{detail}", flush=True)
+        return 0
     events = read_events(args.log, campaign=args.campaign)
     violations = check_conservation(events)
     summaries = campaign_summaries(events)
@@ -1131,6 +1151,123 @@ def _cmd_report(args) -> int:
     records = len(list(store.records()))
     print(f"report: {args.output} ({size} bytes; {records} record(s), "
           f"{len(events)} event(s)) — self-contained, open in any browser")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    stats = cache_stats(args.cache_dir)
+    pruned = None
+    if args.prune:
+        pruned = prune_cache(args.cache_dir,
+                             max_bytes=args.max_bytes or 0)
+        stats = cache_stats(args.cache_dir)  # post-prune census
+    if args.json:
+        payload = dict(stats)
+        if pruned is not None:
+            payload["pruned"] = pruned
+        emit_json(payload)
+        return 0
+    print(f"cache     : {stats['root']}"
+          + ("" if stats["exists"] else "  (missing)"))
+    for kind in ("trace", "result", "corrupt"):
+        entry = stats[kind]
+        print(f"{kind:<10}: {entry['count']} entr(y/ies), "
+              f"{entry['bytes']} bytes")
+    print(f"total     : {stats['total_bytes']} bytes")
+    if pruned is not None:
+        print(f"pruned    : {pruned['removed']} entr(y/ies), "
+              f"{pruned['freed_bytes']} bytes freed "
+              f"(budget {pruned['max_bytes']} bytes, "
+              f"{pruned['remaining_bytes']} remaining)")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    from .service.server import serve
+    cache_root = None if args.no_cache else args.cache_dir
+    asyncio.run(serve(
+        args.host, args.port, jobs=args.jobs or None,
+        max_clients=args.max_clients, store_root=args.store,
+        cache_root=cache_root, max_active_jobs=args.max_active_jobs,
+        rate=args.rate, burst=args.burst))
+    return 0
+
+
+def _submit_spec(args) -> dict:
+    """The JobSpec document a ``repro submit`` invocation describes."""
+    spec: dict = {"kind": args.kind, "priority": args.priority,
+                  "tiny": args.tiny, "seed": args.seed,
+                  "compile": args.compile}
+    if args.systems:
+        spec["systems"] = list(args.systems)
+    if args.workloads:
+        spec["workloads"] = list(args.workloads)
+    if args.count is not None:
+        spec["count"] = args.count
+    return spec
+
+
+def _cmd_submit(args) -> int:
+    from .service.client import ServiceClient
+    client = ServiceClient(args.host, args.port, client=args.client)
+    record = client.submit(_submit_spec(args))
+    if not args.wait:
+        if args.json:
+            emit_json(record)
+        else:
+            print(f"submitted {record['job_id']} "
+                  f"({record['spec']['kind']}, {record['state']}, "
+                  f"fingerprint {record['fingerprint']})")
+        return 0
+    final = client.wait(record["job_id"], timeout=args.timeout)
+    if final["state"] != "done":
+        error = final.get("error") or "(no error detail)"
+        print(f"repro submit: job {final['job_id']} {final['state']}: "
+              f"{error}", file=sys.stderr)
+        return 1
+    payload = client.result(final["job_id"])
+    if args.json:
+        # Byte-identical to the direct CLI run's --json document minus
+        # its wall-clock "cache" block (the CI smoke diffs the two).
+        emit_json(payload)
+    else:
+        print(f"job {final['job_id']} done "
+              f"(attempts {final['attempts']}, "
+              f"record {final.get('result_record_id') or '-'})")
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    from .service.client import ServiceClient
+    client = ServiceClient(args.host, args.port, client=args.client)
+    records = client.jobs()
+    if args.json:
+        emit_json({"jobs": records})
+        return 0
+    rows = [[r["job_id"], r["spec"]["kind"], r["spec"]["client"],
+             r["spec"]["priority"], r["state"], r["attempts"],
+             r.get("error") or ""]
+            for r in records]
+    print(format_table(["job", "kind", "client", "priority", "state",
+                        "attempts", "error"], rows))
+    status = client.status()
+    counters = status.get("counters", {})
+    print(f"\nservice: {status.get('active', 0)} active, queue "
+          f"{status.get('queue')}, "
+          f"{counters.get('cells_simulated', 0)} cell(s) simulated, "
+          f"{counters.get('cells_deduped', 0)} deduped, "
+          f"{counters.get('cache_hits', 0)} cache hit(s)"
+          + (", DRAINING" if status.get("draining") else ""))
+    return 0
+
+
+def _cmd_cancel(args) -> int:
+    from .service.client import ServiceClient
+    client = ServiceClient(args.host, args.port, client=args.client)
+    record = client.cancel(args.job_id)
+    print(f"cancel requested for {record['job_id']} "
+          f"(state {record['state']})")
     return 0
 
 
@@ -1184,6 +1321,16 @@ def _add_seed_argument(sub) -> None:
                      help="workload input-generation seed, folded into "
                           "cache keys and record fingerprints "
                           f"(default: {DEFAULT_SEED})")
+
+
+def _add_service_arguments(sub) -> None:
+    sub.add_argument("--host", default="127.0.0.1",
+                     help="service address (default: 127.0.0.1)")
+    sub.add_argument("--port", type=int, default=8321,
+                     help="service port (default: 8321)")
+    sub.add_argument("--client", default=None, metavar="NAME",
+                     help="client identity for fair scheduling and rate "
+                          "limiting (default: your username)")
 
 
 def _add_pair_arguments(sub, tiny_help: bool = True) -> None:
@@ -1500,6 +1647,9 @@ def build_parser() -> argparse.ArgumentParser:
     events.add_argument("--check", action="store_true",
                         help="exit non-zero when any unit violates the "
                              "exactly-one-terminal-event invariant")
+    events.add_argument("--follow", action="store_true",
+                        help="stream events as they are appended "
+                             "(tail -f mode; Ctrl-C to stop)")
 
     report = sub.add_parser(
         "report", help="render the self-contained offline HTML dashboard "
@@ -1514,6 +1664,103 @@ def build_parser() -> argparse.ArgumentParser:
                         help="records per trend line (default: 20)")
     report.add_argument("--store", default=DEFAULT_ROOT, metavar="DIR",
                         help=f"run-store directory (default: {DEFAULT_ROOT})")
+
+    cache = sub.add_parser(
+        "cache", help="inspect or prune the on-disk cell cache")
+    cache.add_argument("--cache-dir", default=DEFAULT_CACHE_ROOT,
+                       metavar="DIR",
+                       help=f"cell-cache directory "
+                            f"(default: {DEFAULT_CACHE_ROOT})")
+    cache.add_argument("--stats", action="store_true",
+                       help="print the cache census (the default action)")
+    cache.add_argument("--prune", action="store_true",
+                       help="evict least-recently-used entries until the "
+                            "cache fits --max-bytes (default budget: 0, "
+                            "i.e. remove everything; quarantined *.corrupt "
+                            "files are never pruned)")
+    cache.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                       help="byte budget for --prune (default: 0)")
+    cache.add_argument("--json", action="store_true",
+                       help="machine-readable census (+ prune summary)")
+
+    serve = sub.add_parser(
+        "serve", help="run the multi-tenant simulation job service "
+                      "(submit jobs with 'repro submit'; SIGTERM drains "
+                      "gracefully)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="TCP port, 0 picks a free one (default: 8321)")
+    serve.add_argument("--jobs", type=int, default=0, metavar="N",
+                       help="simulation worker processes "
+                            "(0 = all CPUs; default: 0)")
+    serve.add_argument("--max-clients", type=int, default=64, metavar="N",
+                       help="concurrent connection cap (default: 64)")
+    serve.add_argument("--max-active-jobs", type=int, default=4,
+                       metavar="N",
+                       help="jobs running concurrently; the rest queue "
+                            "(default: 4)")
+    serve.add_argument("--rate", type=float, default=20.0, metavar="R",
+                       help="per-client sustained requests/second "
+                            "(default: 20)")
+    serve.add_argument("--burst", type=int, default=40, metavar="N",
+                       help="per-client token-bucket burst (default: 40)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the on-disk cell cache")
+    serve.add_argument("--cache-dir", default=DEFAULT_CACHE_ROOT,
+                       metavar="DIR",
+                       help=f"cell-cache directory "
+                            f"(default: {DEFAULT_CACHE_ROOT})")
+    serve.add_argument("--store", default=DEFAULT_ROOT, metavar="DIR",
+                       help="run-store directory holding the job journal "
+                            f"and event log (default: {DEFAULT_ROOT})")
+
+    submit = sub.add_parser(
+        "submit", help="submit a job to a running 'repro serve' instance")
+    submit.add_argument("kind", choices=["sweep", "compare", "fuzz",
+                                         "faults"],
+                        help="experiment kind to run remotely")
+    submit.add_argument("--systems", nargs="+", type=_canonical_system,
+                        choices=all_system_names(), default=None,
+                        metavar="SYSTEM",
+                        help="restrict a sweep to these systems "
+                             "(default: all)")
+    submit.add_argument("--workloads", nargs="+", type=_canonical_workload,
+                        choices=sorted(REGISTRY), default=None,
+                        metavar="WORKLOAD",
+                        help="sweep workloads / the compare workload "
+                             "(default: all; compare requires exactly one)")
+    submit.add_argument("--tiny", action="store_true",
+                        help="use the test-sized problem inputs")
+    submit.add_argument("--count", type=int, default=None, metavar="N",
+                        help="seeds (fuzz) or injections (faults)")
+    submit.add_argument("--priority", default="normal",
+                        choices=["high", "normal", "low"],
+                        help="queue lane (default: normal)")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job finishes and print its "
+                             "result")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        metavar="S",
+                        help="--wait deadline in seconds (default: 600)")
+    submit.add_argument("--json", action="store_true",
+                        help="machine-readable job record (or, with "
+                             "--wait, the result payload)")
+    _add_compile_argument(submit)
+    _add_seed_argument(submit)
+    _add_service_arguments(submit)
+
+    jobs = sub.add_parser(
+        "jobs", help="list the service's jobs and queue counters")
+    jobs.add_argument("--json", action="store_true",
+                      help="machine-readable job records")
+    _add_service_arguments(jobs)
+
+    cancel = sub.add_parser(
+        "cancel", help="cancel a queued or running service job")
+    cancel.add_argument("job_id", metavar="JOB",
+                        help="job id from 'repro submit' / 'repro jobs'")
+    _add_service_arguments(cancel)
     return parser
 
 
@@ -1538,6 +1785,11 @@ _COMMANDS = {
     "faults": _cmd_faults,
     "events": _cmd_events,
     "report": _cmd_report,
+    "cache": _cmd_cache,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
+    "cancel": _cmd_cancel,
 }
 
 

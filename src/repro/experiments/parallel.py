@@ -38,15 +38,17 @@ import json
 import multiprocessing
 import os
 import pickle
+import threading
 import time
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..config import all_system_names
+from ..errors import ExperimentError
 from ..obs.events import NULL_TELEMETRY, TelemetryMonitor
 from ..obs.metrics import MetricsRegistry
 from ..obs.selfprof import SelfProfiler
 from ..workloads import DEFAULT_SEED, REGISTRY, canonical_workload, get_workload
-from .runner import ExperimentRunner, strict_check_enabled
+from .runner import ExperimentRunner, canonical_pairs, strict_check_enabled
 from .systems import build_machine, canonical_system, trace_vlmax
 
 #: Default on-disk cache directory (sibling of ``.eve-runs/``).
@@ -151,10 +153,17 @@ class CellCache:
     def load_entry(self, path: str) -> Tuple[object, str]:
         """Load one entry: ``(obj, status)`` with status ``hit`` /
         ``miss`` / ``corrupt``.  Corrupt entries come back as a miss
-        (``obj is None``) after being quarantined."""
+        (``obj is None``) after being quarantined.  A hit refreshes the
+        entry's mtime, so mtime order is last-use order and
+        :func:`prune_cache` evicts least-recently-used entries first."""
         try:
             with open(path, "rb") as handle:
-                return pickle.load(handle), "hit"
+                obj = pickle.load(handle)
+            try:
+                os.utime(path)
+            except OSError:  # pragma: no cover - read-only cache mounts
+                pass
+            return obj, "hit"
         except FileNotFoundError:
             return None, "miss"
         except OSError:
@@ -189,6 +198,211 @@ class CellCache:
         finally:
             if os.path.exists(tmp):  # pragma: no cover - error path
                 os.unlink(tmp)
+
+
+# -- cache accounting ----------------------------------------------------------
+
+def _cache_entries(root: str) -> List[Tuple[float, int, str, str]]:
+    """Every live cache entry under ``root`` as ``(mtime, bytes, kind,
+    path)`` — kind is ``trace`` / ``result`` by subdirectory.  Quarantined
+    ``*.corrupt`` files and stray temp files are not live entries."""
+    entries: List[Tuple[float, int, str, str]] = []
+    for kind, subdir in (("trace", "traces"), ("result", "results")):
+        top = os.path.join(root, subdir)
+        for dirpath, _dirnames, filenames in os.walk(top):
+            for name in filenames:
+                if not name.endswith(".pkl"):
+                    continue
+                path = os.path.join(dirpath, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:  # pragma: no cover - raced with a pruner
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, kind, path))
+    return entries
+
+
+def cache_stats(root: str = DEFAULT_CACHE_ROOT) -> Dict[str, object]:
+    """Entry counts and byte totals of the cell cache, by kind, plus the
+    quarantined ``*.corrupt`` census the service status endpoint reports."""
+    stats: Dict[str, object] = {
+        "root": root,
+        "exists": os.path.isdir(root),
+        "trace": {"count": 0, "bytes": 0},
+        "result": {"count": 0, "bytes": 0},
+        "corrupt": {"count": 0, "bytes": 0},
+        "total_bytes": 0,
+    }
+    for _mtime, size, kind, _path in _cache_entries(root):
+        stats[kind]["count"] += 1
+        stats[kind]["bytes"] += size
+        stats["total_bytes"] += size
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for name in filenames:
+            if name.endswith(".corrupt"):
+                try:
+                    size = os.stat(os.path.join(dirpath, name)).st_size
+                except OSError:  # pragma: no cover - raced with cleanup
+                    continue
+                stats["corrupt"]["count"] += 1
+                stats["corrupt"]["bytes"] += size
+    return stats
+
+
+def prune_cache(root: str = DEFAULT_CACHE_ROOT,
+                max_bytes: int = 0) -> Dict[str, object]:
+    """Evict least-recently-used cache entries until the live entries fit
+    ``max_bytes`` (0 empties the cache).
+
+    mtime is last-use time — :meth:`CellCache.load_entry` touches every
+    hit — so eviction order is true LRU.  Quarantined ``*.corrupt`` files
+    are evidence, not cache: they are never pruned and do not count
+    against the budget.
+    """
+    entries = sorted(_cache_entries(root))  # oldest (least recent) first
+    total = sum(size for _mtime, size, _kind, _path in entries)
+    removed = freed = 0
+    for _mtime, size, _kind, path in entries:
+        if total - freed <= max_bytes:
+            break
+        try:
+            os.unlink(path)
+        except OSError:  # pragma: no cover - raced with another pruner
+            continue
+        removed += 1
+        freed += size
+    return {"root": root, "max_bytes": max_bytes, "removed": removed,
+            "freed_bytes": freed, "remaining_bytes": total - freed}
+
+
+# -- pool lifecycle ------------------------------------------------------------
+
+class WorkerPool:
+    """An explicitly managed, reusable process pool for cell fan-outs.
+
+    A plain :func:`fan_out` spins a pool up and tears it down per call;
+    a long-lived caller (the job service, a REPL session running many
+    sweeps) constructs one ``WorkerPool`` and passes it to every
+    ``fan_out`` / :class:`ParallelRunner` instead, so consecutive jobs
+    reuse warm workers rather than paying fork start-up each time.
+
+    Lifecycle is explicit and leak-proof: context-manager exit closes
+    the pool (terminates it when exiting on an exception), and both
+    :meth:`close` and :meth:`terminate` ``join()`` the workers, so no
+    exit path — including KeyboardInterrupt/SIGTERM mid-sweep — leaves
+    zombie worker processes behind.  ``jobs <= 1`` is a valid degenerate
+    pool: no process is ever forked and work runs in the caller.
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = max(1, jobs if jobs is not None
+                        else (os.cpu_count() or 1))
+        self._pool = None
+        self._closed = False
+        self._fork_lock = threading.Lock()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def started(self) -> bool:
+        """Whether worker processes currently exist."""
+        return self._pool is not None
+
+    def start(self) -> "WorkerPool":
+        """Fork the workers now (idempotent, no-op when serial).
+
+        Long-lived multithreaded callers — the job service, anything
+        pushing :meth:`apply` through executor threads — must call this
+        while the process is still quiet: forking lazily from a worker
+        thread while other threads run can clone held locks into the
+        children and deadlock them.
+        """
+        self.handle()
+        return self
+
+    def handle(self):
+        """The underlying multiprocessing pool, created lazily on first
+        use (``None`` when ``jobs <= 1`` — callers run in-process)."""
+        if self._closed:
+            raise ExperimentError("worker pool is closed")
+        if self.jobs <= 1:
+            return None
+        if self._pool is None:
+            with self._fork_lock:
+                if self._pool is None:
+                    ctx = multiprocessing.get_context(START_METHOD)
+                    self._pool = ctx.Pool(processes=self.jobs)
+        return self._pool
+
+    def apply(self, func: Callable, spec):
+        """Run one unit on the pool, blocking (in-process when serial).
+
+        The job service calls this from executor threads — one blocked
+        thread per in-flight cell — so the asyncio loop never blocks on
+        a simulation.
+        """
+        handle = self.handle()
+        if handle is None:
+            return func(spec)
+        return handle.apply(func, (spec,))
+
+    def close(self) -> None:
+        """Finish outstanding work, then reap the workers."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def terminate(self) -> None:
+        """Stop immediately and reap the workers (no zombies)."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> bool:
+        if exc_type is None:
+            self.close()
+        else:
+            self.terminate()
+        return False
+
+
+@contextlib.contextmanager
+def _leased_pool(jobs: int, count: int, pool: Optional[WorkerPool]):
+    """The multiprocessing pool one fan-out should run on.
+
+    With a persistent ``pool`` the lease leaves it open for the next
+    caller, but an interrupt (KeyboardInterrupt / SystemExit — what the
+    service's SIGTERM handler raises in the main thread) tears it down
+    so no workers outlive the sweep.  Without one, a fresh pool is
+    created and always reaped on exit: closed and joined on success,
+    terminated and joined on any error.
+    """
+    if pool is not None:
+        try:
+            yield pool.handle()
+        except (KeyboardInterrupt, SystemExit):
+            pool.terminate()
+            raise
+        return
+    ctx = multiprocessing.get_context(START_METHOD)
+    fresh = ctx.Pool(processes=min(jobs, count))
+    try:
+        yield fresh
+        fresh.close()
+    except BaseException:
+        fresh.terminate()
+        raise
+    finally:
+        fresh.join()
 
 
 # -- the generic fan-out -------------------------------------------------------
@@ -240,7 +454,8 @@ def _drain_observed(results: List, monitor,
 
 def fan_out(func: Callable, specs: Sequence, jobs: int,
             profiler: Optional[SelfProfiler] = None,
-            phase: str = "fan_out", monitor=None) -> List:
+            phase: str = "fan_out", monitor=None,
+            pool: Optional[WorkerPool] = None) -> List:
     """Map a picklable ``func`` over ``specs`` with a process pool.
 
     The shared executor behind :meth:`ParallelRunner.prefetch` and the
@@ -258,19 +473,27 @@ def fan_out(func: Callable, specs: Sequence, jobs: int,
     the monitor has seen every unit's fate, preserving the unmonitored
     path's error semantics.  With ``monitor=None`` the pre-telemetry
     code path runs unchanged (``pool.map``) — the zero-cost guarantee.
+
+    ``pool`` (a :class:`WorkerPool`) makes the pool lifecycle explicit:
+    the fan-out runs on the caller's persistent workers (``jobs`` is
+    taken from the pool) and leaves them warm for the next call, while
+    an interrupt mid-sweep still tears them down via
+    :func:`_leased_pool`.  Without one, a fresh pool is created per call
+    and always joined on exit.
     """
     if not specs:
         return []
+    if pool is not None:
+        jobs = pool.jobs
     span = (profiler.phase(phase) if profiler is not None
             else contextlib.nullcontext())
     if monitor is None:
         if jobs <= 1 or len(specs) == 1:
             with span:
                 return [func(spec) for spec in specs]
-        ctx = multiprocessing.get_context(START_METHOD)
         with span:
-            with ctx.Pool(processes=min(jobs, len(specs))) as pool:
-                return pool.map(func, specs, chunksize=1)
+            with _leased_pool(jobs, len(specs), pool) as mp_pool:
+                return mp_pool.map(func, specs, chunksize=1)
     wrapped = functools.partial(_observed_call, func)
     with span:
         if jobs <= 1 or len(specs) == 1:
@@ -282,11 +505,10 @@ def fan_out(func: Callable, specs: Sequence, jobs: int,
                 monitor.on_complete(i, obs)
                 monitor.poll()
         else:
-            ctx = multiprocessing.get_context(START_METHOD)
-            with ctx.Pool(processes=min(jobs, len(specs))) as pool:
+            with _leased_pool(jobs, len(specs), pool) as mp_pool:
                 handles = []
                 for i, spec in enumerate(specs):
-                    handles.append(pool.apply_async(wrapped, (spec,)))
+                    handles.append(mp_pool.apply_async(wrapped, (spec,)))
                     monitor.on_dispatch(i)
                 observed = _drain_observed(handles, monitor)
     for obs in observed:  # first failure wins, in input order
@@ -459,12 +681,18 @@ class ParallelRunner(ExperimentRunner):
                  collect_metrics: bool = False,
                  seed: int = DEFAULT_SEED,
                  telemetry=NULL_TELEMETRY,
-                 compile_traces: bool = True) -> None:
+                 compile_traces: bool = True,
+                 pool: Optional[WorkerPool] = None) -> None:
         super().__init__(params_override=params_override, verify=verify,
                          profiler=profiler, seed=seed, telemetry=telemetry,
                          compile_traces=compile_traces)
-        self.jobs = max(1, jobs if jobs is not None
-                        else (os.cpu_count() or 1))
+        #: Optional persistent :class:`WorkerPool`; when set it owns the
+        #: worker processes (and the job count) across prefetches and the
+        #: runner never spins up a one-shot pool of its own.
+        self.pool = pool
+        self.jobs = (pool.jobs if pool is not None
+                     else max(1, jobs if jobs is not None
+                              else (os.cpu_count() or 1)))
         self.cache_root = cache_root
         self.collect_metrics = collect_metrics
         self._prefetched_metrics: Dict[Tuple[str, str], tuple] = {}
@@ -483,13 +711,7 @@ class ParallelRunner(ExperimentRunner):
         order) and worker self-profiler phases are absorbed under a
         ``worker:`` namespace, so repeated prefetches are deterministic.
         """
-        ordered: List[Tuple[str, str]] = []
-        seen = set()
-        for system, workload in pairs:
-            key = (canonical_system(system), canonical_workload(workload))
-            if key not in seen:
-                seen.add(key)
-                ordered.append(key)
+        ordered: List[Tuple[str, str]] = canonical_pairs(pairs)
         todo = [key for key in ordered if key not in self._results]
         specs = [(system, workload, self.params_override, self.cache_root,
                   self.collect_metrics, self.verify, self.seed,
@@ -509,7 +731,7 @@ class ParallelRunner(ExperimentRunner):
                                        jobs=self.jobs)
         outs = fan_out(simulate_cell, specs, self.jobs,
                        profiler=self.profiler, phase="sweep",
-                       monitor=monitor)
+                       monitor=monitor, pool=self.pool)
         cached = corrupt = 0
         for out in outs:  # input order: the merge is deterministic
             key = (out["system"], out["workload"])

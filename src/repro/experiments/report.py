@@ -1,8 +1,15 @@
-"""Plain-text table rendering for benchmark output."""
+"""Plain-text table rendering and shared JSON payload builders.
+
+The payload builders exist so every producer of a sweep/compare document
+— ``repro sweep --json``, ``repro compare --json``, and the job service's
+result endpoint — assembles it through one code path.  That is what makes
+the service's byte-identity guarantee (a job result equals the direct CLI
+run) a structural property instead of a test-enforced coincidence.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 
 def _fmt(value) -> str:
@@ -33,3 +40,41 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
     out = [line(list(headers)), line(["-" * w for w in widths])]
     out += [line(row) for row in str_rows]
     return "\n".join(out)
+
+
+def sweep_result_payload(runner, systems: Sequence[str],
+                         workloads: Sequence[str]) -> Dict[str, object]:
+    """The deterministic core of a sweep document.
+
+    ``{"systems", "workloads", "baseline", "cells", "speedups"}`` —
+    exactly the ``repro sweep --json`` payload minus its wall-clock
+    ``cache`` block, built by running every (system, workload) cell
+    through ``runner`` (warm after a prefetch) in grid order.
+    """
+    from .parallel import sweep_pairs
+    pairs = sweep_pairs(systems, workloads)
+    base_results = ({workload: runner.run("IO", workload)
+                     for workload in workloads} if "IO" in systems else {})
+    cells: Dict[str, Dict[str, dict]] = {}
+    speedups: Dict[str, Dict[str, float]] = {}
+    for system, workload in pairs:
+        result = runner.run(system, workload)
+        cells.setdefault(workload, {})[system] = {
+            "cycles": result.cycles, "time_ns": result.time_ns,
+            "instructions": result.instructions}
+        if base_results:
+            speedups.setdefault(workload, {})[system] = (
+                base_results[workload].time_ns / result.time_ns)
+    return {"systems": list(systems), "workloads": list(workloads),
+            "baseline": "IO" if base_results else None,
+            "cells": cells, "speedups": speedups}
+
+
+def compare_entry(result, base) -> Tuple[Dict[str, object], float]:
+    """One system's row of a compare document: the SimResult JSON view
+    (metrics stripped) plus its speedup over the baseline result."""
+    speedup = base.time_ns / result.time_ns
+    entry = result.to_json_dict()
+    entry.pop("metrics", None)
+    entry["speedup_vs_IO"] = speedup
+    return entry, speedup

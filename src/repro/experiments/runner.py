@@ -38,6 +38,21 @@ def strict_check_enabled() -> bool:
         "1", "true", "yes", "on")
 
 
+def canonical_pairs(pairs) -> list:
+    """Canonicalize (system, workload) pairs and drop duplicates,
+    preserving first-seen order — the shared front half of every
+    prefetch implementation and of the job scheduler's cell expansion,
+    so all of them agree on what "the same cell" means."""
+    ordered = []
+    seen = set()
+    for system, workload in pairs:
+        key = (canonical_system(system), canonical_workload(workload))
+        if key not in seen:
+            seen.add(key)
+            ordered.append(key)
+    return ordered
+
+
 class ExperimentRunner:
     """Runs (system, workload) pairs, caching traces and results."""
 
@@ -154,13 +169,7 @@ class ExperimentRunner:
         this with a worker fan-out.  Returns summary stats either way.
         """
         start = time.perf_counter()
-        ordered = []
-        seen = set()
-        for system, workload in pairs:
-            key = (canonical_system(system), canonical_workload(workload))
-            if key not in seen:
-                seen.add(key)
-                ordered.append(key)
+        ordered = canonical_pairs(pairs)
         if self.telemetry.enabled:
             self.telemetry.begin([f"{s}/{w}" for s, w in ordered])
         simulated = cached = 0

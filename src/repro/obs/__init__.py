@@ -53,7 +53,8 @@ from .diff import (DiffEntry, RecordDiff, TolerancePolicy, default_policies,
 from .events import (CampaignTelemetry, EVENT_SCHEMA_VERSION, Event,
                      EventLog, NULL_TELEMETRY, NullTelemetry,
                      TERMINAL_EVENTS, TelemetryMonitor, Watchdog,
-                     campaign_summaries, check_conservation, read_events)
+                     campaign_summaries, check_conservation, follow_events,
+                     read_events)
 from .flame import (attribution_record_payload, counter_trace_dict,
                     folded_stacks, write_folded)
 from .htmlreport import build_report, write_report
@@ -120,6 +121,7 @@ __all__ = [
     "Watchdog",
     "campaign_summaries",
     "check_conservation",
+    "follow_events",
     "read_events",
     "ProgressRenderer",
     "make_progress",

@@ -18,6 +18,10 @@ of *units of work* whose lifecycle this module records as events:
 ``finished`` / ``failed``
     The unit completed / raised (terminal; ``failed`` carries the
     error).
+``cancelled``
+    The unit was abandoned before executing (terminal): its job was
+    cancelled, or the service drained on SIGTERM and checkpointed the
+    remaining cells instead of running them.
 ``stalled``
     The watchdog flagged the unit as exceeding ``k x`` the historical
     p95 per-unit wall-clock (the unit may still finish later).
@@ -69,11 +73,12 @@ DEFAULT_EVENTS_PATH = os.path.join(".eve-runs", "events.jsonl")
 #: Every event kind the schema admits.
 EVENT_KINDS = (
     "campaign_started", "queued", "started", "heartbeat", "cache_hit",
-    "cache_corrupt", "finished", "failed", "stalled", "campaign_finished",
+    "cache_corrupt", "finished", "failed", "cancelled", "stalled",
+    "campaign_finished",
 )
 
 #: Exactly one of these per unit (the conservation invariant).
-TERMINAL_EVENTS = ("cache_hit", "finished", "failed")
+TERMINAL_EVENTS = ("cache_hit", "finished", "failed", "cancelled")
 
 #: Wall-clock-driven kinds, excluded from determinism comparisons.
 LIVE_EVENTS = ("heartbeat", "stalled")
@@ -84,7 +89,8 @@ CAMPAIGN_UNIT = "*"
 #: Within one unit the log orders events by lifecycle rank (stable, so
 #: emission order breaks ties); terminal kinds share the final rank.
 _RANK = {"queued": 0, "started": 1, "heartbeat": 2, "stalled": 3,
-         "cache_corrupt": 4, "cache_hit": 5, "finished": 5, "failed": 5}
+         "cache_corrupt": 4, "cache_hit": 5, "finished": 5, "failed": 5,
+         "cancelled": 5}
 
 
 # -- the event -----------------------------------------------------------------
@@ -196,6 +202,51 @@ def read_events(path: str, campaign: Optional[str] = None,
     if tail is not None and tail >= 0:
         events = events[-tail:] if tail else []
     return events
+
+
+def follow_events(path: str, poll_seconds: float = 0.5,
+                  stop: Optional[Callable[[], bool]] = None,
+                  campaign: Optional[str] = None) -> Iterable[Event]:
+    """Yield events appended to ``path`` as they land (``tail -f``).
+
+    Polls the flock'd JSONL for growth; a missing file simply means "no
+    events yet" (the service may not have started its first campaign),
+    and a shrinking file (rotated/truncated log) restarts from the top.
+    A partial final line — an appender mid-write on a non-flock host —
+    is buffered until its newline arrives, never parsed early.  ``stop``
+    is checked once per poll; without one, iterate until interrupted.
+    """
+    offset = 0
+    buffer = ""
+    while True:
+        size = os.path.getsize(path) if os.path.exists(path) else 0
+        if size < offset:  # truncated or rotated: start over
+            offset = 0
+            buffer = ""
+        if size > offset:
+            with open(path) as handle:
+                handle.seek(offset)
+                chunk = handle.read()
+                offset = handle.tell()
+            buffer += chunk
+            while "\n" in buffer:
+                line, buffer = buffer.split("\n", 1)
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise EventLogError(
+                        f"{path}: corrupt event while following: "
+                        f"{exc}") from exc
+                event = Event.from_json_dict(doc)
+                if campaign is None or event.campaign == campaign:
+                    yield event
+            continue  # re-check immediately after a batch
+        if stop is not None and stop():
+            return
+        time.sleep(poll_seconds)
 
 
 # -- log analysis --------------------------------------------------------------
@@ -373,10 +424,17 @@ class CampaignTelemetry:
                  progress=None, watchdog: Optional[Watchdog] = None,
                  fingerprint: str = "", campaign_id: Optional[str] = None,
                  clock: Callable[[], float] = time.monotonic,
-                 heartbeat_every: float = 5.0) -> None:
+                 heartbeat_every: float = 5.0,
+                 tap: Optional[Callable[[Event], None]] = None) -> None:
         self.kind = kind
         self.log = log
         self.progress = progress
+        #: Live per-event callback, invoked at emission time (before the
+        #: deterministic merge, so in *completion* order).  The job
+        #: service uses it to stream NDJSON progress to HTTP subscribers
+        #: while the campaign runs; a raising tap is dropped rather than
+        #: allowed to fail the campaign.
+        self.tap = tap
         self.watchdog = watchdog or Watchdog()
         self.fingerprint = fingerprint
         self.clock = clock
@@ -417,6 +475,11 @@ class CampaignTelemetry:
         if event not in EVENT_KINDS:
             raise EventLogError(f"unknown event kind {event!r}")
         record = self._event(event, unit, t, worker, detail)
+        if self.tap is not None:
+            try:
+                self.tap(record)
+            except Exception:
+                self.tap = None  # a broken subscriber must not kill the run
         if unit == CAMPAIGN_UNIT:
             (self._head if not self._unit_order or event == "campaign_started"
              else self._tail).append(record)
@@ -464,6 +527,18 @@ class CampaignTelemetry:
         self._failed += not ok
         if ok and not cached:
             self.watchdog.observe(end - start)
+        if self.progress is not None:
+            self.progress.update(self._done, cached=self._cached,
+                                 failed=self._failed,
+                                 stalled=len(self._stalled))
+
+    def unit_cancelled(self, unit: str,
+                       detail: Optional[dict] = None) -> None:
+        """Record one unit's abandonment (terminal, conservation-safe):
+        the queued cell will never execute because its job was cancelled
+        or the service is draining."""
+        self.emit("cancelled", unit, detail=detail)
+        self._done += 1
         if self.progress is not None:
             self.progress.update(self._done, cached=self._cached,
                                  failed=self._failed,

@@ -1,0 +1,49 @@
+"""Simulation-as-a-service: a multi-tenant job service over the sweep
+engine.
+
+* :mod:`repro.service.jobs` — schema-versioned :class:`JobSpec` /
+  :class:`JobRecord` and the flock'd append-only :class:`JobStore`
+  journal (``.eve-runs/jobs.jsonl``) that makes the queue crash-safe.
+* :mod:`repro.service.scheduler` — the asyncio :class:`Scheduler`:
+  priority lanes with per-client round-robin, bounded concurrency into
+  the shared :class:`~repro.experiments.parallel.WorkerPool`, and
+  in-flight cell dedup so overlapping jobs simulate each unique
+  (system, workload, params-fingerprint) cell exactly once.
+* :mod:`repro.service.server` — dependency-free HTTP/1.1
+  :class:`JobServer` on ``asyncio.start_server``: submit / status /
+  result / cancel / NDJSON event streaming, token-bucket rate limiting,
+  graceful SIGTERM drain.
+* :mod:`repro.service.client` — blocking :class:`ServiceClient` on
+  ``http.client`` backing the ``repro serve`` / ``submit`` / ``jobs`` /
+  ``cancel`` CLI verbs.
+"""
+
+from .client import ServiceClient, default_client_name
+from .jobs import (JOB_KINDS, JOB_SCHEMA_VERSION, JOB_STATES, JobRecord,
+                   JobSpec, JobStore, PRIORITIES, TERMINAL_STATES,
+                   job_result_payload, make_job_record, run_job_unit)
+from .scheduler import COUNTER_NAMES, Scheduler
+from .server import DEFAULT_BURST, DEFAULT_RATE, JobServer, TokenBucket, serve
+
+__all__ = [
+    "JOB_KINDS",
+    "JOB_SCHEMA_VERSION",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "PRIORITIES",
+    "JobSpec",
+    "JobRecord",
+    "JobStore",
+    "make_job_record",
+    "job_result_payload",
+    "run_job_unit",
+    "Scheduler",
+    "COUNTER_NAMES",
+    "JobServer",
+    "TokenBucket",
+    "DEFAULT_RATE",
+    "DEFAULT_BURST",
+    "serve",
+    "ServiceClient",
+    "default_client_name",
+]

@@ -1,0 +1,161 @@
+"""Blocking stdlib client for the job service.
+
+``http.client`` only — the CLI verbs (``repro submit`` / ``repro jobs``
+/ ``repro cancel``) and the test suite both talk to the server through
+this one class, so the protocol has exactly two implementations to keep
+honest: the asyncio server and this client.
+
+Every request opens a fresh connection (the server is
+``Connection: close``) and carries the ``X-Client`` identity header the
+server's fair scheduler and rate limiter key on.
+"""
+
+from __future__ import annotations
+
+import getpass
+import http.client
+import json
+import time
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import ServiceError
+
+
+def default_client_name() -> str:
+    try:
+        return getpass.getuser()
+    except (KeyError, OSError):  # pragma: no cover - no passwd entry
+        return "anonymous"
+
+
+class ServiceClient:
+    """Thin synchronous wrapper over the ``/v1`` HTTP API."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8321, *,
+                 client: Optional[str] = None,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.client = client or default_client_name()
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _connect(self, timeout: Optional[float] = None
+                 ) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=self.timeout if timeout is None else timeout)
+
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None,
+                 timeout: Optional[float] = None) -> dict:
+        conn = self._connect(timeout)
+        try:
+            payload = (json.dumps(body).encode()
+                       if body is not None else None)
+            headers = {"X-Client": self.client}
+            if payload is not None:
+                headers["Content-Type"] = "application/json"
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except (ConnectionError, OSError, http.client.HTTPException) \
+                    as exc:
+                raise ServiceError(
+                    f"cannot reach the service at "
+                    f"{self.host}:{self.port}: {exc}", status=503) from exc
+            try:
+                doc = json.loads(raw) if raw else {}
+            except json.JSONDecodeError as exc:
+                raise ServiceError(
+                    f"service returned invalid JSON: {exc}",
+                    status=502) from exc
+            if response.status >= 400:
+                message = (doc.get("error")
+                           if isinstance(doc, dict) else None)
+                raise ServiceError(message or f"HTTP {response.status}",
+                                   status=response.status)
+            return doc
+        finally:
+            conn.close()
+
+    # -- the API -----------------------------------------------------------------
+
+    def status(self) -> dict:
+        return self._request("GET", "/v1/status")
+
+    def submit(self, spec_doc: dict) -> dict:
+        """Submit a job-spec document; returns the queued job record."""
+        return self._request("POST", "/v1/jobs", body=spec_doc)
+
+    def jobs(self) -> List[dict]:
+        return self._request("GET", "/v1/jobs").get("jobs", [])
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str,
+               timeout: Optional[float] = None) -> dict:
+        """A done job's result payload; with ``timeout`` the server
+        blocks until the job finishes (or 408s)."""
+        path = f"/v1/jobs/{job_id}/result"
+        if timeout is not None:
+            path += f"?timeout={timeout:g}"
+            return self._request("GET", path, timeout=timeout + 10.0)
+        return self._request("GET", path)
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll_seconds: float = 0.25) -> dict:
+        """Poll until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record.get("state") in ("done", "failed", "cancelled"):
+                return record
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout:g}s waiting for {job_id} "
+                    f"(last state: {record.get('state')})", status=408)
+            time.sleep(poll_seconds)
+
+    def events(self, job_id: str,
+               timeout: Optional[float] = None) -> Iterator[dict]:
+        """Stream a job's NDJSON event feed until it terminates."""
+        conn = self._connect(timeout)
+        try:
+            headers: Dict[str, str] = {"X-Client": self.client}
+            try:
+                conn.request("GET", f"/v1/jobs/{job_id}/events",
+                             headers=headers)
+                response = conn.getresponse()
+            except (ConnectionError, OSError,
+                    http.client.HTTPException) as exc:
+                raise ServiceError(
+                    f"cannot reach the service at "
+                    f"{self.host}:{self.port}: {exc}", status=503) from exc
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    doc = json.loads(raw) if raw else {}
+                except json.JSONDecodeError:
+                    doc = {}
+                raise ServiceError(doc.get("error")
+                                   or f"HTTP {response.status}",
+                                   status=response.status)
+            for line in response:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ServiceError(
+                        f"service streamed invalid NDJSON: {exc}",
+                        status=502) from exc
+        finally:
+            conn.close()

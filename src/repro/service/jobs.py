@@ -1,0 +1,442 @@
+"""Job schema and journal for the simulation service.
+
+A *job* is one remotely submitted experiment — a sweep grid, a compare
+column, a fuzz run, or a fault-injection campaign — described by a
+schema-versioned :class:`JobSpec` and tracked through its lifecycle by a
+:class:`JobRecord` (states ``queued`` → ``running`` → ``done`` /
+``failed`` / ``cancelled``).
+
+Durability follows the run store's discipline: the :class:`JobStore`
+journal (``.eve-runs/jobs.jsonl``, flock-serialised, append-only) gets a
+full record snapshot at every state transition, and the *latest* line
+per job id wins on replay.  A crashed service therefore recovers its
+queue by re-reading the journal: jobs last seen ``queued`` or
+``running`` are requeued (their cells are in the on-disk cell cache, so
+a re-run is cheap), terminal jobs are remembered as history.
+
+Cell identity reuses the sweep executor's cache-key discipline: a job's
+unique cells are ``(system, workload, params-fingerprint)`` triples
+where the fingerprint folds the resolved workload parameters, the input
+seed, and the compiler descriptor — exactly the key the on-disk cache
+uses, which is what makes cross-job in-flight dedup safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+try:  # POSIX advisory locking; other hosts degrade to lockless appends.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX hosts
+    fcntl = None
+
+from ..config import all_system_names
+from ..errors import ServiceError
+from ..experiments.parallel import params_fingerprint, sweep_config_fingerprint
+from ..experiments.report import compare_entry, sweep_result_payload
+from ..experiments.runner import canonical_pairs
+from ..experiments.systems import canonical_system
+from ..obs.runstore import DEFAULT_ROOT
+from ..workloads import (DEFAULT_SEED, REGISTRY, canonical_workload,
+                         tiny_overrides)
+
+#: Bump when the job layout changes incompatibly.
+JOB_SCHEMA_VERSION = 1
+
+#: Every job kind the service runs.
+JOB_KINDS = ("sweep", "compare", "fuzz", "faults")
+
+#: Lifecycle states; the last three are terminal.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+#: Priority lanes, highest first — the scheduler always drains a higher
+#: lane before looking at a lower one.
+PRIORITIES = ("high", "normal", "low")
+
+JOBS_FILENAME = "jobs.jsonl"
+
+#: Hard caps a submission cannot exceed (request validation).
+MAX_COUNT = 100_000
+MAX_CLIENT_LEN = 64
+
+
+def _now() -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime())
+
+
+# -- the spec ------------------------------------------------------------------
+
+@dataclass
+class JobSpec:
+    """What a client asked the service to run.
+
+    ``systems`` / ``workloads`` scope sweep grids (empty = the full
+    Figure 6 grid); ``compare`` uses ``workloads[0]`` against every
+    system; ``count`` is the seed/injection count for ``fuzz`` /
+    ``faults`` jobs.  ``tiny`` / ``seed`` / ``compile`` carry the same
+    meaning (and fold into the same cache fingerprints) as the CLI
+    flags, so a service job and a direct CLI run of the same experiment
+    share cache cells and produce identical payloads.
+    """
+
+    kind: str
+    systems: List[str] = field(default_factory=list)
+    workloads: List[str] = field(default_factory=list)
+    tiny: bool = False
+    seed: int = DEFAULT_SEED
+    compile: bool = True
+    count: int = 0
+    priority: str = "normal"
+    client: str = "anonymous"
+
+    def validate(self) -> "JobSpec":
+        """Canonicalize names and bounds-check every field in place;
+        raises :class:`ServiceError` (HTTP 400) on the first problem."""
+        if self.kind not in JOB_KINDS:
+            raise ServiceError(f"unknown job kind {self.kind!r} "
+                               f"(known: {', '.join(JOB_KINDS)})")
+        if self.priority not in PRIORITIES:
+            raise ServiceError(f"unknown priority {self.priority!r} "
+                               f"(known: {', '.join(PRIORITIES)})")
+        if not isinstance(self.client, str) or not self.client.strip():
+            raise ServiceError("client must be a non-empty string")
+        if len(self.client) > MAX_CLIENT_LEN:
+            raise ServiceError(f"client name exceeds {MAX_CLIENT_LEN} chars")
+        self.client = self.client.strip()
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ServiceError("seed must be an integer")
+        if not isinstance(self.tiny, bool):
+            raise ServiceError("tiny must be a boolean")
+        if not isinstance(self.compile, bool):
+            raise ServiceError("compile must be a boolean")
+        known_systems = all_system_names()
+        canon_systems = []
+        for name in self.systems:
+            canon = canonical_system(str(name))
+            if canon not in known_systems:
+                raise ServiceError(f"unknown system {name!r}")
+            canon_systems.append(canon)
+        self.systems = canon_systems
+        canon_workloads = []
+        for name in self.workloads:
+            canon = canonical_workload(str(name))
+            if canon not in REGISTRY:
+                raise ServiceError(f"unknown workload {name!r}")
+            canon_workloads.append(canon)
+        self.workloads = canon_workloads
+        if self.kind == "compare":
+            if len(self.workloads) != 1:
+                raise ServiceError(
+                    "compare jobs take exactly one workload")
+        if self.kind in ("fuzz", "faults"):
+            if not isinstance(self.count, int) or isinstance(self.count, bool):
+                raise ServiceError("count must be an integer")
+            if self.count < 1:
+                self.count = 50 if self.kind == "fuzz" else 100
+            if self.count > MAX_COUNT:
+                raise ServiceError(f"count exceeds the service cap "
+                                   f"({MAX_COUNT})")
+        return self
+
+    # -- cell expansion ---------------------------------------------------------
+
+    def grid(self) -> Tuple[List[str], List[str]]:
+        """The (systems, workloads) a cell job runs over, defaults
+        resolved exactly as ``repro sweep`` / ``repro compare`` would."""
+        if self.kind == "compare":
+            return list(all_system_names()), list(self.workloads)
+        systems = list(self.systems) or list(all_system_names())
+        workloads = list(self.workloads) or sorted(REGISTRY)
+        return systems, workloads
+
+    def cells(self) -> List[Tuple[str, str]]:
+        """Unique (system, workload) cells in grid order (empty for the
+        single-unit ``fuzz`` / ``faults`` kinds)."""
+        if self.kind not in ("sweep", "compare"):
+            return []
+        systems, workloads = self.grid()
+        return canonical_pairs(
+            (s, w) for w in workloads for s in systems)
+
+    def params_override(self) -> Optional[Dict[str, dict]]:
+        return tiny_overrides() if self.tiny else None
+
+    def cell_fingerprint(self, workload: str) -> str:
+        """The cache-key params fingerprint of one cell, folding the
+        resolved workload parameters, seed, and compiler descriptor —
+        the same digest :func:`~repro.experiments.parallel.simulate_cell`
+        keys the disk cache on, so in-flight dedup and the disk cache
+        agree on cell identity."""
+        from ..compiler import compiler_descriptor
+        return params_fingerprint(workload, self.params_override(),
+                                  seed=self.seed,
+                                  compiler=compiler_descriptor(self.compile))
+
+    def fingerprint(self) -> str:
+        """Config fingerprint of the whole job: the toolkit/config digest
+        plus every cell's params fingerprint (or the count/seed for the
+        single-unit kinds)."""
+        payload: Dict[str, object] = {
+            "kind": self.kind, "config": sweep_config_fingerprint(),
+            "seed": self.seed, "tiny": self.tiny, "compile": self.compile,
+        }
+        if self.kind in ("sweep", "compare"):
+            payload["cells"] = [
+                [system, workload, self.cell_fingerprint(workload)]
+                for system, workload in self.cells()]
+        else:
+            payload["count"] = self.count
+        blob = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()[:12]
+
+    # -- (de)serialisation --------------------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, doc: Dict[str, object]) -> "JobSpec":
+        if not isinstance(doc, dict):
+            raise ServiceError(
+                f"job spec must be an object, got {type(doc).__name__}")
+        if "kind" not in doc:
+            raise ServiceError("job spec is missing its 'kind' field")
+        unknown = set(doc) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ServiceError(
+                f"job spec carries unknown fields {sorted(unknown)}")
+        try:
+            spec = cls(**doc)
+        except TypeError as exc:
+            raise ServiceError(f"malformed job spec: {exc}") from None
+        if not isinstance(spec.systems, list):
+            raise ServiceError("systems must be a list of names")
+        if not isinstance(spec.workloads, list):
+            raise ServiceError("workloads must be a list of names")
+        return spec
+
+
+# -- the record ----------------------------------------------------------------
+
+@dataclass
+class JobRecord:
+    """One job's full lifecycle state, journalled on every transition."""
+
+    job_id: str
+    spec: JobSpec
+    state: str = "queued"
+    schema_version: int = JOB_SCHEMA_VERSION
+    created: str = ""
+    updated: str = ""
+    attempts: int = 0
+    fingerprint: str = ""
+    campaign: str = ""
+    error: str = ""
+    result_record_id: str = ""
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def touch(self, state: Optional[str] = None) -> "JobRecord":
+        if state is not None:
+            if state not in JOB_STATES:
+                raise ServiceError(f"unknown job state {state!r}", status=500)
+            self.state = state
+        self.updated = _now()
+        return self
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_json_dict(self) -> Dict[str, object]:
+        doc = asdict(self)
+        doc["spec"] = self.spec.to_json_dict()
+        return doc
+
+    @classmethod
+    def from_json_dict(cls, doc: Dict[str, object]) -> "JobRecord":
+        if not isinstance(doc, dict):
+            raise ServiceError(
+                f"job record must be an object, got {type(doc).__name__}",
+                status=500)
+        version = doc.get("schema_version")
+        if version != JOB_SCHEMA_VERSION:
+            raise ServiceError(
+                f"job record schema version {version!r} is not supported "
+                f"(this build reads version {JOB_SCHEMA_VERSION})",
+                status=500)
+        unknown = set(doc) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ServiceError(
+                f"job record carries unknown fields {sorted(unknown)}",
+                status=500)
+        fields_ = dict(doc)
+        fields_["spec"] = JobSpec.from_json_dict(doc.get("spec") or {})
+        if fields_.get("state") not in JOB_STATES:
+            raise ServiceError(
+                f"job record has unknown state {fields_.get('state')!r}",
+                status=500)
+        try:
+            return cls(**fields_)
+        except TypeError as exc:
+            raise ServiceError(f"malformed job record: {exc}",
+                               status=500) from None
+
+
+def make_job_record(job_id: str, spec: JobSpec) -> JobRecord:
+    now = _now()
+    return JobRecord(job_id=job_id, spec=spec, state="queued",
+                     created=now, updated=now,
+                     fingerprint=spec.fingerprint())
+
+
+# -- the journal -----------------------------------------------------------------
+
+class JobStore:
+    """Append-only, flock-serialised job journal next to the run store.
+
+    Every state transition appends a *complete* record snapshot; replay
+    keeps the last snapshot per job id.  Like the run store's
+    ``runs.jsonl``, readers tolerate a torn final line (a writer that
+    crashed mid-append) but reject interior corruption.
+    """
+
+    def __init__(self, root: str = DEFAULT_ROOT) -> None:
+        self.root = root
+
+    @property
+    def path(self) -> str:
+        return os.path.join(self.root, JOBS_FILENAME)
+
+    def append(self, record: JobRecord) -> None:
+        self.append_all([record])
+
+    def append_all(self, records: List[JobRecord]) -> int:
+        """Journal a batch of snapshots under one lock acquisition —
+        the drain checkpoint re-journals every unfinished job this way."""
+        if not records:
+            return 0
+        os.makedirs(self.root, exist_ok=True)
+        with open(self.path, "a") as handle:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                for record in records:
+                    handle.write(json.dumps(record.to_json_dict(),
+                                            sort_keys=True) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        return len(records)
+
+    def load(self) -> Dict[str, JobRecord]:
+        """Latest snapshot per job id, in first-seen (submission) order."""
+        out: Dict[str, JobRecord] = {}
+        if not os.path.exists(self.path):
+            return out
+        with open(self.path) as handle:
+            lines = handle.readlines()
+        for lineno, line in enumerate(lines, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if lineno == len(lines):  # torn final line: crashed writer
+                    break
+                raise ServiceError(
+                    f"{self.path}:{lineno}: corrupt job record: {exc}",
+                    status=500) from exc
+            record = JobRecord.from_json_dict(doc)
+            out[record.job_id] = record
+        return out
+
+    def next_seq(self) -> int:
+        """One past the highest journalled job sequence number."""
+        top = 0
+        for job_id in self.load():
+            tail = job_id.rsplit("-", 1)[-1]
+            if tail.isdigit():
+                top = max(top, int(tail))
+        return top + 1
+
+
+def job_id_for(seq: int) -> str:
+    return f"job-{seq:06d}"
+
+
+# -- result assembly -------------------------------------------------------------
+
+class ResultSet:
+    """Minimal runner facade over a dict of simulated cells.
+
+    :func:`~repro.experiments.report.sweep_result_payload` (and the
+    compare builder) only need ``run(system, workload)``; the scheduler
+    hands them the SimResults its workers produced instead of a live
+    runner, so the service assembles result documents through exactly
+    the CLI's code path.
+    """
+
+    def __init__(self, results: Dict[Tuple[str, str], object]) -> None:
+        self._results = dict(results)
+
+    def run(self, system: str, workload: str):
+        key = (canonical_system(system), canonical_workload(workload))
+        try:
+            return self._results[key]
+        except KeyError:
+            raise ServiceError(f"cell {key[0]}/{key[1]} was not simulated",
+                               status=500) from None
+
+
+def job_result_payload(spec: JobSpec,
+                       results: Dict[Tuple[str, str], object]) -> dict:
+    """The deterministic result document of a completed cell job —
+    byte-identical (through :func:`repro.obs.render.emit_json`) to the
+    direct CLI run's JSON minus its wall-clock blocks (``cache`` /
+    ``self_profile``)."""
+    lookup = ResultSet(results)
+    systems, workloads = spec.grid()
+    if spec.kind == "sweep":
+        return sweep_result_payload(lookup, systems, workloads)
+    if spec.kind == "compare":
+        workload = workloads[0]
+        base = lookup.run("IO", workload)
+        per_system = {}
+        for system in systems:
+            entry, _speedup = compare_entry(lookup.run(system, workload),
+                                            base)
+            per_system[system] = entry
+        return {"workload": workload, "baseline": "IO",
+                "systems": per_system}
+    raise ServiceError(f"job kind {spec.kind!r} has no cell results",
+                       status=500)
+
+
+def run_job_unit(spec_doc: dict) -> dict:
+    """Execute one single-unit job (``fuzz`` / ``faults``) — picklable,
+    runs inside a pool worker like :func:`simulate_cell` does for cells.
+    Returns the job's JSON-ready result payload."""
+    spec = JobSpec.from_json_dict(spec_doc)
+    if spec.kind == "fuzz":
+        from ..faults.fuzz import fuzz_many
+        mismatches = fuzz_many(spec.count, master_seed=spec.seed)
+        return {"kind": "fuzz", "seeds": spec.count,
+                "master_seed": spec.seed,
+                "mismatches": [m.to_json_dict() for m in mismatches]}
+    if spec.kind == "faults":
+        from ..faults.campaign import run_campaign
+        report = run_campaign(spec.count, seed=spec.seed)
+        payload = report.to_json_dict()
+        payload.pop("outcomes", None)  # compact: counts, not every case
+        return {"kind": "faults", **payload}
+    raise ServiceError(f"job kind {spec.kind!r} is not a single-unit job",
+                       status=500)

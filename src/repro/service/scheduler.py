@@ -1,0 +1,589 @@
+"""Asyncio job scheduler: fair multi-tenant queueing over the sweep pool.
+
+The scheduler is the service's core loop.  Jobs arrive via
+:meth:`Scheduler.submit`, wait in priority lanes (``high`` > ``normal``
+> ``low``) with per-client round-robin *within* each lane (one chatty
+client cannot starve another at equal priority), and run as asyncio
+tasks that feed individual cells to the shared
+:class:`~repro.experiments.parallel.WorkerPool` through
+``loop.run_in_executor`` — the event loop never blocks on a
+simulation.
+
+**In-flight dedup.**  Every cell is keyed by ``(system, workload,
+params-fingerprint)`` — the disk cache's own identity.  The first job
+to need a cell becomes its *owner* and registers an
+``asyncio.Future``; overlapping jobs await that future instead of
+re-simulating, so each unique cell runs **exactly once** no matter how
+many concurrent submissions cover it (the ``cells_deduped`` counter is
+the proof the CI smoke asserts on).  If an owner abandons a cell
+(cancel/drain), it resolves the future with a sentinel and a waiter
+takes over ownership, so dedup never loses work to a cancelled
+neighbour.
+
+**Durability.**  Every state transition snapshots the full job record
+to the :class:`~repro.service.jobs.JobStore` journal; on start the
+scheduler replays it and requeues anything last seen ``queued`` or
+``running`` (their cells are in the disk cache, so recovery is cheap).
+Drain (SIGTERM) stops intake, lets *running* cells finish, marks the
+rest of each active job's cells ``cancelled`` (telemetry conservation
+holds: one terminal per queued unit), and checkpoints unfinished jobs
+back to ``queued`` in one batched journal write.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import functools
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ServiceError
+from ..experiments.parallel import (DEFAULT_CACHE_ROOT, WorkerPool,
+                                    cache_stats, cell_unit, describe_cell,
+                                    simulate_cell, sweep_config_fingerprint,
+                                    _observed_call)
+from ..obs.events import CampaignTelemetry, EventLog
+from ..obs.runstore import DEFAULT_ROOT, RunStore, make_record
+from .jobs import (JobRecord, JobSpec, JobStore, PRIORITIES, job_id_for,
+                   job_result_payload, make_job_record, run_job_unit)
+
+__all__ = ["Scheduler", "COUNTER_NAMES"]
+
+#: Future result meaning "the owner abandoned this cell without running
+#: it" — a waiter seeing it retries and takes over ownership.
+_SKIPPED = object()
+
+#: Counter names, fixed so status documents are stable.
+COUNTER_NAMES = ("jobs_submitted", "jobs_done", "jobs_failed",
+                 "jobs_cancelled", "jobs_recovered",
+                 "cells_total", "cells_unique", "cells_deduped",
+                 "cells_simulated", "cache_hits", "cache_misses",
+                 "cache_corrupt")
+
+
+class Scheduler:
+    """Owns the job queue, the dedup table, and the worker pool feed.
+
+    Single event loop, single scheduler — all mutable state is touched
+    only from loop callbacks/tasks, so plain dicts need no locks; the
+    only cross-thread traffic is ``run_in_executor`` calls whose
+    callables close over immutable specs.
+    """
+
+    def __init__(self, pool: WorkerPool, *,
+                 store_root: str = DEFAULT_ROOT,
+                 cache_root: Optional[str] = DEFAULT_CACHE_ROOT,
+                 events_path: Optional[str] = None,
+                 max_active_jobs: int = 4,
+                 verify: bool = True,
+                 cell_func=simulate_cell) -> None:
+        self.pool = pool
+        self.store_root = store_root
+        self.cache_root = cache_root
+        self.events_path = events_path or f"{store_root}/events.jsonl"
+        self.max_active_jobs = max(1, max_active_jobs)
+        self.verify = verify
+        #: Injectable cell worker (tests swap in a stub; must stay
+        #: picklable because it crosses into pool processes).
+        self.cell_func = cell_func
+
+        self.job_store = JobStore(store_root)
+        self.run_store = RunStore(store_root)
+        self.event_log = EventLog(self.events_path)
+
+        self._jobs: Dict[str, JobRecord] = {}
+        #: priority -> (client -> deque of queued job ids); within a
+        #: lane, clients are served round-robin (pop from the first
+        #: client, then rotate it to the back).
+        self._lanes: Dict[str, "collections.OrderedDict[str, collections.deque]"] = {
+            lane: collections.OrderedDict() for lane in PRIORITIES}
+        self._wakeup = asyncio.Event()
+        self._inflight: Dict[Tuple[str, str, str], asyncio.Future] = {}
+        #: job id -> why it must stop ("cancel" | "drain" | "fail").
+        self._stop_reason: Dict[str, str] = {}
+        self._done_events: Dict[str, asyncio.Event] = {}
+        self._results: Dict[str, dict] = {}
+        self._subscribers: Dict[str, List[asyncio.Queue]] = {}
+        self._tasks: Dict[str, asyncio.Task] = {}
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._draining = False
+        self._seq = 1
+        self._started_at = time.monotonic()
+        self.counters: Dict[str, int] = {name: 0 for name in COUNTER_NAMES}
+
+        self._job_sem = asyncio.Semaphore(self.max_active_jobs)
+        self._cell_sem = asyncio.Semaphore(self.pool.jobs)
+        # Extra headroom over the cell width so short blocking calls
+        # (journal appends, run-store writes, telemetry finalize) never
+        # queue behind a full complement of in-flight simulations.
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.pool.jobs + 4,
+            thread_name_prefix="eve-service")
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> int:
+        """Replay the journal, requeue unfinished jobs, start dispatch.
+        Returns how many jobs were recovered."""
+        # Fork the pool workers NOW, before the executor spawns its
+        # first thread: a lazy fork from an executor thread mid-request
+        # can clone held locks into the children and deadlock them.
+        self.pool.start()
+        recovered = 0
+        history = await self._call(self.job_store.load)
+        requeue: List[JobRecord] = []
+        for record in history.values():
+            self._jobs[record.job_id] = record
+            if record.state in ("queued", "running"):
+                record.touch("queued")
+                requeue.append(record)
+                recovered += 1
+        if requeue:
+            await self._call(self.job_store.append_all, requeue)
+            for record in requeue:
+                self._enqueue(record)
+            self.counters["jobs_recovered"] += recovered
+        self._seq = max((int(job_id.rsplit("-", 1)[-1])
+                         for job_id in self._jobs
+                         if job_id.rsplit("-", 1)[-1].isdigit()),
+                        default=0) + 1
+        self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
+        return recovered
+
+    async def drain(self) -> dict:
+        """Graceful shutdown: stop intake, let in-flight cells finish,
+        checkpoint everything else back to ``queued``."""
+        self._draining = True
+        for job_id, task in list(self._tasks.items()):
+            if not task.done():
+                self._stop_reason.setdefault(job_id, "drain")
+        self._wakeup.set()
+        if self._dispatcher is not None:
+            await self._dispatcher
+        if self._tasks:
+            await asyncio.gather(*self._tasks.values(),
+                                 return_exceptions=True)
+        # Checkpoint: anything still non-terminal goes back to queued in
+        # one batched journal write (consecutive lines, one lock).
+        checkpoint = []
+        for record in self._jobs.values():
+            if not record.terminal:
+                record.touch("queued")
+                checkpoint.append(record)
+        if checkpoint:
+            await self._call(self.job_store.append_all, checkpoint)
+        await self._call(self.pool.close)
+        self._executor.shutdown(wait=True)
+        return {"checkpointed": len(checkpoint),
+                "counters": dict(self.counters)}
+
+    async def _call(self, func, *args):
+        """Run a short blocking call (journal/store/pool I/O) off-loop."""
+        loop = asyncio.get_event_loop()
+        return await loop.run_in_executor(
+            self._executor, functools.partial(func, *args))
+
+    # -- intake ------------------------------------------------------------------
+
+    async def submit(self, spec: JobSpec) -> JobRecord:
+        if self._draining:
+            raise ServiceError("service is draining; try another replica",
+                               status=503)
+        spec.validate()
+        record = make_job_record(job_id_for(self._seq), spec)
+        self._seq += 1
+        self._jobs[record.job_id] = record
+        self.counters["jobs_submitted"] += 1
+        await self._call(self.job_store.append, record)
+        self._enqueue(record)
+        self._publish(record.job_id, self._state_event(record))
+        return record
+
+    def _enqueue(self, record: JobRecord) -> None:
+        lane = self._lanes[record.spec.priority]
+        lane.setdefault(record.spec.client, collections.deque()).append(
+            record.job_id)
+        self._done_events.setdefault(record.job_id, asyncio.Event())
+        self._wakeup.set()
+
+    def _next_job(self) -> Optional[str]:
+        """Highest non-empty lane, round-robin across its clients."""
+        for priority in PRIORITIES:
+            lane = self._lanes[priority]
+            for client in list(lane):
+                queue = lane[client]
+                if not queue:
+                    del lane[client]
+                    continue
+                job_id = queue.popleft()
+                if queue:
+                    lane.move_to_end(client)
+                else:
+                    del lane[client]
+                return job_id
+        return None
+
+    def queue_depths(self) -> Dict[str, int]:
+        return {priority: sum(len(q) for q in lane.values())
+                for priority, lane in self._lanes.items()}
+
+    # -- dispatch ----------------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            # Acquire the job slot FIRST, then pick the job: picking
+            # first would freeze a high-priority arrival behind an
+            # already-chosen low-priority one while the lanes back up.
+            await self._job_sem.acquire()
+            job_id = None
+            try:
+                while not self._draining:
+                    self._wakeup.clear()
+                    job_id = self._next_job()
+                    if job_id is not None:
+                        break
+                    await self._wakeup.wait()
+            finally:
+                if job_id is None:
+                    self._job_sem.release()
+            if job_id is None:  # draining; queued leftovers get checkpointed
+                return
+            record = self._jobs[job_id]
+            if record.state != "queued" or job_id in self._stop_reason:
+                # Cancelled (or drained) while waiting in the lane.
+                reason = self._stop_reason.pop(job_id, "cancel")
+                if reason == "cancel":
+                    await self._finish(record, "cancelled")
+                self._job_sem.release()
+                continue
+            task = asyncio.ensure_future(self._run_job(record))
+            self._tasks[job_id] = task
+            task.add_done_callback(lambda _t, jid=job_id: (
+                self._tasks.pop(jid, None), self._job_sem.release()))
+
+    def _stopped(self, record: JobRecord) -> Optional[str]:
+        return self._stop_reason.get(record.job_id)
+
+    # -- running one job ---------------------------------------------------------
+
+    async def _run_job(self, record: JobRecord) -> None:
+        record.attempts += 1
+        record.campaign = f"{record.job_id}-a{record.attempts}"
+        record.touch("running")
+        await self._call(self.job_store.append, record)
+        self._publish(record.job_id, self._state_event(record))
+        loop = asyncio.get_event_loop()
+        # The tap fires on the loop thread for unit events but on an
+        # executor thread when finalize() (run via _call) emits the
+        # campaign footer — route through call_soon_threadsafe so
+        # subscriber queues are only ever touched by the loop.
+        telemetry = CampaignTelemetry(
+            record.spec.kind, log=self.event_log,
+            fingerprint=sweep_config_fingerprint(),
+            campaign_id=record.campaign,
+            tap=lambda event: loop.call_soon_threadsafe(
+                self._publish, record.job_id, event.to_json_dict()))
+        try:
+            if record.spec.kind in ("sweep", "compare"):
+                outcome = await self._run_cells_job(record, telemetry, loop)
+            else:
+                outcome = await self._run_unit_job(record, telemetry, loop)
+        except Exception as exc:  # defensive: a job bug must not kill dispatch
+            record.error = f"{type(exc).__name__}: {exc}"
+            outcome = "failed"
+        finally:
+            summary = await self._call(telemetry.finalize)
+            record.counters["events"] = summary.get("events", 0)
+        if outcome == "done":
+            await self._archive(record)
+        reason = self._stop_reason.pop(record.job_id, None)
+        if outcome == "drained" or (reason == "drain"
+                                    and outcome not in ("done", "failed")):
+            record.touch("queued")  # the drain checkpoint re-journals it
+            self._publish(record.job_id, self._state_event(record))
+            self._publish(record.job_id, None)
+            return
+        await self._finish(record, outcome)
+
+    async def _run_cells_job(self, record: JobRecord, telemetry,
+                             loop) -> str:
+        spec = record.spec
+        cells = spec.cells()
+        units = [cell_unit(s, w) for s, w in cells]
+        telemetry.begin(units)
+        self.counters["cells_total"] += len(cells)
+        results = await asyncio.gather(*[
+            self._run_cell(record, telemetry, loop, system, workload)
+            for system, workload in cells])
+        by_cell: Dict[Tuple[str, str], object] = {}
+        skipped = failed = 0
+        for (system, workload), (status, value) in zip(cells, results):
+            if status == "ok":
+                by_cell[(system, workload)] = value["result"]
+            elif status == "skipped":
+                skipped += 1
+            else:
+                failed += 1
+                if not record.error:
+                    record.error = (f"{cell_unit(system, workload)}: "
+                                    f"{type(value).__name__}: {value}")
+        record.counters.update(
+            {"cells": len(cells), "failed": failed, "skipped": skipped})
+        if failed:
+            return "failed"
+        if skipped:
+            reason = self._stop_reason.get(record.job_id, "drain")
+            return "drained" if reason == "drain" else "cancelled"
+        self._results[record.job_id] = job_result_payload(spec, by_cell)
+        return "done"
+
+    async def _run_cell(self, record: JobRecord, telemetry, loop,
+                        system: str, workload: str):
+        """Simulate (or await) one cell.  Returns ``(status, value)``
+        with status ``ok`` / ``skipped`` / ``failed``; never raises."""
+        spec = record.spec
+        unit = cell_unit(system, workload)
+        key = (system, workload, spec.cell_fingerprint(workload))
+        while True:
+            existing = self._inflight.get(key)
+            if existing is not None:
+                obs = await existing
+                if obs is _SKIPPED:
+                    continue  # the owner bailed; try to take over
+                self.counters["cells_deduped"] += 1
+                return self._land_cell(record, telemetry, unit, obs,
+                                       deduped=True)
+            if self._stopped(record):
+                telemetry.unit_cancelled(
+                    unit, detail={"reason": self._stopped(record)})
+                return ("skipped", None)
+            # Become the owner.  Registration is synchronous — no await
+            # between the miss above and this line — so two jobs can
+            # never both own one key.
+            future: asyncio.Future = loop.create_future()
+            self._inflight[key] = future
+            obs = _SKIPPED
+            try:
+                async with self._cell_sem:
+                    if not self._stopped(record):
+                        cell_spec = (system, workload,
+                                     spec.params_override(),
+                                     self.cache_root, False, self.verify,
+                                     spec.seed, spec.compile)
+                        obs = await loop.run_in_executor(
+                            self._executor, self.pool.apply,
+                            functools.partial(_observed_call,
+                                              self.cell_func),
+                            cell_spec)
+            finally:
+                self._inflight.pop(key, None)
+                future.set_result(obs)
+            if obs is _SKIPPED:
+                telemetry.unit_cancelled(
+                    unit, detail={"reason": self._stopped(record)})
+                return ("skipped", None)
+            self.counters["cells_unique"] += 1
+            return self._land_cell(record, telemetry, unit, obs,
+                                   deduped=False)
+
+    def _land_cell(self, record: JobRecord, telemetry, unit: str, obs,
+                   deduped: bool):
+        """Fold one observed cell outcome into telemetry + counters."""
+        if obs["error"] is not None:
+            error = obs["error"]
+            telemetry.unit_finished(
+                unit, ok=False, t_start=obs["t0"], t_end=obs["t1"],
+                worker=str(obs["pid"]),
+                detail={"error": f"{type(error).__name__}: {error}"})
+            # Fail fast: the job cannot complete, so stop starting cells.
+            self._stop_reason.setdefault(record.job_id, "fail")
+            return ("failed", error)
+        payload = obs["value"]
+        cached, extra, detail = describe_cell(payload)
+        if deduped:
+            detail = dict(detail)
+            detail["deduped"] = True
+            cached = True  # this job did not simulate; it shared a result
+        else:
+            self.counters["cache_hits" if cached else "cache_misses"] += 1
+            if not cached:  # a miss is the only case a worker simulated
+                self.counters["cells_simulated"] += 1
+            self.counters["cache_corrupt"] += len(extra)
+        telemetry.unit_finished(
+            unit, ok=True, cached=cached, t_start=obs["t0"],
+            t_end=obs["t1"], worker=str(obs["pid"]), detail=detail,
+            events=extra if not deduped else ())
+        return ("ok", payload)
+
+    async def _run_unit_job(self, record: JobRecord, telemetry,
+                            loop) -> str:
+        spec = record.spec
+        unit = f"{spec.kind}:{spec.count}"
+        telemetry.begin([unit])
+        if self._stopped(record):
+            telemetry.unit_cancelled(
+                unit, detail={"reason": self._stopped(record)})
+            reason = self._stop_reason.get(record.job_id, "drain")
+            return "drained" if reason == "drain" else "cancelled"
+        obs = await loop.run_in_executor(
+            self._executor, self.pool.apply,
+            functools.partial(_observed_call, run_job_unit),
+            spec.to_json_dict())
+        if obs["error"] is not None:
+            error = obs["error"]
+            record.error = f"{type(error).__name__}: {error}"
+            telemetry.unit_finished(
+                unit, ok=False, t_start=obs["t0"], t_end=obs["t1"],
+                worker=str(obs["pid"]), detail={"error": record.error})
+            return "failed"
+        telemetry.unit_finished(unit, ok=True, t_start=obs["t0"],
+                                t_end=obs["t1"], worker=str(obs["pid"]))
+        self._results[record.job_id] = obs["value"]
+        return "done"
+
+    # -- completion --------------------------------------------------------------
+
+    async def _archive(self, record: JobRecord) -> None:
+        """Persist a done job's result as a run-store record.
+
+        Sweep cells land in the record's canonical ``results`` /
+        ``speedups`` fields (so ``repro history`` / ``repro diff`` /
+        trend tooling treat service runs like CLI runs); a faults
+        payload goes under ``extra["campaign"]`` where
+        :func:`~repro.obs.runstore.flatten_record` already looks.
+        """
+        payload = self._results.get(record.job_id, {})
+        run = make_record(record.spec.kind,
+                          label=f"service:{record.job_id}",
+                          tiny=record.spec.tiny,
+                          command=f"service submit {record.spec.kind}")
+        cells = payload.get("cells")
+        if isinstance(cells, dict):
+            for workload, by_system in cells.items():
+                for system, vals in by_system.items():
+                    run.add_result(
+                        system, workload, cycles=vals["cycles"],
+                        time_ns=vals["time_ns"],
+                        instructions=vals.get("instructions", 0))
+            run.speedup_baseline = payload.get("baseline") or ""
+            run.speedups = dict(payload.get("speedups") or {})
+        elif record.spec.kind == "faults":
+            run.extra["campaign"] = dict(payload)
+        else:
+            run.extra[record.spec.kind] = dict(payload)
+        run.extra["service"] = {
+            "job_id": record.job_id, "client": record.spec.client,
+            "priority": record.spec.priority,
+            "fingerprint": record.fingerprint,
+            "attempts": record.attempts,
+        }
+        record.result_record_id = await self._call(
+            self.run_store.append, run)
+
+    async def _finish(self, record: JobRecord, state: str) -> None:
+        record.touch(state)
+        self.counters[f"jobs_{state}"] += 1
+        await self._call(self.job_store.append, record)
+        self._publish(record.job_id, self._state_event(record))
+        self._publish(record.job_id, None)
+        event = self._done_events.setdefault(record.job_id, asyncio.Event())
+        event.set()
+
+    # -- queries -----------------------------------------------------------------
+
+    def get(self, job_id: str) -> JobRecord:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise ServiceError(f"unknown job {job_id!r}",
+                               status=404) from None
+
+    def jobs(self) -> List[JobRecord]:
+        return list(self._jobs.values())
+
+    def result(self, job_id: str) -> dict:
+        record = self.get(job_id)
+        if record.state != "done":
+            raise ServiceError(
+                f"job {job_id} is {record.state}, not done", status=409)
+        if job_id not in self._results:
+            raise ServiceError(
+                f"job {job_id} finished in an earlier service run; "
+                "resubmit to rebuild its result from the cell cache",
+                status=410)
+        return self._results[job_id]
+
+    async def wait(self, job_id: str,
+                   timeout: Optional[float] = None) -> JobRecord:
+        record = self.get(job_id)
+        if record.terminal:
+            return record
+        event = self._done_events.setdefault(job_id, asyncio.Event())
+        try:
+            await asyncio.wait_for(event.wait(), timeout)
+        except asyncio.TimeoutError:
+            raise ServiceError(f"timed out waiting for job {job_id}",
+                               status=408) from None
+        return self.get(job_id)
+
+    async def cancel(self, job_id: str) -> JobRecord:
+        record = self.get(job_id)
+        if record.terminal:
+            raise ServiceError(
+                f"job {job_id} is already {record.state}", status=409)
+        if record.state == "queued" and job_id not in self._tasks:
+            lane = self._lanes[record.spec.priority]
+            queue = lane.get(record.spec.client)
+            if queue is not None and job_id in queue:
+                queue.remove(job_id)
+                if not queue:
+                    del lane[record.spec.client]
+            await self._finish(record, "cancelled")
+            return record
+        self._stop_reason[job_id] = "cancel"
+        return record
+
+    def status(self) -> dict:
+        by_state: Dict[str, int] = {}
+        for record in self._jobs.values():
+            by_state[record.state] = by_state.get(record.state, 0) + 1
+        return {
+            "draining": self._draining,
+            "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+            "jobs": by_state,
+            "queue": self.queue_depths(),
+            "active": len(self._tasks),
+            "inflight_cells": len(self._inflight),
+            "pool": {"jobs": self.pool.jobs, "started": self.pool.started},
+            "counters": dict(self.counters),
+            "cache": cache_stats(self.cache_root) if self.cache_root
+                     else None,
+        }
+
+    # -- event streaming -----------------------------------------------------------
+
+    def subscribe(self, job_id: str) -> asyncio.Queue:
+        self.get(job_id)  # 404 on unknown ids
+        queue: asyncio.Queue = asyncio.Queue()
+        self._subscribers.setdefault(job_id, []).append(queue)
+        return queue
+
+    def unsubscribe(self, job_id: str, queue: asyncio.Queue) -> None:
+        listeners = self._subscribers.get(job_id, [])
+        if queue in listeners:
+            listeners.remove(queue)
+        if not listeners:
+            self._subscribers.pop(job_id, None)
+
+    def _publish(self, job_id: str, doc: Optional[dict]) -> None:
+        """Fan a document (or the ``None`` end-of-stream sentinel) out to
+        every live subscriber of a job."""
+        for queue in self._subscribers.get(job_id, ()):  # copy-safe: no mutation
+            queue.put_nowait(doc)
+
+    def _state_event(self, record: JobRecord) -> dict:
+        return {"kind": "job_state", "job": record.job_id,
+                "state": record.state, "attempts": record.attempts,
+                "error": record.error or None}

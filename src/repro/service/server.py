@@ -1,0 +1,357 @@
+"""Dependency-free HTTP/1.1 front end for the job scheduler.
+
+Built directly on ``asyncio.start_server`` — no web framework, no
+third-party packages — because the service's protocol surface is tiny
+and the repo's no-new-dependencies rule is absolute.  One request per
+connection (every response carries ``Connection: close``), bodies are
+JSON, progress streams are NDJSON.
+
+Routes (all under ``/v1``)::
+
+    GET  /v1/status            service + scheduler + cache health
+    GET  /v1/jobs              every known job, submission order
+    POST /v1/jobs              submit a JobSpec document
+    GET  /v1/jobs/<id>         one job's record
+    GET  /v1/jobs/<id>/result  result payload (?timeout=S waits)
+    GET  /v1/jobs/<id>/events  NDJSON: state changes + telemetry live
+    POST /v1/jobs/<id>/cancel  cancel queued or running
+
+Abuse guards: a per-client token bucket (clients identify via the
+``X-Client`` header, falling back to the peer address) rejects bursts
+with 429; request bodies over :data:`MAX_BODY_BYTES` get 413; a
+draining server answers every request 503 so load balancers fail over.
+Graceful shutdown is the scheduler's drain: SIGTERM/SIGINT stop
+intake, in-flight cells finish, the queue checkpoints, and the process
+exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..errors import ServiceError
+from .jobs import JobSpec
+from .scheduler import Scheduler
+
+MAX_BODY_BYTES = 64 * 1024
+MAX_HEADER_LINES = 64
+MAX_LINE_BYTES = 8 * 1024
+
+#: Token-bucket defaults: sustained requests/second and burst size.
+DEFAULT_RATE = 20.0
+DEFAULT_BURST = 40
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second up to ``burst``."""
+
+    def __init__(self, rate: float = DEFAULT_RATE,
+                 burst: int = DEFAULT_BURST,
+                 clock=time.monotonic) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.clock = clock
+        self.tokens = self.burst
+        self.stamp = clock()
+
+    def allow(self) -> bool:
+        now = self.clock()
+        self.tokens = min(self.burst,
+                          self.tokens + (now - self.stamp) * self.rate)
+        self.stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class JobServer:
+    """The asyncio socket front end; owns nothing but connections.
+
+    All experiment state lives in the :class:`Scheduler`; the server
+    only parses requests, enforces the abuse guards, and renders
+    responses, so it can be exercised end-to-end with a plain socket in
+    tests.
+    """
+
+    def __init__(self, scheduler: Scheduler, *, host: str = "127.0.0.1",
+                 port: int = 8321, max_clients: int = 64,
+                 rate: float = DEFAULT_RATE,
+                 burst: int = DEFAULT_BURST) -> None:
+        self.scheduler = scheduler
+        self.host = host
+        self.port = port
+        self.max_clients = max_clients
+        self.rate = rate
+        self.burst = burst
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._connections = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.requests = 0
+        self.rejected = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        sock = self._server.sockets[0]
+        self.port = sock.getsockname()[1]  # resolve port 0 for tests
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling -------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        self._connections += 1
+        try:
+            if self._connections > self.max_clients:
+                self.rejected += 1
+                await self._respond(writer, 503,
+                                    {"error": "too many connections"})
+                return
+            try:
+                method, path, query, headers, body = \
+                    await self._read_request(reader)
+            except ServiceError as exc:
+                self.rejected += 1
+                await self._respond(writer, exc.status, {"error": str(exc)})
+                return
+            except (asyncio.IncompleteReadError, ConnectionError,
+                    asyncio.TimeoutError):
+                return
+            client = headers.get("x-client") or self._peer(writer)
+            bucket = self._buckets.setdefault(
+                client, TokenBucket(self.rate, self.burst))
+            if not bucket.allow():
+                self.rejected += 1
+                await self._respond(writer, 429,
+                                    {"error": "rate limit exceeded; slow "
+                                              f"down, {client}"})
+                return
+            self.requests += 1
+            try:
+                await self._route(writer, method, path, query, client, body)
+            except ServiceError as exc:
+                await self._respond(writer, exc.status, {"error": str(exc)})
+            except Exception as exc:  # a handler bug must not kill the loop
+                await self._respond(
+                    writer, 500,
+                    {"error": f"{type(exc).__name__}: {exc}"})
+        finally:
+            self._connections -= 1
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    def _peer(writer: asyncio.StreamWriter) -> str:
+        peer = writer.get_extra_info("peername")
+        return str(peer[0]) if isinstance(peer, tuple) else "unknown"
+
+    async def _read_request(self, reader: asyncio.StreamReader
+                            ) -> Tuple[str, str, dict, Dict[str, str],
+                                       Optional[dict]]:
+        request_line = await asyncio.wait_for(
+            reader.readline(), timeout=10.0)
+        if not request_line:
+            raise asyncio.IncompleteReadError(b"", None)
+        try:
+            method, target, _version = \
+                request_line.decode("latin-1").split()
+        except ValueError:
+            raise ServiceError("malformed request line", status=400) \
+                from None
+        parts = urlsplit(target)
+        query = parse_qs(parts.query)
+        headers: Dict[str, str] = {}
+        for _ in range(MAX_HEADER_LINES):
+            line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if len(line) > MAX_LINE_BYTES:
+                raise ServiceError("header line too long", status=431)
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise ServiceError("too many headers", status=431)
+        body = None
+        length = int(headers.get("content-length", 0) or 0)
+        if length > MAX_BODY_BYTES:
+            raise ServiceError(
+                f"request body exceeds {MAX_BODY_BYTES} bytes", status=413)
+        if length:
+            raw = await asyncio.wait_for(
+                reader.readexactly(length), timeout=30.0)
+            try:
+                body = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ServiceError(f"request body is not JSON: {exc}",
+                                   status=400) from None
+        return method.upper(), parts.path, query, headers, body
+
+    # -- routing -----------------------------------------------------------------
+
+    async def _route(self, writer, method: str, path: str, query: dict,
+                     client: str, body: Optional[dict]) -> None:
+        parts = [p for p in path.split("/") if p]
+        if not parts or parts[0] != "v1":
+            raise ServiceError(f"unknown path {path!r}", status=404)
+        parts = parts[1:]
+        if parts == ["status"] and method == "GET":
+            doc = self.scheduler.status()
+            doc["server"] = {"requests": self.requests,
+                             "rejected": self.rejected,
+                             "connections": self._connections,
+                             "max_clients": self.max_clients}
+            await self._respond(writer, 200, doc)
+            return
+        if parts == ["jobs"] and method == "GET":
+            await self._respond(writer, 200, {
+                "jobs": [r.to_json_dict() for r in self.scheduler.jobs()]})
+            return
+        if parts == ["jobs"] and method == "POST":
+            if body is None:
+                raise ServiceError("submit needs a JSON job spec body")
+            spec = JobSpec.from_json_dict(dict(body, client=client))
+            record = await self.scheduler.submit(spec)
+            await self._respond(writer, 202, record.to_json_dict())
+            return
+        if len(parts) >= 2 and parts[0] == "jobs":
+            job_id = parts[1]
+            tail = parts[2:]
+            if not tail and method == "GET":
+                record = self.scheduler.get(job_id)
+                await self._respond(writer, 200, record.to_json_dict())
+                return
+            if tail == ["result"] and method == "GET":
+                timeout = query.get("timeout", [None])[0]
+                if timeout is not None:
+                    try:
+                        seconds = float(timeout)
+                    except ValueError:
+                        raise ServiceError("timeout must be a number") \
+                            from None
+                    await self.scheduler.wait(job_id,
+                                              timeout=max(0.0, seconds))
+                await self._respond(writer, 200,
+                                    self.scheduler.result(job_id))
+                return
+            if tail == ["cancel"] and method == "POST":
+                record = await self.scheduler.cancel(job_id)
+                await self._respond(writer, 202, record.to_json_dict())
+                return
+            if tail == ["events"] and method == "GET":
+                await self._stream_events(writer, job_id)
+                return
+        raise ServiceError(f"no route for {method} {path}", status=404)
+
+    # -- responses ---------------------------------------------------------------
+
+    async def _respond(self, writer, status: int, doc: dict) -> None:
+        body = (json.dumps(doc, indent=2, sort_keys=False) + "\n").encode()
+        writer.write(self._head(status, "application/json", len(body)))
+        writer.write(body)
+        await writer.drain()
+
+    async def _stream_events(self, writer, job_id: str) -> None:
+        """NDJSON live stream: current state first, then every telemetry
+        event and state change as it happens, until the job ends."""
+        record = self.scheduler.get(job_id)  # 404s before headers go out
+        queue = self.scheduler.subscribe(job_id)
+        try:
+            writer.write(self._head(200, "application/x-ndjson"))
+            writer.write(self._ndjson(
+                {"kind": "job_state", "job": record.job_id,
+                 "state": record.state, "attempts": record.attempts,
+                 "error": record.error or None}))
+            await writer.drain()
+            if record.terminal:
+                return
+            while True:
+                doc = await queue.get()
+                if doc is None:  # the job reached a terminal state
+                    return
+                writer.write(self._ndjson(doc))
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # subscriber went away; drop them silently
+        finally:
+            self.scheduler.unsubscribe(job_id, queue)
+
+    @staticmethod
+    def _ndjson(doc: dict) -> bytes:
+        return (json.dumps(doc, sort_keys=True) + "\n").encode()
+
+    @staticmethod
+    def _head(status: int, content_type: str,
+              length: Optional[int] = None) -> bytes:
+        reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                  404: "Not Found", 408: "Request Timeout",
+                  409: "Conflict", 410: "Gone", 413: "Payload Too Large",
+                  429: "Too Many Requests", 431: "Headers Too Large",
+                  500: "Internal Server Error",
+                  503: "Service Unavailable"}.get(status, "Unknown")
+        lines = [f"HTTP/1.1 {status} {reason}",
+                 f"Content-Type: {content_type}",
+                 "Connection: close"]
+        if length is not None:
+            lines.append(f"Content-Length: {length}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode()
+
+
+async def serve(host: str, port: int, *, jobs: Optional[int] = None,
+                max_clients: int = 64, store_root: Optional[str] = None,
+                cache_root: Optional[str] = None,
+                max_active_jobs: int = 4,
+                rate: float = DEFAULT_RATE, burst: int = DEFAULT_BURST,
+                verify: bool = True, announce=print) -> dict:
+    """Run the service until SIGTERM/SIGINT, then drain gracefully.
+
+    Wires the full stack — :class:`WorkerPool` →
+    :class:`~repro.service.scheduler.Scheduler` → :class:`JobServer` —
+    recovers the job journal, and installs signal handlers that stop
+    intake, let running cells finish, and checkpoint the queue before
+    returning the drain summary.
+    """
+    from ..experiments.parallel import DEFAULT_CACHE_ROOT, WorkerPool
+    from ..obs.runstore import DEFAULT_ROOT
+    pool = WorkerPool(jobs=jobs)
+    scheduler = Scheduler(pool, store_root=store_root or DEFAULT_ROOT,
+                          cache_root=(cache_root if cache_root is not None
+                                      else DEFAULT_CACHE_ROOT),
+                          max_active_jobs=max_active_jobs, verify=verify)
+    recovered = await scheduler.start()
+    server = JobServer(scheduler, host=host, port=port,
+                       max_clients=max_clients, rate=rate, burst=burst)
+    await server.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_event_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # non-main thread / platforms without signal support
+    announce(f"eve-service listening on http://{server.host}:{server.port} "
+             f"(pool={pool.jobs}, recovered={recovered} jobs); "
+             "SIGTERM drains gracefully")
+    await stop.wait()
+    announce("eve-service draining: intake closed, finishing running "
+             "cells...")
+    await server.stop()
+    summary = await scheduler.drain()
+    announce(f"eve-service drained: {summary['checkpointed']} jobs "
+             "checkpointed back to the queue")
+    return summary

@@ -13,8 +13,8 @@ are preserved.
 """
 
 from .base import (DEFAULT_SEED, REGISTRY, Workload, canonical_workload,
-                   get_workload, workload_names)
+                   get_workload, tiny_overrides, workload_names)
 from . import vvadd, mmult, kmeans, pathfinder, jacobi2d, backprop, sw  # noqa: F401  (registration)
 
 __all__ = ["DEFAULT_SEED", "REGISTRY", "Workload", "canonical_workload",
-           "get_workload", "workload_names"]
+           "get_workload", "tiny_overrides", "workload_names"]

@@ -134,3 +134,9 @@ def get_workload(name: str) -> Workload:
 
 def workload_names() -> list:
     return sorted(REGISTRY)
+
+
+def tiny_overrides() -> Dict[str, Dict[str, int]]:
+    """Per-workload test-sized parameter overrides — the ``--tiny``
+    mapping the CLI, the job service, and the test suite all share."""
+    return {name: dict(wl.tiny_params) for name, wl in REGISTRY.items()}

@@ -1,0 +1,656 @@
+"""Tests for the simulation job service: spec/journal, the asyncio
+scheduler (dedup, fairness, cancel, drain, recovery), the HTTP server
+end-to-end over a real socket, and concurrent store appends."""
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.experiments.parallel import WorkerPool
+from repro.obs.events import (Event, EventLog, check_conservation,
+                              read_events)
+from repro.obs.runstore import RunStore, make_record
+from repro.service.client import ServiceClient
+from repro.service.jobs import (JOB_SCHEMA_VERSION, JobRecord, JobSpec,
+                                JobStore, job_id_for, make_job_record)
+from repro.service.scheduler import Scheduler
+from repro.service.server import JobServer
+
+SYSTEMS = ["IO", "O3+EVE-4"]
+WORKLOAD = "vvadd"
+
+
+# -- stub cells ------------------------------------------------------------------
+
+class FakeResult:
+    def __init__(self, system, workload):
+        self.cycles = 1000.0 if system == "IO" else 250.0
+        self.time_ns = self.cycles * 1.025
+        self.instructions = 64
+
+    def to_json_dict(self):
+        return {"system": "?", "cycles": self.cycles,
+                "time_ns": self.time_ns,
+                "instructions": self.instructions, "metrics": {}}
+
+
+def make_stub(delay=0.0, fail_system=None, trace=None):
+    """An in-process simulate_cell stand-in (WorkerPool(jobs=1) never
+    pickles it).  ``trace`` collects the systems it actually ran."""
+    def stub(spec):
+        system, workload = spec[0], spec[1]
+        if trace is not None:
+            trace.append(system)
+        if delay:
+            time.sleep(delay)
+        if fail_system is not None and system == fail_system:
+            raise RuntimeError(f"boom in {system}")
+        return {"result": FakeResult(system, workload), "system": system,
+                "workload": workload, "cached": False, "profile": {},
+                "cache": {"result": "miss", "trace": "miss",
+                          "corrupt_paths": []}}
+    return stub
+
+
+def sweep_spec(client="tester", systems=SYSTEMS, workloads=(WORKLOAD,),
+               **kw):
+    return JobSpec(kind="sweep", systems=list(systems),
+                   workloads=list(workloads), tiny=True, client=client,
+                   **kw)
+
+
+def run_async(coro, timeout=60.0):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+# -- the spec --------------------------------------------------------------------
+
+class TestJobSpec:
+    def test_validate_canonicalizes_names(self):
+        spec = JobSpec(kind="sweep", systems=["io"], workloads=["VVADD"])
+        spec.validate()
+        assert spec.systems == ["IO"]
+        assert spec.workloads == ["vvadd"]
+
+    @pytest.mark.parametrize("field,value,match", [
+        ("kind", "bogus", "unknown job kind"),
+        ("priority", "urgent", "unknown priority"),
+        ("client", "", "non-empty"),
+        ("client", "x" * 65, "exceeds"),
+        ("seed", "seven", "seed must be an integer"),
+        ("tiny", 1, "tiny must be a boolean"),
+    ])
+    def test_validate_rejects_bad_fields(self, field, value, match):
+        spec = sweep_spec()
+        setattr(spec, field, value)
+        with pytest.raises(ServiceError, match=match):
+            spec.validate()
+
+    def test_validate_rejects_unknown_names(self):
+        with pytest.raises(ServiceError, match="unknown system"):
+            JobSpec(kind="sweep", systems=["Cray-1"]).validate()
+        with pytest.raises(ServiceError, match="unknown workload"):
+            JobSpec(kind="sweep", workloads=["minesweeper"]).validate()
+
+    def test_compare_needs_exactly_one_workload(self):
+        with pytest.raises(ServiceError, match="exactly one workload"):
+            JobSpec(kind="compare", workloads=[]).validate()
+
+    def test_unit_kinds_default_and_cap_count(self):
+        fuzz = JobSpec(kind="fuzz").validate()
+        assert fuzz.count == 50
+        faults = JobSpec(kind="faults").validate()
+        assert faults.count == 100
+        with pytest.raises(ServiceError, match="cap"):
+            JobSpec(kind="fuzz", count=10**9).validate()
+
+    def test_cells_canonical_and_deduplicated(self):
+        spec = JobSpec(kind="sweep", systems=["io", "IO", "O3+EVE-4"],
+                       workloads=["vvadd"]).validate()
+        assert spec.cells() == [("IO", "vvadd"), ("O3+EVE-4", "vvadd")]
+
+    def test_fingerprint_tracks_the_experiment(self):
+        base = sweep_spec().fingerprint()
+        assert base == sweep_spec().fingerprint()
+        assert sweep_spec(seed=7).fingerprint() != base
+        assert sweep_spec(workloads=["pathfinder"]).fingerprint() != base
+        # client/priority are scheduling metadata, not experiment identity
+        assert sweep_spec(client="other").fingerprint() == base
+        assert sweep_spec(priority="high").fingerprint() == base
+
+    def test_round_trip_rejects_unknown_fields(self):
+        doc = sweep_spec().to_json_dict()
+        assert JobSpec.from_json_dict(doc) == sweep_spec()
+        doc["surprise"] = 1
+        with pytest.raises(ServiceError, match="surprise"):
+            JobSpec.from_json_dict(doc)
+
+
+# -- the journal -----------------------------------------------------------------
+
+class TestJobStore:
+    def test_latest_snapshot_wins(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        record = make_job_record(job_id_for(1), sweep_spec())
+        store.append(record)
+        record.touch("running")
+        record.attempts = 1
+        store.append(record)
+        loaded = store.load()
+        assert list(loaded) == ["job-000001"]
+        assert loaded["job-000001"].state == "running"
+        assert loaded["job-000001"].attempts == 1
+        assert store.next_seq() == 2
+
+    def test_record_round_trip_is_strict(self):
+        record = make_job_record(job_id_for(3), sweep_spec())
+        doc = json.loads(json.dumps(record.to_json_dict()))
+        assert JobRecord.from_json_dict(doc) == record
+        doc["schema_version"] = JOB_SCHEMA_VERSION + 1
+        with pytest.raises(ServiceError, match="schema version"):
+            JobRecord.from_json_dict(doc)
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        store.append(make_job_record(job_id_for(1), sweep_spec()))
+        with open(store.path, "a") as handle:
+            handle.write('{"job_id": "job-0000')  # crashed writer
+        assert list(store.load()) == ["job-000001"]
+
+    def test_interior_corruption_raises(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        store.append(make_job_record(job_id_for(1), sweep_spec()))
+        with open(store.path, "a") as handle:
+            handle.write("{not json\n")
+        store.append(make_job_record(job_id_for(2), sweep_spec()))
+        with pytest.raises(ServiceError, match="corrupt"):
+            store.load()
+
+
+# -- the scheduler ----------------------------------------------------------------
+
+def make_scheduler(tmp_path, cell_func, max_active_jobs=4, jobs=1):
+    return Scheduler(WorkerPool(jobs=jobs), store_root=str(tmp_path),
+                     cache_root=None, max_active_jobs=max_active_jobs,
+                     cell_func=cell_func)
+
+
+class TestScheduler:
+    def test_overlapping_jobs_dedup_cells(self, tmp_path):
+        trace = []
+
+        async def scenario():
+            sched = make_scheduler(tmp_path, make_stub(delay=0.1,
+                                                       trace=trace))
+            await sched.start()
+            a = await sched.submit(sweep_spec(client="alice"))
+            b = await sched.submit(sweep_spec(client="bob"))
+            ra = await sched.wait(a.job_id, timeout=30)
+            rb = await sched.wait(b.job_id, timeout=30)
+            assert (ra.state, rb.state) == ("done", "done")
+            assert sched.result(a.job_id) == sched.result(b.job_id)
+            counters = dict(sched.counters)
+            await sched.drain()
+            return counters
+
+        counters = run_async(scenario())
+        assert counters["cells_total"] == 4
+        assert counters["cells_unique"] == 2
+        assert counters["cells_deduped"] == 2
+        assert counters["cells_simulated"] == 2
+        assert trace.count("IO") == 1  # each unique cell ran exactly once
+        assert trace.count("O3+EVE-4") == 1
+
+    def test_priority_lanes_beat_fifo(self, tmp_path):
+        trace = []
+
+        async def scenario():
+            sched = make_scheduler(tmp_path, make_stub(delay=0.05,
+                                                       trace=trace),
+                                   max_active_jobs=1)
+            await sched.start()
+            blocker = await sched.submit(sweep_spec(systems=["IO"]))
+            low = await sched.submit(sweep_spec(systems=["O3"],
+                                                priority="low"))
+            high = await sched.submit(sweep_spec(systems=["O3+EVE-4"],
+                                                 priority="high"))
+            for job in (blocker, low, high):
+                await sched.wait(job.job_id, timeout=30)
+            await sched.drain()
+
+        run_async(scenario())
+        assert trace == ["IO", "O3+EVE-4", "O3"]
+
+    def test_clients_round_robin_within_a_lane(self, tmp_path):
+        trace = []
+
+        async def scenario():
+            sched = make_scheduler(tmp_path, make_stub(delay=0.05,
+                                                       trace=trace),
+                                   max_active_jobs=1)
+            await sched.start()
+            blocker = await sched.submit(sweep_spec(systems=["IO"],
+                                                    client="alice"))
+            jobs = [await sched.submit(sweep_spec(systems=[s], client=c))
+                    for s, c in (("O3", "alice"), ("O3+EVE-1", "alice"),
+                                 ("O3+EVE-4", "bob"))]
+            for job in [blocker] + jobs:
+                await sched.wait(job.job_id, timeout=30)
+            await sched.drain()
+
+        run_async(scenario())
+        # alice queued two before bob queued one; fairness interleaves
+        assert trace == ["IO", "O3", "O3+EVE-4", "O3+EVE-1"]
+
+    def test_cancel_queued_and_running(self, tmp_path):
+        async def scenario():
+            sched = make_scheduler(tmp_path, make_stub(delay=0.1),
+                                   max_active_jobs=1)
+            await sched.start()
+            running = await sched.submit(sweep_spec())
+            queued = await sched.submit(sweep_spec(client="later"))
+            await sched.cancel(queued.job_id)
+            rec = await sched.wait(queued.job_id, timeout=10)
+            assert rec.state == "cancelled"
+            await sched.cancel(running.job_id)
+            rec = await sched.wait(running.job_id, timeout=30)
+            assert rec.state == "cancelled"
+            with pytest.raises(ServiceError, match="already cancelled"):
+                await sched.cancel(running.job_id)
+            with pytest.raises(ServiceError, match="unknown job"):
+                await sched.cancel("job-999999")
+            # conservation: every queued unit got exactly one terminal
+            problems = check_conservation(read_events(sched.events_path))
+            assert problems == []
+            await sched.drain()
+
+        run_async(scenario())
+
+    def test_cell_failure_fails_fast_and_conserves(self, tmp_path):
+        async def scenario():
+            sched = make_scheduler(
+                tmp_path, make_stub(delay=0.02, fail_system="IO"))
+            await sched.start()
+            job = await sched.submit(sweep_spec())
+            rec = await sched.wait(job.job_id, timeout=30)
+            assert rec.state == "failed"
+            assert "boom" in rec.error
+            with pytest.raises(ServiceError, match="not done"):
+                sched.result(job.job_id)
+            problems = check_conservation(read_events(sched.events_path))
+            assert problems == []
+            await sched.drain()
+
+        run_async(scenario())
+
+    def test_drain_checkpoints_queue_and_recovery_requeues(self, tmp_path):
+        async def part_one():
+            sched = make_scheduler(tmp_path, make_stub(delay=0.2),
+                                   max_active_jobs=1)
+            await sched.start()
+            running = await sched.submit(sweep_spec())
+            waiting = await sched.submit(sweep_spec(client="later"))
+            await asyncio.sleep(0.1)  # let the first cell start
+            summary = await sched.drain()
+            assert summary["checkpointed"] == 2
+            problems = check_conservation(read_events(sched.events_path))
+            assert problems == []
+            return running.job_id, waiting.job_id
+
+        ids = run_async(part_one())
+        journal = JobStore(str(tmp_path)).load()
+        assert [journal[i].state for i in ids] == ["queued", "queued"]
+
+        async def part_two():
+            sched = make_scheduler(tmp_path, make_stub())
+            recovered = await sched.start()
+            assert recovered == 2
+            for job_id in ids:
+                rec = await sched.wait(job_id, timeout=30)
+                assert rec.state == "done"
+            assert sched.counters["jobs_recovered"] == 2
+            await sched.drain()
+
+        run_async(part_two())
+
+    def test_submit_while_draining_is_rejected(self, tmp_path):
+        async def scenario():
+            sched = make_scheduler(tmp_path, make_stub())
+            await sched.start()
+            await sched.drain()
+            with pytest.raises(ServiceError, match="draining"):
+                await sched.submit(sweep_spec())
+
+        run_async(scenario())
+
+    def test_done_job_archives_a_run_record(self, tmp_path):
+        async def scenario():
+            sched = make_scheduler(tmp_path, make_stub())
+            await sched.start()
+            job = await sched.submit(sweep_spec())
+            rec = await sched.wait(job.job_id, timeout=30)
+            await sched.drain()
+            return rec
+
+        rec = run_async(scenario())
+        assert rec.result_record_id
+        run = RunStore(str(tmp_path)).load(rec.result_record_id)
+        assert run.kind == "sweep"
+        assert run.extra["service"]["job_id"] == rec.job_id
+        assert run.results["IO"]["vvadd"]["cycles"] == 1000.0
+        assert run.speedups["vvadd"]["O3+EVE-4"] == pytest.approx(4.0)
+
+    def test_status_reports_queues_and_counters(self, tmp_path):
+        async def scenario():
+            sched = make_scheduler(tmp_path, make_stub())
+            await sched.start()
+            job = await sched.submit(sweep_spec())
+            await sched.wait(job.job_id, timeout=30)
+            status = sched.status()
+            await sched.drain()
+            return status
+
+        status = run_async(scenario())
+        assert status["jobs"] == {"done": 1}
+        assert status["queue"] == {"high": 0, "normal": 0, "low": 0}
+        assert status["counters"]["jobs_done"] == 1
+        assert not status["draining"]
+
+
+# -- the server, end to end over a real socket -------------------------------------
+
+class ServiceHarness:
+    """Scheduler + server on a private event loop in a daemon thread,
+    driven from the test thread with the blocking ServiceClient."""
+
+    def __init__(self, tmp_path, cell_func=None, cache_root=None,
+                 jobs=1, max_active_jobs=4, rate=1000.0, burst=1000):
+        from repro.experiments.parallel import simulate_cell
+        self.tmp_path = tmp_path
+        self.cell_func = cell_func or simulate_cell
+        self.cache_root = cache_root
+        self.jobs = jobs
+        self.max_active_jobs = max_active_jobs
+        self.rate = rate
+        self.burst = burst
+        self._ready = threading.Event()
+        self._stop = None
+        self.loop = None
+        self.scheduler = None
+        self.server = None
+        self.drain_summary = None
+
+    async def _main(self):
+        self._stop = asyncio.Event()
+        pool = WorkerPool(jobs=self.jobs)
+        self.scheduler = Scheduler(
+            pool, store_root=str(self.tmp_path),
+            cache_root=self.cache_root,
+            max_active_jobs=self.max_active_jobs,
+            cell_func=self.cell_func)
+        await self.scheduler.start()
+        self.server = JobServer(self.scheduler, port=0,
+                                rate=self.rate, burst=self.burst)
+        await self.server.start()
+        self._ready.set()
+        await self._stop.wait()
+        await self.server.stop()
+        self.drain_summary = await self.scheduler.drain()
+
+    def _run(self):
+        self.loop = asyncio.new_event_loop()
+        try:
+            self.loop.run_until_complete(self._main())
+        finally:
+            self.loop.close()
+
+    def __enter__(self):
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        assert self._ready.wait(timeout=30), "server never came up"
+        return self
+
+    def __exit__(self, *exc):
+        self.loop.call_soon_threadsafe(self._stop.set)
+        self.thread.join(timeout=60)
+        assert not self.thread.is_alive(), "server thread leaked"
+
+    def client(self, name="tester"):
+        return ServiceClient(port=self.server.port, client=name)
+
+
+class TestServerEndToEnd:
+    def test_submit_wait_result_and_listing(self, tmp_path):
+        with ServiceHarness(tmp_path, cell_func=make_stub()) as svc:
+            client = svc.client()
+            record = client.submit({"kind": "sweep", "systems": SYSTEMS,
+                                    "workloads": [WORKLOAD], "tiny": True})
+            assert record["state"] == "queued"
+            assert record["spec"]["client"] == "tester"
+            final = client.wait(record["job_id"], timeout=30)
+            assert final["state"] == "done"
+            payload = client.result(record["job_id"])
+            assert payload["baseline"] == "IO"
+            assert payload["cells"][WORKLOAD]["IO"]["cycles"] == 1000.0
+            jobs = client.jobs()
+            assert [j["job_id"] for j in jobs] == [record["job_id"]]
+            status = client.status()
+            assert status["counters"]["jobs_done"] == 1
+            assert status["server"]["requests"] >= 4
+
+    def test_result_waits_server_side(self, tmp_path):
+        with ServiceHarness(tmp_path,
+                            cell_func=make_stub(delay=0.1)) as svc:
+            client = svc.client()
+            record = client.submit({"kind": "sweep", "systems": SYSTEMS,
+                                    "workloads": [WORKLOAD], "tiny": True})
+            payload = client.result(record["job_id"], timeout=30)
+            assert payload["cells"][WORKLOAD]["IO"]["cycles"] == 1000.0
+
+    def test_events_stream_ends_with_terminal_state(self, tmp_path):
+        with ServiceHarness(tmp_path,
+                            cell_func=make_stub(delay=0.05)) as svc:
+            client = svc.client()
+            record = client.submit({"kind": "sweep", "systems": SYSTEMS,
+                                    "workloads": [WORKLOAD], "tiny": True})
+            docs = list(client.events(record["job_id"]))
+            kinds = [d.get("kind") or d.get("event") for d in docs]
+            assert kinds[0] == "job_state"
+            assert "campaign_finished" in kinds
+            states = [d["state"] for d in docs if d.get("kind") == "job_state"]
+            assert states[-1] == "done"
+
+    def test_cancel_roundtrip(self, tmp_path):
+        with ServiceHarness(tmp_path, cell_func=make_stub(delay=0.2),
+                            max_active_jobs=1) as svc:
+            client = svc.client()
+            running = client.submit({"kind": "sweep", "systems": SYSTEMS,
+                                     "workloads": [WORKLOAD],
+                                     "tiny": True})
+            queued = client.submit({"kind": "sweep", "systems": SYSTEMS,
+                                    "workloads": [WORKLOAD], "tiny": True,
+                                    "priority": "low"})
+            client.cancel(queued["job_id"])
+            final = client.wait(queued["job_id"], timeout=30)
+            assert final["state"] == "cancelled"
+            client.wait(running["job_id"], timeout=30)
+
+    def test_validation_and_routing_errors(self, tmp_path):
+        with ServiceHarness(tmp_path, cell_func=make_stub()) as svc:
+            client = svc.client()
+            with pytest.raises(ServiceError, match="unknown job kind") \
+                    as err:
+                client.submit({"kind": "bogus"})
+            assert err.value.status == 400
+            with pytest.raises(ServiceError, match="unknown job") as err:
+                client.job("job-424242")
+            assert err.value.status == 404
+            with pytest.raises(ServiceError, match="unknown fields"):
+                client.submit({"kind": "sweep", "sudo": True})
+            with pytest.raises(ServiceError, match="unknown path") as err:
+                client._request("GET", "/v2/everything")
+            assert err.value.status == 404
+
+    def test_oversized_body_is_rejected(self, tmp_path):
+        with ServiceHarness(tmp_path, cell_func=make_stub()) as svc:
+            client = svc.client()
+            with pytest.raises(ServiceError, match="exceeds") as err:
+                client.submit({"kind": "sweep",
+                               "workloads": ["x" * 100_000]})
+            assert err.value.status == 413
+
+    def test_rate_limit_kicks_in(self, tmp_path):
+        with ServiceHarness(tmp_path, cell_func=make_stub(),
+                            rate=0.001, burst=3) as svc:
+            client = svc.client("greedy")
+            for _ in range(3):
+                client.status()
+            with pytest.raises(ServiceError, match="rate limit") as err:
+                client.status()
+            assert err.value.status == 429
+            # another client has its own bucket
+            svc.client("patient").status()
+
+    def test_concurrent_clients_share_cells(self, tmp_path):
+        trace = []
+        with ServiceHarness(tmp_path,
+                            cell_func=make_stub(delay=0.1,
+                                                trace=trace)) as svc:
+            spec = {"kind": "sweep", "systems": SYSTEMS,
+                    "workloads": [WORKLOAD], "tiny": True}
+            with ThreadPoolExecutor(max_workers=2) as tpe:
+                futs = [tpe.submit(
+                    lambda name: svc.client(name).submit(spec), name)
+                    for name in ("alice", "bob")]
+                records = [f.result() for f in futs]
+            client = svc.client()
+            payloads = [
+                client.result(r["job_id"], timeout=30) for r in records]
+            assert payloads[0] == payloads[1]
+            counters = client.status()["counters"]
+            assert counters["cells_deduped"] == 2
+            assert counters["cells_simulated"] == 2
+        assert len(trace) == 2  # each unique cell simulated exactly once
+
+    def test_real_sweep_matches_direct_payload(self, tmp_path):
+        """End-to-end with the REAL simulator: the service's sweep result
+        equals the payload the CLI's --json path builds directly."""
+        from repro.experiments import ParallelRunner, sweep_result_payload
+        from repro.workloads import tiny_overrides
+        cache = str(tmp_path / "cells")
+        with ServiceHarness(tmp_path / "store", cell_func=None,
+                            cache_root=cache) as svc:
+            client = svc.client()
+            record = client.submit({"kind": "sweep",
+                                    "systems": ["IO", "O3+EVE-1"],
+                                    "workloads": [WORKLOAD],
+                                    "tiny": True})
+            service_payload = client.result(record["job_id"], timeout=120)
+        runner = ParallelRunner(params_override=tiny_overrides(),
+                                jobs=1, cache_root=cache)
+        direct = sweep_result_payload(runner, ["IO", "O3+EVE-1"],
+                                      [WORKLOAD])
+        assert json.dumps(service_payload, sort_keys=True) == \
+            json.dumps(direct, sort_keys=True)
+
+
+# -- concurrent appends (asyncio tasks + threads + pool workers) --------------------
+
+def _append_events(args):
+    """Pool-worker side of the EventLog contention test (picklable)."""
+    path, campaign, count = args
+    log = EventLog(path)
+    log.append([Event(event="queued", unit=f"{campaign}/{i}", t=float(i),
+                      campaign=campaign, seq=i) for i in range(count)])
+    return campaign
+
+
+class TestConcurrentAppends:
+    def test_threaded_runstore_appends_assign_unique_ids(self, tmp_path):
+        store = RunStore(str(tmp_path))
+
+        def append_one(i):
+            record = make_record("run", label=f"t{i}", command="test")
+            record.add_result("IO", "vvadd", cycles=float(i), time_ns=1.0)
+            return store.append(record)
+
+        with ThreadPoolExecutor(max_workers=8) as tpe:
+            ids = list(tpe.map(append_one, range(24)))
+        assert len(set(ids)) == 24
+        assert sorted(ids) == [f"{i:06d}-run" for i in range(1, 25)]
+        assert len(list(store.records())) == 24
+
+    def test_asyncio_tasks_share_one_store_via_executor(self, tmp_path):
+        store = RunStore(str(tmp_path))
+
+        async def scenario():
+            loop = asyncio.get_event_loop()
+
+            def append_one(i):
+                return store.append(make_record("run", label=f"a{i}"))
+
+            with ThreadPoolExecutor(max_workers=4) as tpe:
+                ids = await asyncio.gather(*[
+                    loop.run_in_executor(tpe, append_one, i)
+                    for i in range(12)])
+            return ids
+
+        ids = run_async(scenario())
+        assert len(set(ids)) == 12
+        # the index survived the contention and still matches the JSONL
+        assert len(store.history()) == 12
+
+    def test_append_all_is_atomic_under_contention(self, tmp_path):
+        store = RunStore(str(tmp_path))
+
+        def append_batch(tag):
+            return store.append_all(
+                [make_record("run", label=f"{tag}-{i}") for i in range(5)])
+
+        with ThreadPoolExecutor(max_workers=4) as tpe:
+            batches = list(tpe.map(append_batch, "abcd"))
+        for ids in batches:  # each batch's ids are consecutive
+            seqs = [int(i.split("-")[0]) for i in ids]
+            assert seqs == list(range(seqs[0], seqs[0] + 5))
+        all_ids = [i for ids in batches for i in ids]
+        assert len(set(all_ids)) == 20
+
+    def test_pool_workers_append_events_without_interleaving(self,
+                                                             tmp_path):
+        import multiprocessing
+        from repro.experiments.parallel import START_METHOD
+        path = str(tmp_path / "events.jsonl")
+        ctx = multiprocessing.get_context(START_METHOD)
+        with ctx.Pool(processes=4) as pool:
+            done = pool.map(_append_events,
+                            [(path, f"c{i}", 20) for i in range(8)])
+        assert sorted(done) == [f"c{i}" for i in range(8)]
+        events = read_events(path)
+        assert len(events) == 160  # no torn or interleaved lines
+        by_campaign = {}
+        for event in events:
+            by_campaign.setdefault(event.campaign, []).append(event.seq)
+        assert all(seqs == list(range(20))
+                   for seqs in by_campaign.values())
+
+    def test_jobstore_contention_keeps_latest_snapshots(self, tmp_path):
+        store = JobStore(str(tmp_path))
+
+        def lifecycle(i):
+            record = make_job_record(job_id_for(i), sweep_spec())
+            store.append(record)
+            record.touch("running")
+            store.append(record)
+            record.touch("done")
+            store.append(record)
+
+        with ThreadPoolExecutor(max_workers=8) as tpe:
+            list(tpe.map(lifecycle, range(1, 17)))
+        loaded = store.load()
+        assert len(loaded) == 16
+        assert all(r.state == "done" for r in loaded.values())
